@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Enhancing Two-Phase
+// Cooling Efficiency through Thermal-Aware Workload Mapping for
+// Power-Hungry Servers" (Iranfar, Pahlevan, Zapater, Atienza — DATE 2019).
+//
+// The public entry points live in the cmd/ tools and the examples/
+// programs; the library itself is organized under internal/ (see DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the paper-vs-measured
+// record of every table and figure).
+package repro

@@ -1,0 +1,90 @@
+// Designsweep walks the §VI design space of the thermosyphon: evaporator
+// orientation, refrigerant choice and filling ratio, all evaluated at the
+// worst-case workload, then picks the water operating point — the
+// workload- and platform-aware design flow the paper advocates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/power"
+	"repro/internal/refrigerant"
+	"repro/internal/thermosyphon"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench, cfg := workload.WorstCase()
+	fmt.Printf("design workload (worst case): %s %v → %.1f W\n\n",
+		bench.Name, cfg, bench.PackagePower(cfg, power.POLL))
+	mapping := experiments.FullLoadMapping(cfg, power.POLL)
+
+	// Orientation sweep (§VI-A): which edge should the inlet sit on?
+	fmt.Println("orientation sweep:")
+	for _, o := range thermosyphon.Orientations() {
+		d := thermosyphon.DefaultDesign()
+		d.Orientation = o
+		die, pkg := solve(d, bench, mapping)
+		fmt.Printf("  %-12v die θmax %.1f °C  pkg θmax %.1f °C\n", o, die, pkg)
+	}
+
+	// Refrigerant and filling ratio (§VI-B): dryout vs condenser flooding.
+	fmt.Println("\nrefrigerant × filling ratio sweep (die θmax, °C):")
+	fills := []float64{0.35, 0.45, 0.55, 0.65, 0.75}
+	fmt.Print("  fluid   ")
+	for _, fr := range fills {
+		fmt.Printf("  %4.0f%%", fr*100)
+	}
+	fmt.Println()
+	for _, fl := range refrigerant.Candidates() {
+		fmt.Printf("  %-8s", fl.Name())
+		for _, fr := range fills {
+			d := thermosyphon.DefaultDesign()
+			d.Fluid = fl
+			d.FillingRatio = fr
+			die, _ := solve(d, bench, mapping)
+			fmt.Printf("  %5.1f", die)
+		}
+		fmt.Println()
+	}
+
+	// Water operating point (§VI-C): lowest flow, warmest water that
+	// keeps TCASE below 85 °C.
+	fmt.Println("\nwater operating point selection:")
+	d := thermosyphon.DefaultDesign()
+	sys, err := experiments.NewSystem(d, experiments.Coarse)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, flow := range []float64{3, 5, 7} {
+		for _, tw := range []float64{45, 40, 35, 30} {
+			op := thermosyphon.Operating{WaterInC: tw, WaterFlowKgH: flow}
+			st := core.PackageState(bench, mapping)
+			res, err := sys.SolveSteady(st, op)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tc := sys.TCase(res)
+			if tc < 85 {
+				fmt.Printf("  first feasible: %.0f kg/h @ %.0f °C → TCASE %.1f °C (limit 85)\n", flow, tw, tc)
+				return
+			}
+		}
+	}
+	fmt.Println("  no feasible water point found")
+}
+
+func solve(d thermosyphon.Design, b workload.Benchmark, m core.Mapping) (dieMax, pkgMax float64) {
+	sys, err := experiments.NewSystem(d, experiments.Coarse)
+	if err != nil {
+		log.Fatal(err)
+	}
+	die, pkg, _, err := experiments.SolveMapping(sys, b, m, thermosyphon.DefaultOperating())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return die.MaxC, pkg.MaxC
+}

@@ -1,0 +1,56 @@
+// Quickstart: run one PARSEC workload through the paper's full pipeline —
+// QoS-aware configuration selection (Algorithm 1), thermal-aware thread
+// mapping, and the coupled thermosyphon/thermal co-simulation — and print
+// the resulting die thermal profile.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/render"
+	"repro/internal/thermosyphon"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. Pick a workload and a QoS constraint (2x degradation allowed).
+	bench, err := workload.ByName("ferret")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const qos = workload.QoS2x
+
+	// 2. Algorithm 1: cheapest configuration meeting the QoS, then the
+	// thermosyphon-aware thread mapping.
+	mapping, err := core.Plan(bench, qos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s @%s → config %v, cores %v, idle state %v\n",
+		bench.Name, qos, mapping.Config, mapping.ActiveCores, mapping.IdleState)
+
+	// 3. Build the simulated blade: Broadwell-EP die + package stack +
+	// the paper's R236fa thermosyphon design, and solve the coupled
+	// steady state at the design operating point (7 kg/h water at 30 °C).
+	sys, err := experiments.NewSystem(thermosyphon.DefaultDesign(), experiments.Medium)
+	if err != nil {
+		log.Fatal(err)
+	}
+	die, pkg, result, err := experiments.SolveMapping(sys, bench, mapping, thermosyphon.DefaultOperating())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report the paper's metrics and render the die map.
+	fmt.Printf("package power %.1f W, saturation %.1f °C, exit quality %.2f\n",
+		result.TotalPowerW, result.Syphon.Condenser.TsatC, result.Syphon.Loop.ExitQuality)
+	fmt.Printf("die:     θmax %.1f °C  θavg %.1f °C  ∇θmax %.2f °C/mm\n", die.MaxC, die.MeanC, die.MaxGradCPerMM)
+	fmt.Printf("package: θmax %.1f °C  θavg %.1f °C  ∇θmax %.2f °C/mm\n", pkg.MaxC, pkg.MeanC, pkg.MaxGradCPerMM)
+	if err := render.ASCIIMap(os.Stdout, sys.Thermal.Grid(), sys.DieTemps(result)); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package baselines implements the state-of-the-art policies the paper
+// compares against in Table II:
+//
+//   - the thermosyphon design of Seuret et al. (ITHERM'18) [8], sized for a
+//     uniform heat flux without workload awareness;
+//   - the Pack & Cap configuration selection of Cochran et al. (MICRO'11)
+//     [27], which packs threads onto the fewest cores at maximum frequency;
+//   - the temperature-aware balancing of Coskun et al. (DATE'07) [9];
+//   - the inlet-first mapping of Sabry et al. (TCAD'11) [7], designed for
+//     inter-layer liquid-cooled 3-D MPSoCs.
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+	"repro/internal/power"
+	"repro/internal/thermosyphon"
+	"repro/internal/workload"
+)
+
+// SeuretDesign returns the thermosyphon design of [8]: the same hardware
+// family as the paper's proposal but sized assuming the heat flux is the
+// total die power spread uniformly over the package (§III-B), hence
+// without the workload-aware orientation and filling-ratio choices —
+// north-south channels and a conservative 45 % fill.
+func SeuretDesign() thermosyphon.Design {
+	d := thermosyphon.DefaultDesign()
+	d.Orientation = thermosyphon.InletNorth
+	d.FillingRatio = 0.45
+	return d
+}
+
+// PackAndCapConfig implements the configuration selection of [27]: run at
+// maximum frequency and pack two threads per core onto the fewest cores
+// that still meet the QoS constraint (thread packing under a cap, with the
+// cap set by the QoS rather than power).
+func PackAndCapConfig(b workload.Benchmark, q workload.QoS) (workload.Config, error) {
+	for nc := 1; nc <= floorplan.NumCores; nc++ {
+		cfg := workload.Config{Cores: nc, Threads: 2 * nc, Freq: power.FMax}
+		if q.Satisfied(b, cfg) {
+			return cfg, nil
+		}
+	}
+	return workload.Config{}, fmt.Errorf("baselines: pack&cap found no configuration for %s at QoS %s", b.Name, q)
+}
+
+// CoskunMapping implements the temperature-aware balancing of [9]:
+// corner-first placement at maximum spacing, independent of the cooling
+// technology and of the idle C-state.
+func CoskunMapping(b workload.Benchmark, cfg workload.Config) (core.Mapping, error) {
+	if !cfg.Valid() {
+		return core.Mapping{}, fmt.Errorf("baselines: invalid configuration %v", cfg)
+	}
+	order := []int{
+		floorplan.CoreAtGridPos(0, 0), floorplan.CoreAtGridPos(3, 1),
+		floorplan.CoreAtGridPos(0, 1), floorplan.CoreAtGridPos(3, 0),
+		floorplan.CoreAtGridPos(1, 0), floorplan.CoreAtGridPos(2, 1),
+		floorplan.CoreAtGridPos(1, 1), floorplan.CoreAtGridPos(2, 0),
+	}
+	m := core.Mapping{
+		ActiveCores: append([]int(nil), order[:cfg.Cores]...),
+		IdleState:   power.DeepestStateWithin(b.IdleTolerance),
+		Config:      cfg,
+	}
+	sort.Ints(m.ActiveCores)
+	return m, nil
+}
+
+// SabryMapping implements the liquid-cooling policy of [7]: map threads to
+// the cores nearest the coolant inlet first. With the evaporator inlet on
+// the west this fills the west core column top-to-bottom, clustering the
+// heat — the behaviour §VIII-A shows is counterproductive for a thermosyphon.
+func SabryMapping(b workload.Benchmark, cfg workload.Config, o thermosyphon.Orientation) (core.Mapping, error) {
+	if !cfg.Valid() {
+		return core.Mapping{}, fmt.Errorf("baselines: invalid configuration %v", cfg)
+	}
+	fp := floorplan.BroadwellEP()
+	type coreDist struct {
+		idx  int
+		dist float64
+	}
+	ds := make([]coreDist, floorplan.NumCores)
+	for i := 0; i < floorplan.NumCores; i++ {
+		blk, _ := fp.Block(floorplan.CoreName(i))
+		var d float64
+		switch o {
+		case thermosyphon.InletWest:
+			d = blk.Rect.CenterX()
+		case thermosyphon.InletEast:
+			d = fp.Width - blk.Rect.CenterX()
+		case thermosyphon.InletNorth:
+			d = blk.Rect.CenterY()
+		case thermosyphon.InletSouth:
+			d = fp.Height - blk.Rect.CenterY()
+		}
+		ds[i] = coreDist{idx: i, dist: d}
+	}
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].dist != ds[j].dist {
+			return ds[i].dist < ds[j].dist
+		}
+		return ds[i].idx < ds[j].idx
+	})
+	m := core.Mapping{
+		IdleState: power.DeepestStateWithin(b.IdleTolerance),
+		Config:    cfg,
+	}
+	for _, cd := range ds[:cfg.Cores] {
+		m.ActiveCores = append(m.ActiveCores, cd.idx)
+	}
+	sort.Ints(m.ActiveCores)
+	return m, nil
+}

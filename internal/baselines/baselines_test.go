@@ -1,0 +1,153 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+	"repro/internal/power"
+	"repro/internal/thermosyphon"
+	"repro/internal/workload"
+)
+
+func TestSeuretDesign(t *testing.T) {
+	d := SeuretDesign()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Orientation.Horizontal() {
+		t.Fatal("baseline design should use the non-optimized N-S channels")
+	}
+	if d.FillingRatio >= thermosyphon.DefaultDesign().FillingRatio {
+		t.Fatal("baseline fill should differ from the optimized 55%")
+	}
+}
+
+func TestPackAndCapAlwaysFmax(t *testing.T) {
+	for _, b := range workload.All() {
+		for _, q := range []workload.QoS{workload.QoS1x, workload.QoS2x, workload.QoS3x} {
+			cfg, err := PackAndCapConfig(b, q)
+			if err != nil {
+				t.Fatalf("%s @%s: %v", b.Name, q, err)
+			}
+			if cfg.Freq != power.FMax {
+				t.Fatalf("pack&cap must run at fmax, got %v", cfg)
+			}
+			if cfg.Threads != 2*cfg.Cores {
+				t.Fatalf("pack&cap packs two threads per core, got %v", cfg)
+			}
+			if !q.Satisfied(b, cfg) {
+				t.Fatalf("%s @%s: %v violates QoS", b.Name, q, cfg)
+			}
+		}
+	}
+}
+
+func TestPackAndCapUsesFewestCores(t *testing.T) {
+	b, _ := workload.ByName("swaptions")
+	cfg, err := PackAndCapConfig(b, workload.QoS3x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cores > 1 {
+		smaller := workload.Config{Cores: cfg.Cores - 1, Threads: 2 * (cfg.Cores - 1), Freq: power.FMax}
+		if workload.QoS3x.Satisfied(b, smaller) {
+			t.Fatalf("pack&cap chose %v but %v also satisfies", cfg, smaller)
+		}
+	}
+}
+
+func TestPackAndCapNeverCheaperThanProposed(t *testing.T) {
+	// The proposed selection minimizes power over the whole space, so it
+	// can never be beaten by pack&cap's fmax-only scan.
+	for _, b := range workload.All() {
+		for _, q := range []workload.QoS{workload.QoS2x, workload.QoS3x} {
+			pc, err := PackAndCapConfig(b, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prop, err := core.SelectConfig(workload.NewProfile(b), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.PackagePower(prop, power.POLL) > b.PackagePower(pc, power.POLL)+1e-9 {
+				t.Fatalf("%s @%s: proposed %.1f W worse than pack&cap %.1f W",
+					b.Name, q, b.PackagePower(prop, power.POLL), b.PackagePower(pc, power.POLL))
+			}
+		}
+	}
+}
+
+func TestCoskunMappingCorners(t *testing.T) {
+	b, _ := workload.ByName("canneal")
+	cfg := workload.Config{Cores: 4, Threads: 8, Freq: power.FMax}
+	m, err := CoskunMapping(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := core.ActiveRowsHistogram(m.ActiveCores)
+	if rows[0] != 2 || rows[3] != 2 {
+		t.Fatalf("Coskun should fill corners, rows %v", rows)
+	}
+	// C-state-agnostic: same placement as for a POLL-bound workload.
+	rb, _ := workload.ByName("raytrace")
+	m2, _ := CoskunMapping(rb, cfg)
+	for i := range m.ActiveCores {
+		if m.ActiveCores[i] != m2.ActiveCores[i] {
+			t.Fatal("Coskun placement must ignore C-states")
+		}
+	}
+	if _, err := CoskunMapping(b, workload.Config{}); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+func TestSabryMappingClustersAtInlet(t *testing.T) {
+	b, _ := workload.ByName("canneal")
+	cfg := workload.Config{Cores: 4, Threads: 8, Freq: power.FMax}
+	m, err := SabryMapping(b, cfg, thermosyphon.InletWest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four actives must be the west column (Cores 5-8 = indices 4-7).
+	for _, c := range m.ActiveCores {
+		if _, col := floorplan.CoreGridPos(c); col != 0 {
+			t.Fatalf("inlet-west Sabry should fill the west column, got %v", m.ActiveCores)
+		}
+	}
+	// With a north inlet it should fill the north rows instead.
+	mN, err := SabryMapping(b, cfg, thermosyphon.InletNorth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := core.ActiveRowsHistogram(mN.ActiveCores)
+	if rows[0] != 2 || rows[1] != 2 {
+		t.Fatalf("inlet-north Sabry should fill north rows, got %v", rows)
+	}
+	if _, err := SabryMapping(b, workload.Config{}, thermosyphon.InletWest); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+func TestSabryEastAndSouth(t *testing.T) {
+	b, _ := workload.ByName("dedup")
+	cfg := workload.Config{Cores: 2, Threads: 4, Freq: power.FMid}
+	mE, err := SabryMapping(b, cfg, thermosyphon.InletEast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range mE.ActiveCores {
+		if _, col := floorplan.CoreGridPos(c); col != 1 {
+			t.Fatalf("inlet-east should prefer the east column, got %v", mE.ActiveCores)
+		}
+	}
+	mS, err := SabryMapping(b, cfg, thermosyphon.InletSouth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range mS.ActiveCores {
+		if r, _ := floorplan.CoreGridPos(c); r != 3 {
+			t.Fatalf("inlet-south should prefer the south row, got %v", mS.ActiveCores)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package chiller models the rack-level water cooling system (§VIII-B):
+// Eq. (1)'s water-side cooling power and an electrical chiller model whose
+// burden grows as the requested water temperature drops below ambient.
+package chiller
+
+import (
+	"fmt"
+
+	"repro/internal/refrigerant"
+)
+
+// CoolingPower implements the paper's Eq. (1): the power (W) required to
+// change the temperature of the water stream by deltaT K at the given
+// volumetric flow — P = V̇ · ρ · C_w · ΔT. Flow is given in kg/h as the
+// paper's operating points are; density and specific heat are evaluated at
+// the water temperature.
+func CoolingPower(flowKgH, waterC, deltaT float64) float64 {
+	if flowKgH < 0 {
+		return 0
+	}
+	mdot := flowKgH / 3600.0 // kg/s = V̇·ρ
+	return mdot * refrigerant.WaterCp(waterC) * deltaT
+}
+
+// COP returns the coefficient of performance of the rack chiller when
+// producing water at waterC against a heat-rejection (ambient) temperature
+// ambientC: a fraction of the Carnot COP with a condenser approach. When
+// the requested water temperature is at or above ambient, outside air can
+// do the job and the COP is effectively unbounded (free cooling).
+func COP(waterC, ambientC float64) float64 {
+	const (
+		carnotFraction = 0.45
+		approachK      = 8.0 // condenser approach above ambient
+	)
+	tCold := waterC + 273.15
+	tHot := ambientC + approachK + 273.15
+	if tCold >= tHot {
+		return 1e6 // free cooling
+	}
+	return carnotFraction * tCold / (tHot - tCold)
+}
+
+// ElectricalPower returns the chiller's electrical draw (W) to remove q
+// watts into waterC-degree water against the ambient. Free cooling costs
+// (almost) nothing, matching §VIII-B's closing remark.
+func ElectricalPower(q, waterC, ambientC float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	return q / COP(waterC, ambientC)
+}
+
+// Budget summarizes the cooling cost of one operating point.
+type Budget struct {
+	// HeatW is the heat carried by the water loop.
+	HeatW float64
+	// WaterDeltaT is the inlet→outlet water temperature rise.
+	WaterDeltaT float64
+	// Eq1PowerW is the paper's Eq. (1) water-side power.
+	Eq1PowerW float64
+	// ChillerPowerW is the electrical power of the chiller.
+	ChillerPowerW float64
+}
+
+// Assess computes the cooling budget for a loop that heats flowKgH of
+// water from waterInC to waterOutC against ambientC.
+func Assess(flowKgH, waterInC, waterOutC, ambientC float64) (Budget, error) {
+	if waterOutC < waterInC {
+		return Budget{}, fmt.Errorf("chiller: outlet %.1f °C below inlet %.1f °C", waterOutC, waterInC)
+	}
+	dT := waterOutC - waterInC
+	q := CoolingPower(flowKgH, waterInC, dT)
+	return Budget{
+		HeatW:         q,
+		WaterDeltaT:   dT,
+		Eq1PowerW:     q,
+		ChillerPowerW: ElectricalPower(q, waterInC, ambientC),
+	}, nil
+}

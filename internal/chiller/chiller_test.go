@@ -1,0 +1,98 @@
+package chiller
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoolingPowerEq1(t *testing.T) {
+	// 7 kg/h heated by 6 °C: P = (7/3600)·cp(30)·6 ≈ 48.7 W.
+	got := CoolingPower(7, 30, 6)
+	want := 7.0 / 3600 * 4178 * 6
+	if math.Abs(got-want) > 0.1 {
+		t.Fatalf("Eq1 power = %v, want %v", got, want)
+	}
+	if CoolingPower(-1, 30, 6) != 0 {
+		t.Fatal("negative flow must give zero")
+	}
+	if CoolingPower(7, 30, 0) != 0 {
+		t.Fatal("zero deltaT must give zero")
+	}
+}
+
+func TestEq1PaperRatio(t *testing.T) {
+	// §VIII-B: the proposed approach sees ΔT = 6 °C, the baseline 11 °C at
+	// the same flow: the power ratio must be 6/11 → a 45% reduction.
+	p6 := CoolingPower(7, 30, 6)
+	p11 := CoolingPower(7, 20, 11)
+	reduction := 1 - p6/p11
+	if reduction < 0.44 || reduction > 0.47 {
+		t.Fatalf("cooling power reduction %.3f, paper reports ≈45%%", reduction)
+	}
+}
+
+func TestCOPBehaviour(t *testing.T) {
+	// Colder water is more expensive.
+	if COP(20, 35) >= COP(30, 35) {
+		t.Fatal("COP must fall as water gets colder")
+	}
+	// Free cooling at/above ambient+approach.
+	if COP(60, 35) < 1e5 {
+		t.Fatal("above-ambient water should be free")
+	}
+	if c := COP(20, 35); c < 2 || c > 15 {
+		t.Fatalf("COP(20,35) = %.1f outside chiller-plausible band", c)
+	}
+}
+
+func TestElectricalPower(t *testing.T) {
+	if ElectricalPower(0, 20, 35) != 0 {
+		t.Fatal("no heat, no power")
+	}
+	if ElectricalPower(-5, 20, 35) != 0 {
+		t.Fatal("negative heat, no power")
+	}
+	cold := ElectricalPower(100, 20, 35)
+	warm := ElectricalPower(100, 30, 35)
+	if cold <= warm {
+		t.Fatal("colder water must cost more electricity")
+	}
+}
+
+func TestAssess(t *testing.T) {
+	b, err := Assess(7, 30, 36, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.WaterDeltaT-6) > 1e-12 {
+		t.Fatalf("deltaT %v", b.WaterDeltaT)
+	}
+	if b.Eq1PowerW != b.HeatW {
+		t.Fatal("Eq1 power is the water-side heat by definition")
+	}
+	if b.ChillerPowerW <= 0 {
+		t.Fatal("sub-ambient water needs chiller power")
+	}
+	if _, err := Assess(7, 30, 25, 35); err == nil {
+		t.Fatal("outlet below inlet must error")
+	}
+}
+
+// Property: Eq.(1) is linear in both flow and deltaT.
+func TestEq1LinearityProperty(t *testing.T) {
+	f := func(flowRaw, dtRaw float64) bool {
+		flow := math.Mod(math.Abs(flowRaw), 50) + 0.1
+		dt := math.Mod(math.Abs(dtRaw), 30) + 0.1
+		if math.IsNaN(flow) || math.IsNaN(dt) {
+			return true
+		}
+		p := CoolingPower(flow, 30, dt)
+		p2 := CoolingPower(2*flow, 30, dt)
+		p3 := CoolingPower(flow, 30, 2*dt)
+		return math.Abs(p2-2*p) < 1e-9*p2 && math.Abs(p3-2*p) < 1e-9*p3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

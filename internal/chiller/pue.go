@@ -1,0 +1,57 @@
+package chiller
+
+import "fmt"
+
+// The paper motivates two-phase cooling with Power Usage Effectiveness:
+// air-cooled facilities sat at PUE ≈ 1.65 in 2013, DCLC reaches 1.17, and
+// the thermosyphon prototype of [8] achieves 1.05. This file provides the
+// facility-level PUE accounting used to contextualize the chiller results.
+
+// FacilityOverheadFraction is the non-cooling facility overhead (power
+// delivery, lighting, UPS losses) as a fraction of IT power.
+const FacilityOverheadFraction = 0.04
+
+// PUE computes Power Usage Effectiveness: total facility power over IT
+// power, where cooling is the dominant non-IT load.
+func PUE(itPowerW, coolingPowerW float64) (float64, error) {
+	if itPowerW <= 0 {
+		return 0, fmt.Errorf("chiller: non-positive IT power %g", itPowerW)
+	}
+	if coolingPowerW < 0 {
+		return 0, fmt.Errorf("chiller: negative cooling power %g", coolingPowerW)
+	}
+	overhead := FacilityOverheadFraction * itPowerW
+	return (itPowerW + coolingPowerW + overhead) / itPowerW, nil
+}
+
+// Reference PUE values the paper quotes (§I).
+const (
+	// PUEAirCooled2013 is the industry survey value the paper cites.
+	PUEAirCooled2013 = 1.65
+	// PUEDirectLiquid is the DCLC figure of [6].
+	PUEDirectLiquid = 1.17
+	// PUEThermosyphon is the prototype figure of [8].
+	PUEThermosyphon = 1.05
+)
+
+// ThermosyphonPUE estimates the facility PUE of a rack whose blades
+// dissipate itPowerW and whose shared loop runs at waterC against
+// ambientC: the chiller electrical power is the cooling load; pumping
+// power is zero by construction (gravity-driven loop), which is the
+// technology's whole point.
+func ThermosyphonPUE(itPowerW, waterC, ambientC float64) (float64, error) {
+	cooling := ElectricalPower(itPowerW, waterC, ambientC)
+	return PUE(itPowerW, cooling)
+}
+
+// AirCooledPUE estimates the PUE of a conventional air-cooled facility
+// moving the same heat: CRAC fans plus a lower-COP air-side chiller,
+// folded into an effective cooling-to-IT ratio calibrated to the paper's
+// 30 % cooling share (§I).
+func AirCooledPUE(itPowerW float64) (float64, error) {
+	const coolingShare = 0.30 // of total facility energy (§I)
+	// cooling = share·(it + cooling + overhead) ⇒ solve for cooling.
+	overhead := FacilityOverheadFraction * itPowerW
+	cooling := coolingShare * (itPowerW + overhead) / (1 - coolingShare)
+	return PUE(itPowerW, cooling)
+}

@@ -1,0 +1,69 @@
+package chiller
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPUEBasics(t *testing.T) {
+	// No cooling at all: PUE is just the facility overhead.
+	p, err := PUE(1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1.04) > 1e-12 {
+		t.Fatalf("PUE with no cooling = %v, want 1.04", p)
+	}
+	if _, err := PUE(0, 10); err == nil {
+		t.Fatal("zero IT power must error")
+	}
+	if _, err := PUE(100, -1); err == nil {
+		t.Fatal("negative cooling must error")
+	}
+}
+
+func TestThermosyphonPUEApproachesPrototype(t *testing.T) {
+	// Hot-water operation (45 °C water, free cooling against a 35 °C
+	// ambient) is how the prototype of [8] reaches PUE 1.05: only the
+	// facility overhead remains.
+	free, err := ThermosyphonPUE(10000, 45, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free < 1.02 || free > 1.06 {
+		t.Fatalf("free-cooling PUE = %.3f, want ≈1.05", free)
+	}
+	// Chilled 30 °C water against 35 °C ambient costs a little more but
+	// stays far below the air-cooled reference.
+	p, err := ThermosyphonPUE(10000, 30, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1.06 || p > 1.20 {
+		t.Fatalf("chilled thermosyphon PUE = %.3f outside band", p)
+	}
+}
+
+func TestAirCooledPUEMatchesSurvey(t *testing.T) {
+	p, err := AirCooledPUE(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §I cites ≈1.65 for air-cooled facilities; the 30% cooling share
+	// reconstruction must land nearby.
+	if p < 1.45 || p > 1.75 {
+		t.Fatalf("air-cooled PUE = %.3f, want ≈1.65", p)
+	}
+}
+
+func TestPUEOrdering(t *testing.T) {
+	air, _ := AirCooledPUE(10000)
+	syph, _ := ThermosyphonPUE(10000, 30, 35)
+	cold, _ := ThermosyphonPUE(10000, 15, 35)
+	if !(syph < air) {
+		t.Fatalf("thermosyphon %.3f should beat air %.3f", syph, air)
+	}
+	if !(syph < cold) {
+		t.Fatalf("warm water %.3f should beat cold water %.3f", syph, cold)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestPlanMultiInterferenceNeverCheaper(t *testing.T) {
+	// Interference can only shrink the feasible set, so the
+	// interference-aware plan never grants fewer resources than needed:
+	// its power is at least the naive plan's.
+	apps := []AppSpec{
+		spec(t, "canneal", workload.QoS3x),
+		spec(t, "streamcluster", workload.QoS3x),
+	}
+	naive, err := PlanMulti(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := PlanMultiInterference(apps, workload.DefaultInterference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.TotalPowerW < naive.TotalPowerW-1e-9 {
+		t.Fatalf("interference-aware plan %.2f W cheaper than naive %.2f W",
+			aware.TotalPowerW, naive.TotalPowerW)
+	}
+	// Every assignment must satisfy the co-run-adjusted QoS.
+	im := workload.DefaultInterference()
+	for i, a := range aware.Assignments {
+		var others []workload.Benchmark
+		for j, o := range aware.Assignments {
+			if j != i {
+				others = append(others, o.App.Bench)
+			}
+		}
+		if !im.CoRunSatisfied(a.App.QoS, a.App.Bench, a.Config, others) {
+			t.Fatalf("%s: co-run QoS violated by %v", a.App.Bench.Name, a.Config)
+		}
+	}
+}
+
+func TestPlanMultiInterferenceCanGrantMoreCores(t *testing.T) {
+	// Two heavy memory-bound apps at a moderately tight QoS: the
+	// interference-aware planner should spend more resources (cores or
+	// frequency) than the naive one for at least some pressure level.
+	apps := []AppSpec{
+		spec(t, "canneal", workload.QoS2x),
+		spec(t, "streamcluster", workload.QoS2x),
+	}
+	naive, err := PlanMulti(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := PlanMultiInterference(apps, workload.DefaultInterference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.TotalPowerW < naive.TotalPowerW-1e-9 {
+		t.Fatal("aware plan cannot be cheaper")
+	}
+}
+
+func TestPlanMultiInterferenceInfeasible(t *testing.T) {
+	// An extreme interference model can make a feasible pair infeasible.
+	apps := []AppSpec{
+		spec(t, "canneal", workload.QoS1x),
+		spec(t, "streamcluster", workload.QoS3x),
+	}
+	if _, err := PlanMulti(apps); err == nil {
+		// canneal at 1x needs nearly the whole machine; if the naive plan
+		// is feasible, crushing interference must break it.
+		harsh := workload.InterferenceModel{LLCWeight: 1.5, MemBWWeight: 1.5}
+		if _, err := PlanMultiInterference(apps, harsh); err == nil {
+			t.Fatal("harsh interference should make the pair infeasible")
+		}
+	}
+}

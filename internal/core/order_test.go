@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// TestRowOccupancyOptimal: §VII says that beyond 4-5 cores threads fill in
+// "recalling that always fewer active cores on the same horizontal line
+// are desirable". Both placement orders must therefore achieve the
+// theoretical minimum max-per-row occupancy ⌈Nc/rows⌉ at every core count.
+func TestRowOccupancyOptimal(t *testing.T) {
+	ceilDiv := func(a, b int) int { return (a + b - 1) / b }
+	// The row-exclusive order achieves the theoretical minimum occupancy
+	// at every core count.
+	for nc := 1; nc <= floorplan.NumCores; nc++ {
+		got := MaxActivePerRow(rowExclusiveOrder[:nc])
+		want := ceilDiv(nc, floorplan.CoreRows)
+		if got != want {
+			t.Fatalf("row-exclusive with %d cores: max per row %d, want %d", nc, got, want)
+		}
+	}
+	// Corner balancing pairs opposite corners on the same row by design
+	// (the paper's scenario 2); it must still never exceed the column
+	// count.
+	for nc := 1; nc <= floorplan.NumCores; nc++ {
+		if got := MaxActivePerRow(cornerOrder[:nc]); got > floorplan.CoreCols {
+			t.Fatalf("corner order with %d cores: max per row %d", nc, got)
+		}
+	}
+}
+
+// TestOrdersArePermutations: each placement order must touch every core
+// exactly once.
+func TestOrdersArePermutations(t *testing.T) {
+	for _, order := range [][]int{rowExclusiveOrder, cornerOrder} {
+		if len(order) != floorplan.NumCores {
+			t.Fatalf("order length %d", len(order))
+		}
+		seen := map[int]bool{}
+		for _, c := range order {
+			if c < 0 || c >= floorplan.NumCores || seen[c] {
+				t.Fatalf("order %v is not a permutation", order)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+// TestRowExclusiveStartsSubcooledSide: the first slot of the proposed
+// order sits in the west column, where the Design-1 inlet delivers
+// subcooled refrigerant.
+func TestRowExclusiveStartsSubcooledSide(t *testing.T) {
+	_, col := floorplan.CoreGridPos(rowExclusiveOrder[0])
+	if col != 0 {
+		t.Fatal("first row-exclusive slot should be the west column")
+	}
+}
+
+// TestCornerOrderStartsAtCorners: the first four corner-order slots are
+// the four grid corners.
+func TestCornerOrderStartsAtCorners(t *testing.T) {
+	corners := map[[2]int]bool{
+		{0, 0}: true, {0, 1}: true, {3, 0}: true, {3, 1}: true,
+	}
+	for _, c := range cornerOrder[:4] {
+		r, col := floorplan.CoreGridPos(c)
+		if !corners[[2]int{r, col}] {
+			t.Fatalf("slot %d (row %d col %d) is not a corner", c, r, col)
+		}
+	}
+}
+
+// TestMapThreadsFiveToSevenCores covers the §VII "more than 5 cores" case:
+// the mapping stays valid and row-balanced for every benchmark.
+func TestMapThreadsFiveToSevenCores(t *testing.T) {
+	for _, b := range workload.All() {
+		for nc := 5; nc <= 7; nc++ {
+			cfg := workload.Config{Cores: nc, Threads: nc, Freq: power.FMid}
+			m, err := MapThreads(b, cfg)
+			if err != nil {
+				t.Fatalf("%s nc=%d: %v", b.Name, nc, err)
+			}
+			if len(m.ActiveCores) != nc {
+				t.Fatalf("%s nc=%d: %d actives", b.Name, nc, len(m.ActiveCores))
+			}
+			if MaxActivePerRow(m.ActiveCores) > 2 {
+				t.Fatalf("%s nc=%d: more than 2 actives on one row", b.Name, nc)
+			}
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/floorplan"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// Algorithm 1 is formulated over a set A = {A1, …, An} of applications
+// sharing one multicore CPU. This file implements that joint case: the
+// applications must agree on a core frequency (the Xeon's core domain is
+// shared), occupy disjoint core sets, and the idle C-state is bounded by
+// the least tolerant application.
+
+// AppSpec is one application submitted to the joint planner.
+type AppSpec struct {
+	Bench workload.Benchmark
+	QoS   workload.QoS
+}
+
+// AppAssignment is the planner's decision for one application.
+type AppAssignment struct {
+	App    AppSpec
+	Config workload.Config
+	// Cores are the physical core indices granted to the application.
+	Cores []int
+}
+
+// MultiPlan is a joint placement of several applications on one CPU.
+type MultiPlan struct {
+	// Freq is the shared core frequency.
+	Freq power.Frequency
+	// IdleState is the C-state for cores no application owns, bounded by
+	// the least tolerant application.
+	IdleState power.CState
+	// Assignments has one entry per input application, in input order.
+	Assignments []AppAssignment
+	// TotalPowerW is the estimated package power of the plan.
+	TotalPowerW float64
+}
+
+// UsedCores returns the total number of cores granted.
+func (p MultiPlan) UsedCores() int {
+	var n int
+	for _, a := range p.Assignments {
+		n += len(a.Cores)
+	}
+	return n
+}
+
+// appChoice is one candidate configuration for one app at a fixed
+// frequency.
+type appChoice struct {
+	cfg   workload.Config
+	power float64
+}
+
+// satisfier reports whether a configuration meets an app's QoS; the
+// interference-aware planner substitutes a co-run-aware predicate.
+type satisfier func(app AppSpec, cfg workload.Config) bool
+
+func soloSatisfier(app AppSpec, cfg workload.Config) bool {
+	return app.QoS.Satisfied(app.Bench, cfg)
+}
+
+// choicesAt enumerates an app's QoS-satisfying configurations at frequency
+// f, sorted by ascending core count (each core count keeps only its
+// cheapest thread variant).
+func choicesAt(app AppSpec, f power.Frequency, idle power.CState, sat satisfier) []appChoice {
+	var out []appChoice
+	for nc := 1; nc <= floorplan.NumCores; nc++ {
+		best := appChoice{power: -1}
+		for _, tpc := range []int{1, 2} {
+			cfg := workload.Config{Cores: nc, Threads: nc * tpc, Freq: f}
+			if !sat(app, cfg) {
+				continue
+			}
+			p := app.Bench.PackagePower(cfg, idle)
+			if best.power < 0 || p < best.power {
+				best = appChoice{cfg: cfg, power: p}
+			}
+		}
+		if best.power >= 0 {
+			out = append(out, best)
+		}
+	}
+	return out
+}
+
+// PlanMulti runs Algorithm 1 for a set of applications sharing one CPU:
+// for each shared frequency level it selects per-application configurations
+// minimizing power subject to the QoS constraints and the core budget,
+// then keeps the cheapest feasible frequency and maps the granted cores
+// with the thermosyphon-aware placement policy.
+func PlanMulti(apps []AppSpec) (MultiPlan, error) {
+	return planMulti(apps, soloSatisfier)
+}
+
+// PlanMultiInterference is PlanMulti with shared-resource interference
+// applied to the QoS checks: each application's slowdown from its fixed
+// set of co-runners (the other submitted apps) is folded into the
+// configuration feasibility test.
+func PlanMultiInterference(apps []AppSpec, im workload.InterferenceModel) (MultiPlan, error) {
+	others := make(map[string][]workload.Benchmark, len(apps))
+	for i, a := range apps {
+		var rest []workload.Benchmark
+		for j, b := range apps {
+			if j != i {
+				rest = append(rest, b.Bench)
+			}
+		}
+		others[a.Bench.Name] = rest
+	}
+	return planMulti(apps, func(app AppSpec, cfg workload.Config) bool {
+		return im.CoRunSatisfied(app.QoS, app.Bench, cfg, others[app.Bench.Name])
+	})
+}
+
+func planMulti(apps []AppSpec, sat satisfier) (MultiPlan, error) {
+	if len(apps) == 0 {
+		return MultiPlan{}, fmt.Errorf("core: no applications to plan")
+	}
+	if len(apps) > floorplan.NumCores {
+		return MultiPlan{}, fmt.Errorf("core: %d applications exceed %d cores", len(apps), floorplan.NumCores)
+	}
+	// The joint idle state is bounded by the least tolerant application.
+	idle := power.C6
+	for _, a := range apps {
+		if s := power.DeepestStateWithin(a.Bench.IdleTolerance); s < idle {
+			idle = s
+		}
+	}
+
+	var (
+		best     []appChoice
+		bestFreq power.Frequency
+		bestCost = -1.0
+	)
+	for _, f := range power.Levels() {
+		sel, cost, ok := selectAt(apps, f, idle, sat)
+		if ok && (bestCost < 0 || cost < bestCost) {
+			best, bestFreq, bestCost = sel, f, cost
+		}
+	}
+	if bestCost < 0 {
+		return MultiPlan{}, fmt.Errorf("core: no joint configuration satisfies all QoS constraints within %d cores", floorplan.NumCores)
+	}
+
+	plan := MultiPlan{Freq: bestFreq, IdleState: idle, TotalPowerW: jointPower(apps, best, bestFreq, idle)}
+	order := rowExclusiveOrder
+	if idle == power.POLL {
+		order = cornerOrder
+	}
+	// Grant cores to the densest (hottest) applications first so they get
+	// the most-favorable slots of the placement order.
+	type ranked struct {
+		idx int
+		dyn float64
+	}
+	rank := make([]ranked, len(apps))
+	for i, a := range apps {
+		rank[i] = ranked{idx: i, dyn: a.Bench.DynPerCore(best[i].cfg)}
+	}
+	sort.SliceStable(rank, func(i, j int) bool { return rank[i].dyn > rank[j].dyn })
+
+	plan.Assignments = make([]AppAssignment, len(apps))
+	next := 0
+	for _, r := range rank {
+		cfg := best[r.idx].cfg
+		cores := append([]int(nil), order[next:next+cfg.Cores]...)
+		sort.Ints(cores)
+		next += cfg.Cores
+		plan.Assignments[r.idx] = AppAssignment{App: apps[r.idx], Config: cfg, Cores: cores}
+	}
+	return plan, nil
+}
+
+// selectAt picks per-app configurations at a fixed frequency minimizing
+// summed power subject to the shared core budget. Greedy: start each app
+// at its cheapest choice, then while the budget is exceeded, shrink the
+// app with the smallest power penalty per core freed.
+func selectAt(apps []AppSpec, f power.Frequency, idle power.CState, sat satisfier) ([]appChoice, float64, bool) {
+	all := make([][]appChoice, len(apps))
+	pick := make([]int, len(apps)) // index into all[i]
+	for i, a := range apps {
+		cs := choicesAt(a, f, idle, sat)
+		if len(cs) == 0 {
+			return nil, 0, false
+		}
+		all[i] = cs
+		// Cheapest power among the choices.
+		bestJ := 0
+		for j := range cs {
+			if cs[j].power < cs[bestJ].power {
+				bestJ = j
+			}
+		}
+		pick[i] = bestJ
+	}
+	cores := func() int {
+		var n int
+		for i := range apps {
+			n += all[i][pick[i]].cfg.Cores
+		}
+		return n
+	}
+	for cores() > floorplan.NumCores {
+		bestApp, bestPenalty := -1, 0.0
+		for i := range apps {
+			j := pick[i]
+			if j == 0 {
+				continue // already at the smallest core count
+			}
+			cur, smaller := all[i][j], all[i][j-1]
+			freed := cur.cfg.Cores - smaller.cfg.Cores
+			if freed <= 0 {
+				continue
+			}
+			penalty := (smaller.power - cur.power) / float64(freed)
+			if bestApp < 0 || penalty < bestPenalty {
+				bestApp, bestPenalty = i, penalty
+			}
+		}
+		if bestApp < 0 {
+			return nil, 0, false // cannot shrink further
+		}
+		pick[bestApp]--
+	}
+	sel := make([]appChoice, len(apps))
+	var cost float64
+	for i := range apps {
+		sel[i] = all[i][pick[i]]
+		cost += sel[i].power
+	}
+	return sel, cost, true
+}
+
+// jointPower estimates the package power of a joint selection: active
+// cores from every app plus shared idle cores and the maximum uncore
+// demand across the set.
+func jointPower(apps []AppSpec, sel []appChoice, f power.Frequency, idle power.CState) float64 {
+	var active float64
+	var usedCores int
+	var uncoreFreq, llc float64
+	for i, a := range apps {
+		cfg := sel[i].cfg
+		usedCores += cfg.Cores
+		active += float64(cfg.Cores) * (power.CStatePerCore(power.POLL, f) + a.Bench.DynPerCore(cfg))
+		if uf := a.Bench.UncoreFreq(cfg); uf > uncoreFreq {
+			uncoreFreq = uf
+		}
+		if la := a.Bench.LLCActivity(cfg); la > llc {
+			llc = la
+		}
+	}
+	idleP := float64(floorplan.NumCores-usedCores) * power.CStatePerCore(idle, f)
+	return active + idleP + power.UncorePower(uncoreFreq) + power.LLCPower(llc)
+}
+
+// PackageStateMulti expands a joint plan into the power model's package
+// state.
+func PackageStateMulti(p MultiPlan) power.PackageState {
+	st := power.PackageState{Freq: p.Freq}
+	for i := range st.Cores {
+		st.Cores[i] = power.CoreLoad{Idle: p.IdleState}
+	}
+	for _, a := range p.Assignments {
+		dyn := a.App.Bench.DynPerCore(a.Config)
+		for _, c := range a.Cores {
+			st.Cores[c] = power.CoreLoad{Active: true, DynWatts: dyn}
+		}
+		if uf := a.App.Bench.UncoreFreq(a.Config); uf > st.UncoreFreq {
+			st.UncoreFreq = uf
+		}
+		if la := a.App.Bench.LLCActivity(a.Config); la > st.LLC {
+			st.LLC = la
+		}
+	}
+	return st
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+func spec(t *testing.T, name string, q workload.QoS) AppSpec {
+	t.Helper()
+	b, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return AppSpec{Bench: b, QoS: q}
+}
+
+func TestPlanMultiTwoApps(t *testing.T) {
+	apps := []AppSpec{
+		spec(t, "canneal", workload.QoS3x),
+		spec(t, "dedup", workload.QoS3x),
+	}
+	p, err := PlanMulti(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Assignments) != 2 {
+		t.Fatalf("got %d assignments", len(p.Assignments))
+	}
+	if p.UsedCores() > floorplan.NumCores {
+		t.Fatalf("over budget: %d cores", p.UsedCores())
+	}
+	// Disjoint cores.
+	seen := map[int]bool{}
+	for _, a := range p.Assignments {
+		if len(a.Cores) != a.Config.Cores {
+			t.Fatalf("%s: %d cores for config %v", a.App.Bench.Name, len(a.Cores), a.Config)
+		}
+		for _, c := range a.Cores {
+			if seen[c] {
+				t.Fatalf("core %d granted twice", c)
+			}
+			seen[c] = true
+		}
+		// Shared frequency.
+		if a.Config.Freq != p.Freq {
+			t.Fatalf("config frequency %v differs from plan %v", a.Config.Freq, p.Freq)
+		}
+		// QoS met.
+		if !a.App.QoS.Satisfied(a.App.Bench, a.Config) {
+			t.Fatalf("%s QoS violated by %v", a.App.Bench.Name, a.Config)
+		}
+	}
+	if p.TotalPowerW <= 0 {
+		t.Fatal("no power estimate")
+	}
+}
+
+func TestPlanMultiIdleBoundedByLeastTolerant(t *testing.T) {
+	// canneal tolerates 200 µs (C6); raytrace only 1 µs (POLL): the joint
+	// idle state must be POLL.
+	apps := []AppSpec{
+		spec(t, "canneal", workload.QoS3x),
+		spec(t, "raytrace", workload.QoS3x),
+	}
+	p, err := PlanMulti(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IdleState != power.POLL {
+		t.Fatalf("joint idle = %v, want POLL", p.IdleState)
+	}
+	// Two deep-tolerance apps keep a deep state.
+	apps2 := []AppSpec{
+		spec(t, "canneal", workload.QoS3x),
+		spec(t, "streamcluster", workload.QoS3x),
+	}
+	p2, err := PlanMulti(apps2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.IdleState == power.POLL {
+		t.Fatal("deep-tolerance pair should keep a deep idle state")
+	}
+}
+
+func TestPlanMultiInfeasible(t *testing.T) {
+	// Two apps each requiring the full machine at 1x cannot share.
+	apps := []AppSpec{
+		spec(t, "swaptions", workload.QoS1x),
+		spec(t, "blackscholes", workload.QoS1x),
+	}
+	if _, err := PlanMulti(apps); err == nil {
+		t.Fatal("two full-machine apps must be infeasible")
+	}
+}
+
+func TestPlanMultiEmptyAndOversized(t *testing.T) {
+	if _, err := PlanMulti(nil); err == nil {
+		t.Fatal("empty set must error")
+	}
+	var many []AppSpec
+	for i := 0; i < 9; i++ {
+		many = append(many, spec(t, "canneal", workload.QoS3x))
+	}
+	if _, err := PlanMulti(many); err == nil {
+		t.Fatal("nine apps on eight cores must error")
+	}
+}
+
+func TestPlanMultiMatchesSingleAppPlan(t *testing.T) {
+	// With one app the joint planner must meet the same QoS within the
+	// same budget as the scalar planner (possibly a different but
+	// equally valid configuration).
+	b, _ := workload.ByName("ferret")
+	single, err := Plan(b, workload.QoS2x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := PlanMulti([]AppSpec{{Bench: b, QoS: workload.QoS2x}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Assignments) != 1 {
+		t.Fatal("one assignment expected")
+	}
+	a := multi.Assignments[0]
+	if !workload.QoS2x.Satisfied(b, a.Config) {
+		t.Fatal("joint single-app plan violates QoS")
+	}
+	// The joint plan should be no worse in power than the scalar plan by
+	// more than the idle-state accounting difference.
+	ps := b.PackagePower(single.Config, single.IdleState)
+	pm := b.PackagePower(a.Config, multi.IdleState)
+	if pm > ps*1.15 {
+		t.Fatalf("joint plan %.1f W much worse than scalar %.1f W", pm, ps)
+	}
+}
+
+func TestPlanMultiFourApps(t *testing.T) {
+	apps := []AppSpec{
+		spec(t, "canneal", workload.QoS3x),
+		spec(t, "dedup", workload.QoS3x),
+		spec(t, "streamcluster", workload.QoS3x),
+		spec(t, "vips", workload.QoS3x),
+	}
+	p, err := PlanMulti(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UsedCores() > 8 {
+		t.Fatalf("budget exceeded: %d", p.UsedCores())
+	}
+	for _, a := range p.Assignments {
+		if len(a.Cores) == 0 {
+			t.Fatalf("%s got no cores", a.App.Bench.Name)
+		}
+	}
+}
+
+func TestPackageStateMulti(t *testing.T) {
+	apps := []AppSpec{
+		spec(t, "canneal", workload.QoS3x),
+		spec(t, "dedup", workload.QoS3x),
+	}
+	p, err := PlanMulti(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := PackageStateMulti(p)
+	var actives int
+	for _, c := range st.Cores {
+		if c.Active {
+			actives++
+			if c.DynWatts <= 0 {
+				t.Fatal("active core without dynamic power")
+			}
+		}
+	}
+	if actives != p.UsedCores() {
+		t.Fatalf("%d active cores, plan granted %d", actives, p.UsedCores())
+	}
+	if st.Freq != p.Freq {
+		t.Fatal("frequency not propagated")
+	}
+	if st.UncoreFreq < power.UncoreFreqMin {
+		t.Fatal("uncore demand missing")
+	}
+}
+
+func TestPlanMultiPrefersCheaperFrequency(t *testing.T) {
+	// At 3x QoS there is plenty of slack: the planner should not pick
+	// fmax when a lower frequency level is cheaper.
+	apps := []AppSpec{spec(t, "blackscholes", workload.QoS3x)}
+	p, err := PlanMulti(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Freq == power.FMax {
+		t.Fatalf("3x single app should not need fmax, got %v", p.Freq)
+	}
+}

@@ -1,0 +1,234 @@
+// Package cosim couples the thermal RC-network model with the two-phase
+// thermosyphon model: the evaporator's local heat-transfer coefficients
+// depend on the heat-flux distribution, which depends on the temperature
+// field, which depends on the coefficients. The coupling is resolved by a
+// damped fixed-point iteration, mirroring the co-simulation the paper runs
+// between 3D-ICE and the thermosyphon framework of [8].
+package cosim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/thermal"
+	"repro/internal/thermosyphon"
+)
+
+// System bundles the CPU package, its power model, the thermal stack and a
+// thermosyphon design into one simulated server blade.
+type System struct {
+	FP       *floorplan.Floorplan
+	Power    *power.Model
+	Thermal  *thermal.Model
+	Design   thermosyphon.Design
+	coverage *floorplan.CoverageMap
+	dieRect  floorplan.Rect
+	dieMask  []bool
+}
+
+// Config parameterizes system construction.
+type Config struct {
+	Design thermosyphon.Design
+	Stack  thermal.XeonStackConfig
+	Env    thermal.Environment
+}
+
+// DefaultConfig returns the paper's design point at the default resolution.
+func DefaultConfig() Config {
+	return Config{
+		Design: thermosyphon.DefaultDesign(),
+		Stack:  thermal.DefaultXeonStackConfig(),
+		Env:    thermal.DefaultEnvironment(),
+	}
+}
+
+// NewSystem assembles a simulated blade for the given configuration.
+func NewSystem(cfg Config) (*System, error) {
+	fp := floorplan.BroadwellEP()
+	sys, err := NewCustomSystem(fp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := power.NewModel(fp)
+	if err != nil {
+		return nil, err
+	}
+	sys.Power = pm
+	return sys, nil
+}
+
+// NewCustomSystem assembles a blade around an arbitrary die floorplan
+// (e.g. a scaled 16-core variant from floorplan.Generic). The package
+// geometry comes from cfg.Stack.Package and must enclose the die. The
+// returned system has no Xeon power model: use SolveSteadyPower with
+// explicit per-block powers.
+func NewCustomSystem(fp *floorplan.Floorplan, cfg Config) (*System, error) {
+	stack := thermal.NewXeonStack(cfg.Stack)
+	tm, err := thermal.NewModel(stack, cfg.Env)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Design.Validate(); err != nil {
+		return nil, err
+	}
+	die := cfg.Stack.Package.DieRectOnPackage()
+	if die.W <= 0 || die.H <= 0 || die.X < 0 || die.Y < 0 ||
+		die.X+die.W > cfg.Stack.Package.Width || die.Y+die.H > cfg.Stack.Package.Height {
+		return nil, fmt.Errorf("cosim: die outline %+v does not fit the package", die)
+	}
+	// Rasterize die blocks onto the package grid: shift the grid origin so
+	// cell rectangles are expressed in the die-local frame.
+	rasterGrid := stack.Grid
+	rasterGrid.OriginX = -cfg.Stack.Package.DieOffsetX
+	rasterGrid.OriginY = -cfg.Stack.Package.DieOffsetY
+	cov := floorplan.Rasterize(fp, rasterGrid)
+
+	return &System{
+		FP:       fp,
+		Thermal:  tm,
+		Design:   cfg.Design,
+		coverage: cov,
+		dieRect:  die,
+		dieMask:  metrics.RectMask(stack.Grid, die),
+	}, nil
+}
+
+// DieRect returns the die outline in package-grid coordinates.
+func (s *System) DieRect() floorplan.Rect { return s.dieRect }
+
+// DieMask returns the die-footprint cell mask on the package grid.
+// The returned slice must not be modified.
+func (s *System) DieMask() []bool { return s.dieMask }
+
+// Result is a converged steady-state co-simulation.
+type Result struct {
+	Field       *thermal.Field
+	Syphon      *thermosyphon.State
+	BlockPower  map[string]float64
+	TotalPowerW float64
+	Iterations  int
+	// BC is the converged top boundary used for the final solve.
+	BC thermal.TopBoundary
+}
+
+// SolveSteady computes the coupled steady state for a CPU package state at
+// the given cooling operating point. It requires the Xeon power model
+// (systems built by NewSystem); custom systems use SolveSteadyPower.
+func (s *System) SolveSteady(st power.PackageState, op thermosyphon.Operating) (*Result, error) {
+	if s.Power == nil {
+		return nil, fmt.Errorf("cosim: system has no power model; use SolveSteadyPower")
+	}
+	bp := s.Power.BlockPowers(st)
+	return s.SolveSteadyPower(bp, op)
+}
+
+// SolveSteadyPower is SolveSteady for an explicit per-block power map
+// (watts), as used by the design-space sweeps.
+func (s *System) SolveSteadyPower(blockPower map[string]float64, op thermosyphon.Operating) (*Result, error) {
+	pCells, err := s.coverage.PowerMap(blockPower)
+	if err != nil {
+		return nil, err
+	}
+	var total float64
+	for _, p := range pCells {
+		total += p
+	}
+	grid := s.Thermal.Grid()
+
+	// Initial heat-flux guess: the die power projected straight up.
+	q := append([]float64(nil), pCells...)
+
+	var (
+		res   Result
+		prev  float64 = math.Inf(1)
+		field *thermal.Field
+	)
+	const maxOuter = 60
+	for it := 0; it < maxOuter; it++ {
+		syph, err := s.Design.Evaporate(grid, q, op)
+		if err != nil {
+			return nil, fmt.Errorf("cosim: iteration %d: %w", it, err)
+		}
+		bc := thermal.TopBoundary{H: syph.H, TFluid: syph.TFluid}
+		field, err = s.Thermal.SteadySolveFrom(field, map[int][]float64{0: pCells}, bc)
+		if err != nil {
+			return nil, fmt.Errorf("cosim: iteration %d: %w", it, err)
+		}
+		qNew := field.TopHeatPerCell(bc)
+		// Damped update and convergence on the flux change.
+		var delta float64
+		for i := range q {
+			d := math.Abs(qNew[i] - q[i])
+			if d > delta {
+				delta = d
+			}
+			q[i] = 0.4*q[i] + 0.6*qNew[i]
+		}
+		res = Result{
+			Field:       field,
+			Syphon:      syph,
+			BlockPower:  blockPower,
+			TotalPowerW: total,
+			Iterations:  it + 1,
+			BC:          bc,
+		}
+		// Converge when the largest per-cell flux change falls below 1 %
+		// of the largest cell flux — temperature errors are then far below
+		// the 0.1 °C the experiments care about.
+		var qMax float64
+		for _, w := range qNew {
+			if w > qMax {
+				qMax = w
+			}
+		}
+		if delta < 1e-2*qMax+1e-6 || math.Abs(delta-prev) < 1e-9 {
+			return &res, nil
+		}
+		prev = delta
+	}
+	return &res, nil
+}
+
+// PowerCells rasterizes a per-block power map onto the thermal grid's die
+// layer — the injection vector transient simulations need.
+func (s *System) PowerCells(blockPower map[string]float64) ([]float64, error) {
+	return s.coverage.PowerMap(blockPower)
+}
+
+// DieStats returns the paper's die-map statistics for a result.
+func (s *System) DieStats(r *Result) (metrics.MapStats, error) {
+	temps, err := r.Field.LayerByName(thermal.LayerDie)
+	if err != nil {
+		return metrics.MapStats{}, err
+	}
+	return metrics.AnalyzeMasked(s.Thermal.Grid(), temps, s.dieMask)
+}
+
+// PackageStats returns statistics over the heat-spreader (package) map.
+func (s *System) PackageStats(r *Result) (metrics.MapStats, error) {
+	temps, err := r.Field.LayerByName(thermal.LayerSpreader)
+	if err != nil {
+		return metrics.MapStats{}, err
+	}
+	return metrics.Analyze(s.Thermal.Grid(), temps)
+}
+
+// TCase returns the case temperature: the heat-spreader temperature at the
+// package center, the sensor location of the TCASE_MAX constraint (§VI-B).
+func (s *System) TCase(r *Result) float64 {
+	g := s.Thermal.Grid()
+	l := s.Thermal.Stack.LayerIndex(thermal.LayerSpreader)
+	return r.Field.SampleAt(l, g.DX*float64(g.NX)/2, g.DY*float64(g.NY)/2)
+}
+
+// DieTemps returns the die-layer temperature slice of a result.
+func (s *System) DieTemps(r *Result) []float64 {
+	t, err := r.Field.LayerByName(thermal.LayerDie)
+	if err != nil {
+		panic("cosim: die layer missing from canonical stack: " + err.Error())
+	}
+	return t
+}

@@ -1,0 +1,92 @@
+package cosim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/power"
+	"repro/internal/thermal"
+	"repro/internal/thermosyphon"
+)
+
+// LeakageResult extends Result with the leakage-coupling diagnostics.
+type LeakageResult struct {
+	Result
+	// LeakageIterations counts the outer power↔temperature iterations.
+	LeakageIterations int
+	// LeakageExtraW is the additional static power versus the uncoupled
+	// reference-temperature solution.
+	LeakageExtraW float64
+	// BlockTempC is the converged mean die temperature per block.
+	BlockTempC map[string]float64
+}
+
+// SolveSteadyLeakage computes the coupled steady state with
+// temperature-dependent leakage: the static share of each block's power is
+// scaled by the block's own mean die temperature, iterated to a fixed
+// point. It requires the Xeon power model.
+func (s *System) SolveSteadyLeakage(st power.PackageState, op thermosyphon.Operating, leak power.LeakageModel) (*LeakageResult, error) {
+	if s.Power == nil {
+		return nil, fmt.Errorf("cosim: system has no power model")
+	}
+	if err := leak.Validate(); err != nil {
+		return nil, err
+	}
+	static, dynamic := s.Power.SplitBlockPowers(st)
+	var baseStatic float64
+	for _, p := range static {
+		baseStatic += p
+	}
+
+	// Start from the reference-temperature power map.
+	bp := make(map[string]float64, len(static))
+	for name := range static {
+		bp[name] = static[name] + dynamic[name]
+	}
+
+	var (
+		out  LeakageResult
+		prev = math.Inf(1)
+	)
+	const maxIter = 25
+	for it := 0; it < maxIter; it++ {
+		res, err := s.SolveSteadyPower(bp, op)
+		if err != nil {
+			return nil, err
+		}
+		temps, err := res.Field.LayerByName(thermal.LayerDie)
+		if err != nil {
+			return nil, err
+		}
+		blockT := make(map[string]float64, len(static))
+		var maxDelta, scaledStatic float64
+		for name := range static {
+			frac := s.coverage.BlockFraction(name)
+			var t float64
+			for c, f := range frac {
+				if f != 0 {
+					t += f * temps[c]
+				}
+			}
+			blockT[name] = t
+			newP := static[name]*leak.Scale(t) + dynamic[name]
+			if d := math.Abs(newP - bp[name]); d > maxDelta {
+				maxDelta = d
+			}
+			bp[name] = newP
+			scaledStatic += static[name] * leak.Scale(t)
+		}
+		out.Result = *res
+		out.LeakageIterations = it + 1
+		out.LeakageExtraW = scaledStatic - baseStatic
+		out.BlockTempC = blockT
+		if maxDelta < 0.01 {
+			return &out, nil
+		}
+		if maxDelta > prev*1.5 && it > 3 {
+			return nil, fmt.Errorf("cosim: leakage coupling diverging (Δ %.2f W after %d iterations) — thermal runaway", maxDelta, it+1)
+		}
+		prev = maxDelta
+	}
+	return &out, nil
+}

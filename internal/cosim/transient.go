@@ -1,0 +1,163 @@
+package cosim
+
+import (
+	"fmt"
+
+	"repro/internal/thermal"
+	"repro/internal/thermosyphon"
+)
+
+// TransientSim advances a blade through time with the thermosyphon
+// boundary re-coupled every step: the evaporator state is quasi-static
+// with respect to the chip's thermal time constants (the refrigerant loop
+// settles in well under the RC network's seconds-scale transients).
+type TransientSim struct {
+	sys   *System
+	op    thermosyphon.Operating
+	field *thermal.Field
+	bc    thermal.TopBoundary
+	syph  *thermosyphon.State
+	time  float64
+
+	// LoopTau is the natural-circulation startup time constant (s): the
+	// actual mass flow relaxes toward the quasi-static balance with this
+	// first-order lag. Zero disables loop inertia.
+	LoopTau float64
+	mdot    float64 // current (lagged) mass flow
+}
+
+// NewTransient starts a transient simulation from a uniform initial
+// temperature at the given cooling operating point.
+func NewTransient(sys *System, op thermosyphon.Operating, initialC float64) (*TransientSim, error) {
+	if err := op.Validate(); err != nil {
+		return nil, err
+	}
+	ts := &TransientSim{
+		sys:   sys,
+		op:    op,
+		field: sys.Thermal.UniformField(initialC),
+	}
+	// Bootstrap the boundary with a near-idle thermosyphon state.
+	syph, err := sys.Design.Evaporate(sys.Thermal.Grid(), make([]float64, sys.Thermal.Cells()), op)
+	if err != nil {
+		return nil, err
+	}
+	ts.syph = syph
+	ts.bc = thermal.TopBoundary{
+		H:      append([]float64(nil), syph.H...),
+		TFluid: append([]float64(nil), syph.TFluid...),
+	}
+	return ts, nil
+}
+
+// Time returns the elapsed simulated seconds.
+func (ts *TransientSim) Time() float64 { return ts.time }
+
+// Field returns the current temperature field.
+func (ts *TransientSim) Field() *thermal.Field { return ts.field }
+
+// Syphon returns the thermosyphon state of the last step.
+func (ts *TransientSim) Syphon() *thermosyphon.State { return ts.syph }
+
+// SetOperating changes the cooling operating point (e.g. the controller
+// opened the valve); it takes effect on the next step.
+func (ts *TransientSim) SetOperating(op thermosyphon.Operating) error {
+	if err := op.Validate(); err != nil {
+		return err
+	}
+	ts.op = op
+	return nil
+}
+
+// Operating returns the current cooling operating point.
+func (ts *TransientSim) Operating() thermosyphon.Operating { return ts.op }
+
+// Step advances the simulation by dt seconds under the given per-block
+// power map: the thermosyphon is re-solved against the current top heat
+// flux, then the RC network takes one backward-Euler step.
+func (ts *TransientSim) Step(dt float64, blockPower map[string]float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("cosim: non-positive step %g", dt)
+	}
+	pCells, err := ts.sys.coverage.PowerMap(blockPower)
+	if err != nil {
+		return err
+	}
+	// Quasi-static thermosyphon update from the flux the current field
+	// pushes through the top boundary (floor at the injected power so a
+	// cold start still circulates).
+	q := ts.field.TopHeatPerCell(ts.bc)
+	var qTot float64
+	for _, w := range q {
+		qTot += w
+	}
+	if qTot < 1 {
+		q = pCells
+	}
+	var syph *thermosyphon.State
+	var err2 error
+	if ts.LoopTau > 0 {
+		// Loop inertia: find the quasi-static flow target, relax the
+		// actual flow toward it, and evaluate the evaporator there.
+		target, err := ts.sys.Design.Evaporate(ts.sys.Thermal.Grid(), q, ts.op)
+		if err != nil {
+			return err
+		}
+		if ts.mdot <= 0 {
+			ts.mdot = 0.1 * target.Loop.MassFlowKgS // cold start: barely moving
+		}
+		alpha := dt / (ts.LoopTau + dt)
+		ts.mdot += alpha * (target.Loop.MassFlowKgS - ts.mdot)
+		syph, err2 = ts.sys.Design.EvaporateAt(ts.sys.Thermal.Grid(), q, ts.op, ts.mdot)
+	} else {
+		syph, err2 = ts.sys.Design.Evaporate(ts.sys.Thermal.Grid(), q, ts.op)
+	}
+	if err2 != nil {
+		return err2
+	}
+	ts.syph = syph
+	// Damp the boundary update: the raw quasi-static coupling produces a
+	// small limit cycle near steady state (flux → quality → HTC → flux);
+	// blending successive boundaries removes it without changing the
+	// converged point.
+	if len(ts.bc.H) == ts.sys.Thermal.Cells() {
+		for i := range syph.H {
+			ts.bc.H[i] = 0.5*ts.bc.H[i] + 0.5*syph.H[i]
+			ts.bc.TFluid[i] = 0.5*ts.bc.TFluid[i] + 0.5*syph.TFluid[i]
+		}
+	} else {
+		ts.bc = thermal.TopBoundary{
+			H:      append([]float64(nil), syph.H...),
+			TFluid: append([]float64(nil), syph.TFluid...),
+		}
+	}
+	next, err := ts.sys.Thermal.StepTransient(ts.field, dt, map[int][]float64{0: pCells}, ts.bc)
+	if err != nil {
+		return err
+	}
+	ts.field = next
+	ts.time += dt
+	return nil
+}
+
+// DieMax returns the current die hot-spot temperature.
+func (ts *TransientSim) DieMax() (float64, error) {
+	temps, err := ts.field.LayerByName(thermal.LayerDie)
+	if err != nil {
+		return 0, err
+	}
+	max := temps[0]
+	for _, t := range temps {
+		if t > max {
+			max = t
+		}
+	}
+	return max, nil
+}
+
+// TCase returns the current case temperature (spreader center).
+func (ts *TransientSim) TCase() float64 {
+	g := ts.sys.Thermal.Grid()
+	l := ts.sys.Thermal.Stack.LayerIndex(thermal.LayerSpreader)
+	return ts.field.SampleAt(l, g.DX*float64(g.NX)/2, g.DY*float64(g.NY)/2)
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/chiller"
+	"repro/internal/linalg"
+	"repro/internal/thermosyphon"
+	"repro/internal/workload"
+)
+
+// CoolingResult reproduces §VIII-B: the water temperature the baseline
+// needs to match the proposed approach's hot spot at the same flow, the
+// water-side ΔT of both, and the resulting Eq. (1) and chiller powers.
+type CoolingResult struct {
+	// HotspotC is the die hot spot both configurations are held to.
+	HotspotC float64
+	// Proposed and Baseline operating points and budgets.
+	ProposedWaterC, BaselineWaterC float64
+	ProposedDeltaT, BaselineDeltaT float64
+	ProposedBudget, BaselineBudget chiller.Budget
+	// ReductionEq1 is 1 − P_prop/P_base under Eq. (1).
+	ReductionEq1 float64
+	// ReductionChiller is the same for the electrical chiller model.
+	ReductionChiller float64
+}
+
+// CoolingPowerStudy runs the §VIII-B experiment at 2x QoS with the paper's
+// 7 kg/h water flow and 35 °C data-center ambient: solve the proposed stack
+// at 30 °C water, then find the water temperature at which the baseline
+// stack ([8]+[27]+[9]) reaches the same die hot spot, and compare cooling
+// powers via Eq. (1) and the chiller COP model.
+func CoolingPowerStudy(res Resolution) (*CoolingResult, error) {
+	const (
+		qos      = workload.QoS2x
+		flowKgH  = 7.0
+		ambientC = 35.0
+	)
+	bench, err := workload.ByName("freqmine")
+	if err != nil {
+		return nil, err
+	}
+
+	solveAt := func(a Approach, waterC float64) (dieMax float64, waterOut float64, err error) {
+		sys, err := NewSystem(a.design(), res)
+		if err != nil {
+			return 0, 0, err
+		}
+		m, err := a.plan(bench, qos)
+		if err != nil {
+			return 0, 0, err
+		}
+		op := thermosyphon.Operating{WaterInC: waterC, WaterFlowKgH: flowKgH}
+		die, _, r, err := SolveMapping(sys, bench, m, op)
+		if err != nil {
+			return 0, 0, err
+		}
+		return die.MaxC, r.Syphon.Condenser.WaterOutC, nil
+	}
+
+	out := &CoolingResult{ProposedWaterC: 30}
+	propMax, propOut, err := solveAt(Proposed, 30)
+	if err != nil {
+		return nil, err
+	}
+	out.HotspotC = propMax
+	out.ProposedDeltaT = propOut - 30
+
+	// Find the baseline water temperature that matches the hot spot.
+	var baseOut float64
+	target := func(waterC float64) float64 {
+		dieMax, wOut, err2 := solveAt(SoACoskun, waterC)
+		if err2 != nil {
+			err = err2
+			return 0
+		}
+		baseOut = wOut
+		return dieMax - propMax
+	}
+	waterC, _ := linalg.Bisect(target, 5, 30, 0.25, 30)
+	if err != nil {
+		return nil, err
+	}
+	// Evaluate the final baseline point.
+	if _, _, err := solveAt(SoACoskun, waterC); err != nil {
+		return nil, err
+	}
+	out.BaselineWaterC = waterC
+	out.BaselineDeltaT = baseOut - waterC
+
+	if out.BaselineWaterC >= out.ProposedWaterC {
+		return nil, fmt.Errorf("experiments: baseline did not need colder water (%.1f vs %.1f)",
+			out.BaselineWaterC, out.ProposedWaterC)
+	}
+
+	pb, err := chiller.Assess(flowKgH, out.ProposedWaterC, out.ProposedWaterC+out.ProposedDeltaT, ambientC)
+	if err != nil {
+		return nil, err
+	}
+	bb, err := chiller.Assess(flowKgH, out.BaselineWaterC, out.BaselineWaterC+out.BaselineDeltaT, ambientC)
+	if err != nil {
+		return nil, err
+	}
+	out.ProposedBudget, out.BaselineBudget = pb, bb
+	out.ReductionEq1 = 1 - pb.Eq1PowerW/bb.Eq1PowerW
+	out.ReductionChiller = 1 - pb.ChillerPowerW/bb.ChillerPowerW
+	return out, nil
+}

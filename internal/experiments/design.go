@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/refrigerant"
+	"repro/internal/sched"
+	"repro/internal/thermosyphon"
+	"repro/internal/workload"
+)
+
+// OrientationResult is one design's row in the Fig. 5 comparison.
+type OrientationResult struct {
+	Orientation thermosyphon.Orientation
+	Die, Pkg    metrics.MapStats
+	// PkgMap is the package-layer map for rendering Fig. 5a/5b.
+	PkgMap []float64
+}
+
+// Fig5Orientation reproduces the §VI-A orientation study: all cores equally
+// loaded, comparing evaporator orientations. The paper's Design 1
+// (east-west channels) yields pkg 52.7/50.3 °C ∇0.33 versus Design 2
+// (north-south) 53.5/50.6 °C ∇0.43; die 73.2 vs 79.4 °C.
+func Fig5Orientation(res Resolution) ([]OrientationResult, error) {
+	bench, cfg := workload.WorstCase()
+	m := FullLoadMapping(cfg, power.POLL)
+	var out []OrientationResult
+	for _, o := range thermosyphon.Orientations() {
+		d := thermosyphon.DefaultDesign()
+		d.Orientation = o
+		sys, err := NewSystem(d, res)
+		if err != nil {
+			return nil, err
+		}
+		die, pkg, r, err := SolveMapping(sys, bench, m, thermosyphon.DefaultOperating())
+		if err != nil {
+			return nil, fmt.Errorf("orientation %v: %w", o, err)
+		}
+		pkgMap, err := r.Field.LayerByName("spreader")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, OrientationResult{
+			Orientation: o,
+			Die:         die,
+			Pkg:         pkg,
+			PkgMap:      append([]float64(nil), pkgMap...),
+		})
+	}
+	return out, nil
+}
+
+// DesignPoint is one refrigerant/filling-ratio candidate in the §VI-B
+// design-space study.
+type DesignPoint struct {
+	Fluid        string
+	FillingRatio float64
+	DieMaxC      float64
+	TCaseC       float64
+	// Feasible indicates TCASE stays below the 85 °C constraint at the
+	// worst-case workload.
+	Feasible bool
+	// DryoutCells counts evaporator cells beyond critical quality.
+	DryoutCells int
+}
+
+// DesignSpaceResult is the §VI-B/C design-space study output.
+type DesignSpaceResult struct {
+	Points []DesignPoint
+	// Best is the feasible point with the lowest die hotspot.
+	Best DesignPoint
+	// WaterSelection is the §VI-C operating-point choice.
+	WaterSelection WaterChoice
+}
+
+// WaterChoice records the §VI-C selection: the lowest flow and the warmest
+// water that keep TCASE below TCASE_MAX for the worst case.
+type WaterChoice struct {
+	FlowKgH  float64
+	WaterInC float64
+	TCaseC   float64
+}
+
+// DesignSpaceStudy sweeps refrigerant × filling ratio at the worst-case
+// workload (§VI-B), then selects the cheapest water operating point that
+// holds TCASE_MAX (§VI-C).
+func DesignSpaceStudy(res Resolution) (*DesignSpaceResult, error) {
+	bench, cfg := workload.WorstCase()
+	m := FullLoadMapping(cfg, power.POLL)
+	var out DesignSpaceResult
+	best := DesignPoint{DieMaxC: 1e9}
+	for _, fl := range refrigerant.Candidates() {
+		for _, fr := range []float64{0.35, 0.45, 0.55, 0.65, 0.75} {
+			d := thermosyphon.DefaultDesign()
+			d.Fluid = fl
+			d.FillingRatio = fr
+			sys, err := NewSystem(d, res)
+			if err != nil {
+				return nil, err
+			}
+			die, _, r, err := SolveMapping(sys, bench, m, thermosyphon.DefaultOperating())
+			if err != nil {
+				return nil, fmt.Errorf("%s fill %.2f: %w", fl.Name(), fr, err)
+			}
+			pt := DesignPoint{
+				Fluid:        fl.Name(),
+				FillingRatio: fr,
+				DieMaxC:      die.MaxC,
+				TCaseC:       sys.TCase(r),
+				DryoutCells:  r.Syphon.DryoutCells,
+			}
+			pt.Feasible = pt.TCaseC < sched.TCaseMax
+			out.Points = append(out.Points, pt)
+			if pt.Feasible && pt.DieMaxC < best.DieMaxC {
+				best = pt
+			}
+		}
+	}
+	out.Best = best
+
+	// §VI-C: fix the best design; scan flow ascending and water
+	// temperature descending from a warm start, accepting the first
+	// combination that meets the constraint.
+	d := thermosyphon.DefaultDesign()
+	fl, err := refrigerant.ByName(best.Fluid)
+	if err != nil {
+		return nil, err
+	}
+	d.Fluid = fl
+	d.FillingRatio = best.FillingRatio
+	sys, err := NewSystem(d, res)
+	if err != nil {
+		return nil, err
+	}
+	for _, flow := range []float64{3, 5, 7, 9, 12} {
+		for _, tw := range []float64{45, 40, 35, 30, 25, 20} {
+			op := thermosyphon.Operating{WaterInC: tw, WaterFlowKgH: flow}
+			_, _, r, err := SolveMapping(sys, bench, m, op)
+			if err != nil {
+				return nil, err
+			}
+			if tc := sys.TCase(r); tc < sched.TCaseMax {
+				out.WaterSelection = WaterChoice{FlowKgH: flow, WaterInC: tw, TCaseC: tc}
+				return &out, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("experiments: no feasible water operating point found")
+}

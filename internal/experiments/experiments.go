@@ -1,0 +1,92 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§III-B Fig. 2, §IV Fig. 3 and Table I, §VI Fig. 5, §VII
+// Fig. 6, §VIII Table II, Fig. 7 and the cooling-power study), plus the
+// §VI design-space study. Each experiment has one entry point returning a
+// structured result; cmd/paperbench prints them and bench_test.go wraps
+// them in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cosim"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/thermosyphon"
+	"repro/internal/workload"
+)
+
+// Resolution selects the thermal grid density. Figures use Full; the bulk
+// policy sweeps use Medium; unit tests and benchmarks use Coarse.
+type Resolution int
+
+// Available resolutions.
+const (
+	// Coarse is 2 mm cells (19×15): fast, for tests and benchmarks.
+	Coarse Resolution = iota
+	// Medium is 1 mm cells (38×30): the bulk-sweep default.
+	Medium
+	// Full is 0.5 mm cells (76×60): the figure-quality default.
+	Full
+)
+
+// String names the resolution.
+func (r Resolution) String() string {
+	switch r {
+	case Coarse:
+		return "coarse"
+	case Medium:
+		return "medium"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("resolution(%d)", int(r))
+	}
+}
+
+func (r Resolution) dims() (nx, ny int) {
+	switch r {
+	case Coarse:
+		return 19, 15
+	case Medium:
+		return 38, 30
+	default:
+		return 76, 60
+	}
+}
+
+// NewSystem builds a co-simulation system with the given thermosyphon
+// design at the resolution.
+func NewSystem(design thermosyphon.Design, res Resolution) (*cosim.System, error) {
+	cfg := cosim.DefaultConfig()
+	cfg.Design = design
+	cfg.Stack.NX, cfg.Stack.NY = res.dims()
+	return cosim.NewSystem(cfg)
+}
+
+// FullLoadMapping returns the all-cores mapping used whenever a workload
+// occupies the whole CPU.
+func FullLoadMapping(cfg workload.Config, idle power.CState) core.Mapping {
+	m := core.Mapping{IdleState: idle, Config: cfg}
+	for i := 0; i < 8; i++ {
+		m.ActiveCores = append(m.ActiveCores, i)
+	}
+	return m
+}
+
+// SolveMapping runs the coupled solve for a benchmark under a mapping and
+// returns die and package statistics.
+func SolveMapping(sys *cosim.System, b workload.Benchmark, m core.Mapping, op thermosyphon.Operating) (die, pkg metrics.MapStats, res *cosim.Result, err error) {
+	st := core.PackageState(b, m)
+	res, err = sys.SolveSteady(st, op)
+	if err != nil {
+		return
+	}
+	die, err = sys.DieStats(res)
+	if err != nil {
+		return
+	}
+	pkg, err = sys.PackageStats(res)
+	return
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/thermosyphon"
+)
+
+func TestExtOrientationMapping(t *testing.T) {
+	cells, err := ExtOrientationMapping(Coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 { // 4 orientations × 3 scenarios
+		t.Fatalf("got %d cells", len(cells))
+	}
+	get := func(o thermosyphon.Orientation, sc string) float64 {
+		for _, c := range cells {
+			if c.Orientation == o && c.Scenario == sc {
+				return c.Die.MaxC
+			}
+		}
+		t.Fatalf("missing %v/%s", o, sc)
+		return 0
+	}
+	// The staggered mapping must beat the clustered mapping under every
+	// orientation — the rule is robust to the design choice.
+	for _, o := range thermosyphon.Orientations() {
+		s1 := get(o, "scenario1-staggered")
+		s3 := get(o, "scenario3-clustered")
+		if s1 >= s3 {
+			t.Fatalf("%v: staggered %.2f should beat clustered %.2f", o, s1, s3)
+		}
+	}
+}
+
+func TestExtRuntimeControl(t *testing.T) {
+	r, err := ExtRuntimeControl(Coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Limit >= r.NominalTCase {
+		t.Fatal("limit must sit below the nominal TCase")
+	}
+	// The controller must have acted, starting with the valve, and the
+	// regulated temperature must respect the limit (the controller stops
+	// only when it does or when remedies are exhausted).
+	if r.FlowActions == 0 {
+		t.Fatal("expected valve actions")
+	}
+	if r.FinalTCase >= r.Limit && r.FinalFlowKgH < 20 {
+		t.Fatalf("regulation stopped early: TCase %.1f, limit %.1f, flow %.0f",
+			r.FinalTCase, r.Limit, r.FinalFlowKgH)
+	}
+	if !r.QoSHeld {
+		t.Fatal("controller must never break QoS")
+	}
+}

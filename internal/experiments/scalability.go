@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cosim"
+	"repro/internal/floorplan"
+	"repro/internal/metrics"
+	"repro/internal/thermosyphon"
+)
+
+// ScalabilityCell is one (die, mapping) cell of the scalability extension.
+type ScalabilityCell struct {
+	Cores     int
+	Mapping   string
+	Die       metrics.MapStats
+	DryoutPct float64 // fraction of evaporator cells past critical quality
+}
+
+// ExtScalability exercises the mapping rule on a scaled 16-core die (the
+// §III note that the evaporator scales with the CPU dimension): half the
+// cores run a fixed per-core load, placed either with the generalized
+// row-exclusive stagger or clustered into adjacent columns. The staggered
+// placement should keep its advantage as the die grows.
+func ExtScalability(res Resolution) ([]ScalabilityCell, error) {
+	var out []ScalabilityCell
+	for _, dims := range [][2]int{{4, 2}, {4, 4}} {
+		spec := floorplan.DefaultGridSpec(dims[0], dims[1])
+		fp, err := floorplan.Generic(spec)
+		if err != nil {
+			return nil, err
+		}
+		pg := floorplan.GenericPackage(fp)
+		nx, ny := res.dims()
+		// Keep roughly square cells on the larger package.
+		if dims[1] > 2 {
+			nx = nx * 3 / 2
+		}
+		cfg := cosim.DefaultConfig()
+		cfg.Stack.NX, cfg.Stack.NY = nx, ny
+		cfg.Stack.Package = pg
+		sys, err := cosim.NewCustomSystem(fp, cfg)
+		if err != nil {
+			return nil, err
+		}
+		n := dims[0] * dims[1]
+		active := n / 2
+
+		staggered := floorplan.GenericRowExclusiveOrder(spec)[:active]
+		clustered := make([]int, active)
+		for i := range clustered {
+			clustered[i] = i // column-major: fills adjacent east columns
+		}
+		for _, m := range []struct {
+			name  string
+			cores []int
+		}{
+			{"staggered", staggered},
+			{"clustered", clustered},
+		} {
+			bp := map[string]float64{
+				"LLC":     2,
+				"MemCtrl": 6.3,
+				"Uncore":  7.7,
+			}
+			activeSet := map[int]bool{}
+			for _, c := range m.cores {
+				activeSet[c] = true
+			}
+			for i := 0; i < n; i++ {
+				name := fmt.Sprintf("Core%d", i+1)
+				if activeSet[i] {
+					bp[name] = 7.5 // POLL baseline + heavy dynamic
+				} else {
+					bp[name] = 2.0 // C1-parked
+				}
+			}
+			r, err := sys.SolveSteadyPower(bp, thermosyphon.DefaultOperating())
+			if err != nil {
+				return nil, fmt.Errorf("%dx%d/%s: %w", dims[0], dims[1], m.name, err)
+			}
+			die, err := sys.DieStats(r)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ScalabilityCell{
+				Cores:     n,
+				Mapping:   m.name,
+				Die:       die,
+				DryoutPct: float64(r.Syphon.DryoutCells) / float64(sys.Thermal.Cells()),
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+func TestExtScalability(t *testing.T) {
+	cells, err := ExtScalability(Coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 { // two dies × two mappings
+		t.Fatalf("got %d cells", len(cells))
+	}
+	get := func(cores int, mapping string) ScalabilityCell {
+		for _, c := range cells {
+			if c.Cores == cores && c.Mapping == mapping {
+				return c
+			}
+		}
+		t.Fatalf("missing %d/%s", cores, mapping)
+		return ScalabilityCell{}
+	}
+	for _, n := range []int{8, 16} {
+		st := get(n, "staggered")
+		cl := get(n, "clustered")
+		if st.Die.MaxC >= cl.Die.MaxC {
+			t.Fatalf("%d cores: staggered %.2f should beat clustered %.2f",
+				n, st.Die.MaxC, cl.Die.MaxC)
+		}
+		if st.Die.MaxC < 35 || st.Die.MaxC > 100 {
+			t.Fatalf("%d cores: die max %.1f implausible", n, st.Die.MaxC)
+		}
+	}
+	// The 16-core die carries twice the core count at the same per-core
+	// load: it must run at least as hot as the 8-core die under the same
+	// mapping discipline.
+	if get(16, "staggered").Die.MaxC < get(8, "staggered").Die.MaxC-2 {
+		t.Fatal("scaled die implausibly cooler than the small die")
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/cosim"
+	"repro/internal/thermosyphon"
+	"repro/internal/workload"
+)
+
+// Approach identifies one policy stack of Table II.
+type Approach int
+
+// The three compared stacks.
+const (
+	// Proposed is this paper: workload-aware design + Algorithm 1.
+	Proposed Approach = iota
+	// SoACoskun is [8]+[27]+[9]: Seuret design, Pack&Cap selection,
+	// Coskun corner balancing.
+	SoACoskun
+	// SoASabry is [8]+[27]+[7]: Seuret design, Pack&Cap selection,
+	// Sabry inlet-first mapping.
+	SoASabry
+)
+
+// String names the approach the way Table II does.
+func (a Approach) String() string {
+	switch a {
+	case Proposed:
+		return "Proposed"
+	case SoACoskun:
+		return "[8]+[27]+[9]"
+	case SoASabry:
+		return "[8]+[27]+[7]"
+	default:
+		return fmt.Sprintf("approach(%d)", int(a))
+	}
+}
+
+// Approaches lists the Table II rows in paper order.
+func Approaches() []Approach { return []Approach{Proposed, SoACoskun, SoASabry} }
+
+// design returns the thermosyphon design an approach runs on.
+func (a Approach) design() thermosyphon.Design {
+	if a == Proposed {
+		return thermosyphon.DefaultDesign()
+	}
+	return baselines.SeuretDesign()
+}
+
+// plan runs the approach's configuration selection and mapping.
+func (a Approach) plan(b workload.Benchmark, q workload.QoS) (core.Mapping, error) {
+	switch a {
+	case Proposed:
+		return core.Plan(b, q)
+	case SoACoskun:
+		cfg, err := baselines.PackAndCapConfig(b, q)
+		if err != nil {
+			return core.Mapping{}, err
+		}
+		return baselines.CoskunMapping(b, cfg)
+	case SoASabry:
+		cfg, err := baselines.PackAndCapConfig(b, q)
+		if err != nil {
+			return core.Mapping{}, err
+		}
+		return baselines.SabryMapping(b, cfg, a.design().Orientation)
+	default:
+		return core.Mapping{}, fmt.Errorf("experiments: unknown approach %d", int(a))
+	}
+}
+
+// TableIIRow is one (approach, QoS) row: benchmark-averaged die and package
+// hot spots and maximum gradients, as in the paper's Table II.
+type TableIIRow struct {
+	Approach Approach
+	QoS      workload.QoS
+	// Benchmark-averaged statistics.
+	DieMaxC, DieGradCPerMM float64
+	PkgMaxC, PkgGradCPerMM float64
+	// AvgPowerW is the benchmark-averaged package power, which drives the
+	// cooling-power comparison.
+	AvgPowerW float64
+	// Benchmarks is the number of workloads averaged.
+	Benchmarks int
+}
+
+// TableIIPolicyComparison reproduces Table II over the given benchmarks
+// (nil = the full PARSEC roster) at the three QoS levels.
+func TableIIPolicyComparison(res Resolution, benches []workload.Benchmark) ([]TableIIRow, error) {
+	if benches == nil {
+		benches = workload.All()
+	}
+	systems := make(map[Approach]*cosim.System, 3)
+	for _, a := range Approaches() {
+		sys, err := NewSystem(a.design(), res)
+		if err != nil {
+			return nil, err
+		}
+		systems[a] = sys
+	}
+	var rows []TableIIRow
+	for _, a := range Approaches() {
+		for _, q := range []workload.QoS{workload.QoS1x, workload.QoS2x, workload.QoS3x} {
+			row := TableIIRow{Approach: a, QoS: q}
+			for _, b := range benches {
+				m, err := a.plan(b, q)
+				if err != nil {
+					return nil, fmt.Errorf("%v @%s %s: %w", a, q, b.Name, err)
+				}
+				die, pkg, r, err := SolveMapping(systems[a], b, m, thermosyphon.DefaultOperating())
+				if err != nil {
+					return nil, fmt.Errorf("%v @%s %s: %w", a, q, b.Name, err)
+				}
+				row.DieMaxC += die.MaxC
+				row.DieGradCPerMM += die.MaxGradCPerMM
+				row.PkgMaxC += pkg.MaxC
+				row.PkgGradCPerMM += pkg.MaxGradCPerMM
+				row.AvgPowerW += r.TotalPowerW
+				row.Benchmarks++
+			}
+			n := float64(row.Benchmarks)
+			row.DieMaxC /= n
+			row.DieGradCPerMM /= n
+			row.PkgMaxC /= n
+			row.PkgGradCPerMM /= n
+			row.AvgPowerW /= n
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig7Result holds the sample die maps of Fig. 7: proposed vs state of the
+// art under 2x QoS degradation. The paper reports 71.5 °C vs 78.2 °C.
+type Fig7Result struct {
+	ProposedMap, SoAMap []float64
+	ProposedMax, SoAMax float64
+	ProposedBench       string
+	Grid                struct{ NX, NY int }
+}
+
+// Fig7ThermalMaps regenerates the Fig. 7 pair of die thermal maps using a
+// representative benchmark at 2x QoS.
+func Fig7ThermalMaps(res Resolution) (*Fig7Result, error) {
+	bench, err := workload.ByName("freqmine")
+	if err != nil {
+		return nil, err
+	}
+	const q = workload.QoS2x
+	out := &Fig7Result{ProposedBench: bench.Name}
+	for _, a := range []Approach{Proposed, SoACoskun} {
+		sys, err := NewSystem(a.design(), res)
+		if err != nil {
+			return nil, err
+		}
+		m, err := a.plan(bench, q)
+		if err != nil {
+			return nil, err
+		}
+		die, _, r, err := SolveMapping(sys, bench, m, thermosyphon.DefaultOperating())
+		if err != nil {
+			return nil, err
+		}
+		dieMap := append([]float64(nil), sys.DieTemps(r)...)
+		if a == Proposed {
+			out.ProposedMap, out.ProposedMax = dieMap, die.MaxC
+			out.Grid.NX, out.Grid.NY = sys.Thermal.Grid().NX, sys.Thermal.Grid().NY
+		} else {
+			out.SoAMap, out.SoAMax = dieMap, die.MaxC
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package floorplan
+
+import "fmt"
+
+// Broadwell-EP deca-core die dimensions. The paper reports a 246 mm² die in
+// 14 nm with two of the ten cores fused off ("reserved"), eight usable
+// cores, a 25 MB LLC, a memory-controller strip and a queue/uncore/IO strip.
+const (
+	// BroadwellDieWidth is the east-west die extent (m).
+	BroadwellDieWidth = 18.0e-3
+	// BroadwellDieHeight is the north-south die extent (m). 18.0 mm ×
+	// 13.67 mm ≈ 246 mm², matching the paper.
+	BroadwellDieHeight = 13.67e-3
+
+	// NumCores is the number of usable cores on the Broadwell-EP CPU.
+	NumCores = 8
+	// CoreRows and CoreCols describe the usable-core grid: two columns of
+	// four cores each on the die's west side.
+	CoreRows = 4
+	// CoreCols is the number of core columns.
+	CoreCols = 2
+)
+
+// Core-grid geometry (meters). Cores occupy the die's west side in two
+// columns of five slots; the southernmost slot of each column is a fused-off
+// reserved core, leaving a 4×2 grid of usable cores.
+const (
+	coreW      = 3.6e-3
+	coreH      = 2.0e-3
+	coreRowsNS = 5 // 4 usable + 1 reserved per column
+	llcX       = 2 * coreW
+	llcW       = 14.4e-3 - llcX // LLC spans from the core columns to the dead area
+	deadX      = 14.4e-3        // east of this: dead silicon (no block)
+	stripY     = float64(coreRowsNS) * coreH
+	memCtrlH   = 1.8e-3
+	uncoreH    = BroadwellDieHeight - stripY - memCtrlH
+)
+
+// CoreName returns the canonical name of usable core i (0-based index,
+// "Core1" … "Core8"). Cores 1-4 are the east column, 5-8 the west column,
+// matching the paper's die shot.
+func CoreName(i int) string { return fmt.Sprintf("Core%d", i+1) }
+
+// CoreIndex parses a canonical core name back to its 0-based index.
+func CoreIndex(name string) (int, bool) {
+	var i int
+	if _, err := fmt.Sscanf(name, "Core%d", &i); err != nil || i < 1 || i > NumCores {
+		return 0, false
+	}
+	return i - 1, true
+}
+
+// CoreGridPos returns the (row, col) of usable core i in the 4×2 usable-core
+// grid. Row 0 is the northernmost row; col 0 is the west column (Cores 5-8),
+// col 1 the east column (Cores 1-4).
+func CoreGridPos(i int) (row, col int) {
+	if i < 4 {
+		return i, 1 // Core1-4: east column, top to bottom
+	}
+	return i - 4, 0 // Core5-8: west column, top to bottom
+}
+
+// CoreAtGridPos is the inverse of CoreGridPos.
+func CoreAtGridPos(row, col int) int {
+	if col == 1 {
+		return row
+	}
+	return row + 4
+}
+
+// BroadwellEP constructs the Xeon E5 v4 deca-core die floorplan used in the
+// paper's evaluation (Fig. 2c): two west-side core columns (Core5-8 west,
+// Core1-4 east of them, a reserved fused-off core at the foot of each
+// column), the LLC occupying the center-east, a dead area on the far east,
+// and memory-controller and queue/uncore/IO strips across the south edge.
+func BroadwellEP() *Floorplan {
+	blocks := make([]Block, 0, 16)
+	// West column: Core5..Core8 from north to south.
+	for r := 0; r < CoreRows; r++ {
+		blocks = append(blocks, Block{
+			Name: CoreName(CoreAtGridPos(r, 0)),
+			Kind: KindCore,
+			Rect: Rect{X: 0, Y: float64(r) * coreH, W: coreW, H: coreH},
+		})
+	}
+	// East core column: Core1..Core4 from north to south.
+	for r := 0; r < CoreRows; r++ {
+		blocks = append(blocks, Block{
+			Name: CoreName(CoreAtGridPos(r, 1)),
+			Kind: KindCore,
+			Rect: Rect{X: coreW, Y: float64(r) * coreH, W: coreW, H: coreH},
+		})
+	}
+	// Reserved (fused-off) cores at the southern end of each column.
+	blocks = append(blocks,
+		Block{Name: "ReservedW", Kind: KindReserved, Rect: Rect{X: 0, Y: float64(CoreRows) * coreH, W: coreW, H: coreH}},
+		Block{Name: "ReservedE", Kind: KindReserved, Rect: Rect{X: coreW, Y: float64(CoreRows) * coreH, W: coreW, H: coreH}},
+	)
+	// LLC occupies the center-east region beside the cores. The area east
+	// of deadX is dead silicon and deliberately has no block: it produces
+	// no power, which is what skews the die's hot spots westward (§VI-A).
+	blocks = append(blocks, Block{
+		Name: "LLC",
+		Kind: KindCache,
+		Rect: Rect{X: llcX, Y: 0, W: llcW, H: stripY},
+	})
+	// South strips span the full die width.
+	blocks = append(blocks,
+		Block{Name: "MemCtrl", Kind: KindMemCtrl, Rect: Rect{X: 0, Y: stripY, W: BroadwellDieWidth, H: memCtrlH}},
+		Block{Name: "Uncore", Kind: KindUncore, Rect: Rect{X: 0, Y: stripY + memCtrlH, W: BroadwellDieWidth, H: uncoreH}},
+	)
+	return MustNew("BroadwellEP-10c", BroadwellDieWidth, BroadwellDieHeight, blocks)
+}
+
+// PackageGeometry describes the heat spreader / package lid on which the
+// thermosyphon evaporator sits. The die is centered on the spreader.
+type PackageGeometry struct {
+	// Width and Height are the heat-spreader extents (m).
+	Width, Height float64
+	// DieOffsetX and DieOffsetY locate the die's NW corner on the spreader.
+	DieOffsetX, DieOffsetY float64
+	// DieWidth and DieHeight are the die extents (m).
+	DieWidth, DieHeight float64
+}
+
+// XeonE5Package returns the LGA2011-3 integrated-heat-spreader geometry used
+// for the Xeon E5 v4, with the die centered.
+func XeonE5Package() PackageGeometry {
+	const w, h = 38.0e-3, 30.0e-3
+	return PackageGeometry{
+		Width:      w,
+		Height:     h,
+		DieOffsetX: (w - BroadwellDieWidth) / 2,
+		DieOffsetY: (h - BroadwellDieHeight) / 2,
+		DieWidth:   BroadwellDieWidth,
+		DieHeight:  BroadwellDieHeight,
+	}
+}
+
+// DieRectOnPackage returns the die outline in package coordinates.
+func (pg PackageGeometry) DieRectOnPackage() Rect {
+	return Rect{X: pg.DieOffsetX, Y: pg.DieOffsetY, W: pg.DieWidth, H: pg.DieHeight}
+}

@@ -1,0 +1,178 @@
+// Package floorplan models die and package geometry: rectangular functional
+// blocks, the Intel Xeon E5 v4 (Broadwell-EP) deca-core die floorplan used
+// throughout the paper, and rasterization of per-block power onto the
+// structured grids consumed by the thermal simulator.
+//
+// Coordinates follow the paper's figures: x grows eastward (left→right) and
+// y grows southward (top→bottom), with the origin at the die's north-west
+// corner. All lengths are in meters.
+package floorplan
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BlockKind categorizes a functional block for power modeling.
+type BlockKind int
+
+// Block kinds present on the Broadwell-EP die.
+const (
+	KindCore BlockKind = iota
+	KindCache
+	KindMemCtrl
+	KindUncore
+	KindReserved // fused-off cores: the die's dead area
+)
+
+// String returns a human-readable kind name.
+func (k BlockKind) String() string {
+	switch k {
+	case KindCore:
+		return "core"
+	case KindCache:
+		return "cache"
+	case KindMemCtrl:
+		return "memctrl"
+	case KindUncore:
+		return "uncore"
+	case KindReserved:
+		return "reserved"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Rect is an axis-aligned rectangle. X,Y locate the north-west corner.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// Area returns the rectangle area in m².
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// CenterX and CenterY return the rectangle centroid.
+func (r Rect) CenterX() float64 { return r.X + r.W/2 }
+
+// CenterY returns the y coordinate of the rectangle centroid.
+func (r Rect) CenterY() float64 { return r.Y + r.H/2 }
+
+// Contains reports whether the point (x,y) lies inside the rectangle
+// (inclusive of the north/west edges, exclusive of south/east).
+func (r Rect) Contains(x, y float64) bool {
+	return x >= r.X && x < r.X+r.W && y >= r.Y && y < r.Y+r.H
+}
+
+// Intersect returns the overlapping area of r and s in m² (0 if disjoint).
+func (r Rect) Intersect(s Rect) float64 {
+	w := minF(r.X+r.W, s.X+s.W) - maxF(r.X, s.X)
+	h := minF(r.Y+r.H, s.Y+s.H) - maxF(r.Y, s.Y)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// Overlaps reports whether r and s overlap with positive area.
+func (r Rect) Overlaps(s Rect) bool { return r.Intersect(s) > 0 }
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Block is a named functional unit on the die.
+type Block struct {
+	Name string
+	Kind BlockKind
+	Rect Rect
+}
+
+// Floorplan is a set of non-overlapping blocks within a die outline.
+type Floorplan struct {
+	Name   string
+	Width  float64 // die extent in x (m)
+	Height float64 // die extent in y (m)
+	Blocks []Block
+
+	byName map[string]int
+}
+
+// New builds a floorplan and validates that every block lies within the die
+// outline and that no two blocks overlap.
+func New(name string, width, height float64, blocks []Block) (*Floorplan, error) {
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("floorplan %q: non-positive die size %g×%g", name, width, height)
+	}
+	fp := &Floorplan{Name: name, Width: width, Height: height, Blocks: blocks, byName: make(map[string]int, len(blocks))}
+	const eps = 1e-9
+	for i, b := range blocks {
+		if b.Rect.W <= 0 || b.Rect.H <= 0 {
+			return nil, fmt.Errorf("floorplan %q: block %q has non-positive size", name, b.Name)
+		}
+		if b.Rect.X < -eps || b.Rect.Y < -eps || b.Rect.X+b.Rect.W > width+eps || b.Rect.Y+b.Rect.H > height+eps {
+			return nil, fmt.Errorf("floorplan %q: block %q exceeds die outline", name, b.Name)
+		}
+		if _, dup := fp.byName[b.Name]; dup {
+			return nil, fmt.Errorf("floorplan %q: duplicate block name %q", name, b.Name)
+		}
+		fp.byName[b.Name] = i
+		for j := 0; j < i; j++ {
+			if ov := b.Rect.Intersect(blocks[j].Rect); ov > eps*eps {
+				return nil, fmt.Errorf("floorplan %q: blocks %q and %q overlap by %g m²", name, b.Name, blocks[j].Name, ov)
+			}
+		}
+	}
+	return fp, nil
+}
+
+// MustNew is New that panics on error; for the built-in floorplans.
+func MustNew(name string, width, height float64, blocks []Block) *Floorplan {
+	fp, err := New(name, width, height, blocks)
+	if err != nil {
+		panic(err)
+	}
+	return fp
+}
+
+// Block returns the named block, or false if absent.
+func (fp *Floorplan) Block(name string) (Block, bool) {
+	i, ok := fp.byName[name]
+	if !ok {
+		return Block{}, false
+	}
+	return fp.Blocks[i], true
+}
+
+// BlocksOfKind returns the blocks of the given kind, sorted by name.
+func (fp *Floorplan) BlocksOfKind(kind BlockKind) []Block {
+	var out []Block
+	for _, b := range fp.Blocks {
+		if b.Kind == kind {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Area returns the die area in m².
+func (fp *Floorplan) Area() float64 { return fp.Width * fp.Height }
+
+// CoveredArea returns the total block area in m².
+func (fp *Floorplan) CoveredArea() float64 {
+	var s float64
+	for _, b := range fp.Blocks {
+		s += b.Rect.Area()
+	}
+	return s
+}

@@ -1,0 +1,188 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{X: 1, Y: 2, W: 3, H: 4}
+	if r.Area() != 12 {
+		t.Fatalf("Area = %v", r.Area())
+	}
+	if r.CenterX() != 2.5 || r.CenterY() != 4 {
+		t.Fatalf("center = (%v,%v)", r.CenterX(), r.CenterY())
+	}
+	if !r.Contains(1, 2) || r.Contains(4, 6) || r.Contains(0.9, 3) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{X: 0, Y: 0, W: 2, H: 2}
+	b := Rect{X: 1, Y: 1, W: 2, H: 2}
+	if got := a.Intersect(b); got != 1 {
+		t.Fatalf("Intersect = %v, want 1", got)
+	}
+	c := Rect{X: 5, Y: 5, W: 1, H: 1}
+	if a.Intersect(c) != 0 || a.Overlaps(c) {
+		t.Fatal("disjoint rects should not intersect")
+	}
+	if !a.Overlaps(b) {
+		t.Fatal("overlapping rects should overlap")
+	}
+	// Touching edges: zero-area intersection.
+	d := Rect{X: 2, Y: 0, W: 1, H: 2}
+	if a.Intersect(d) != 0 {
+		t.Fatal("edge-touching rects must have zero intersection")
+	}
+}
+
+func TestIntersectSymmetricProperty(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh float64) bool {
+		a := Rect{X: ax, Y: ay, W: math.Abs(aw) + 0.01, H: math.Abs(ah) + 0.01}
+		b := Rect{X: bx, Y: by, W: math.Abs(bw) + 0.01, H: math.Abs(bh) + 0.01}
+		i1, i2 := a.Intersect(b), b.Intersect(a)
+		if math.Abs(i1-i2) > 1e-9*(1+i1) {
+			return false
+		}
+		// Intersection can never exceed either area.
+		return i1 <= a.Area()+1e-9 && i1 <= b.Area()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	good := []Block{{Name: "a", Rect: Rect{X: 0, Y: 0, W: 1, H: 1}}}
+	if _, err := New("fp", 2, 2, good); err != nil {
+		t.Fatalf("valid floorplan rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		w, h   float64
+		blocks []Block
+	}{
+		{"zero die", 0, 1, nil},
+		{"block outside", 2, 2, []Block{{Name: "a", Rect: Rect{X: 1.5, Y: 0, W: 1, H: 1}}}},
+		{"zero-size block", 2, 2, []Block{{Name: "a", Rect: Rect{X: 0, Y: 0, W: 0, H: 1}}}},
+		{"overlap", 2, 2, []Block{
+			{Name: "a", Rect: Rect{X: 0, Y: 0, W: 1, H: 1}},
+			{Name: "b", Rect: Rect{X: 0.5, Y: 0.5, W: 1, H: 1}},
+		}},
+		{"duplicate name", 2, 2, []Block{
+			{Name: "a", Rect: Rect{X: 0, Y: 0, W: 0.5, H: 0.5}},
+			{Name: "a", Rect: Rect{X: 1, Y: 1, W: 0.5, H: 0.5}},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.name, c.w, c.h, c.blocks); err == nil {
+			t.Fatalf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestBroadwellEPGeometry(t *testing.T) {
+	fp := BroadwellEP()
+	areaMM2 := fp.Area() * 1e6
+	if math.Abs(areaMM2-246) > 1 {
+		t.Fatalf("die area = %.1f mm², want ≈246", areaMM2)
+	}
+	cores := fp.BlocksOfKind(KindCore)
+	if len(cores) != NumCores {
+		t.Fatalf("got %d cores, want %d", len(cores), NumCores)
+	}
+	if res := fp.BlocksOfKind(KindReserved); len(res) != 2 {
+		t.Fatalf("got %d reserved blocks, want 2", len(res))
+	}
+	for _, name := range []string{"LLC", "MemCtrl", "Uncore"} {
+		if _, ok := fp.Block(name); !ok {
+			t.Fatalf("missing block %q", name)
+		}
+	}
+	// Dead area exists: covered area strictly less than die area.
+	if fp.CoveredArea() >= fp.Area() {
+		t.Fatal("expected uncovered dead silicon on the east side")
+	}
+	// All cores sit west of the LLC.
+	llc, _ := fp.Block("LLC")
+	for _, c := range cores {
+		if c.Rect.X+c.Rect.W > llc.Rect.X+1e-12 {
+			t.Fatalf("core %s overlaps LLC region", c.Name)
+		}
+	}
+}
+
+func TestCoreNaming(t *testing.T) {
+	for i := 0; i < NumCores; i++ {
+		name := CoreName(i)
+		j, ok := CoreIndex(name)
+		if !ok || j != i {
+			t.Fatalf("CoreIndex(CoreName(%d)) = %d,%v", i, j, ok)
+		}
+	}
+	if _, ok := CoreIndex("Core9"); ok {
+		t.Fatal("Core9 must be invalid")
+	}
+	if _, ok := CoreIndex("LLC"); ok {
+		t.Fatal("LLC is not a core")
+	}
+}
+
+func TestCoreGridRoundTrip(t *testing.T) {
+	seen := map[[2]int]bool{}
+	for i := 0; i < NumCores; i++ {
+		r, c := CoreGridPos(i)
+		if r < 0 || r >= CoreRows || c < 0 || c >= CoreCols {
+			t.Fatalf("core %d grid pos (%d,%d) out of range", i, r, c)
+		}
+		key := [2]int{r, c}
+		if seen[key] {
+			t.Fatalf("grid pos (%d,%d) assigned twice", r, c)
+		}
+		seen[key] = true
+		if CoreAtGridPos(r, c) != i {
+			t.Fatalf("CoreAtGridPos(%d,%d) = %d, want %d", r, c, CoreAtGridPos(r, c), i)
+		}
+	}
+}
+
+func TestCoreGeometryMatchesGrid(t *testing.T) {
+	fp := BroadwellEP()
+	// Cores in the same grid row must share their y extent; same column,
+	// their x extent. This is what "same horizontal line" means in §VII.
+	for i := 0; i < NumCores; i++ {
+		bi, _ := fp.Block(CoreName(i))
+		ri, ci := CoreGridPos(i)
+		for j := i + 1; j < NumCores; j++ {
+			bj, _ := fp.Block(CoreName(j))
+			rj, cj := CoreGridPos(j)
+			if ri == rj && math.Abs(bi.Rect.Y-bj.Rect.Y) > 1e-12 {
+				t.Fatalf("cores %d,%d share row but not y", i, j)
+			}
+			if ci == cj && math.Abs(bi.Rect.X-bj.Rect.X) > 1e-12 {
+				t.Fatalf("cores %d,%d share col but not x", i, j)
+			}
+		}
+	}
+}
+
+func TestXeonE5PackageCentersDie(t *testing.T) {
+	pg := XeonE5Package()
+	die := pg.DieRectOnPackage()
+	left := die.X
+	right := pg.Width - (die.X + die.W)
+	if math.Abs(left-right) > 1e-12 {
+		t.Fatalf("die not centered horizontally: %v vs %v", left, right)
+	}
+	top := die.Y
+	bottom := pg.Height - (die.Y + die.H)
+	if math.Abs(top-bottom) > 1e-12 {
+		t.Fatalf("die not centered vertically: %v vs %v", top, bottom)
+	}
+	if die.W > pg.Width || die.H > pg.Height {
+		t.Fatal("die larger than spreader")
+	}
+}

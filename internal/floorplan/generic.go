@@ -1,0 +1,127 @@
+package floorplan
+
+import "fmt"
+
+// The paper notes (§III) that the evaporator scales linearly with the CPU
+// dimension; this file provides scaled die variants so the mapping policy
+// can be exercised beyond the 8-core Broadwell-EP — e.g. a 16-core die —
+// as a forward-looking extension study.
+
+// GridSpec describes a generic core-grid die: Rows×Cols usable cores laid
+// out like the Broadwell floorplan (west-side core columns, center LLC,
+// east dead area, south uncore strips).
+type GridSpec struct {
+	Rows, Cols int
+	// CoreW, CoreH are the per-core dimensions (m).
+	CoreW, CoreH float64
+	// LLCShare is the fraction of the die width granted to the LLC+dead
+	// region east of the cores.
+	LLCShare float64
+}
+
+// DefaultGridSpec mirrors the Broadwell-EP proportions for the given core
+// grid.
+func DefaultGridSpec(rows, cols int) GridSpec {
+	return GridSpec{
+		Rows:     rows,
+		Cols:     cols,
+		CoreW:    3.6e-3,
+		CoreH:    2.0e-3,
+		LLCShare: 0.55,
+	}
+}
+
+// Generic builds a scaled die floorplan with rows×cols usable cores. The
+// layout follows the Broadwell pattern: core columns on the west, an LLC
+// block east of them, a dead strip on the far east, and memory-controller
+// plus uncore strips across the south. Core naming is Core1..CoreN in the
+// same column-major order as the Broadwell floorplan.
+func Generic(spec GridSpec) (*Floorplan, error) {
+	if spec.Rows < 1 || spec.Cols < 1 {
+		return nil, fmt.Errorf("floorplan: invalid core grid %d×%d", spec.Rows, spec.Cols)
+	}
+	if spec.CoreW <= 0 || spec.CoreH <= 0 {
+		return nil, fmt.Errorf("floorplan: non-positive core size")
+	}
+	if spec.LLCShare < 0.1 || spec.LLCShare > 0.8 {
+		return nil, fmt.Errorf("floorplan: LLC share %.2f outside [0.1,0.8]", spec.LLCShare)
+	}
+	n := spec.Rows * spec.Cols
+	coreAreaW := float64(spec.Cols) * spec.CoreW
+	dieW := coreAreaW / (1 - spec.LLCShare)
+	coreAreaH := float64(spec.Rows) * spec.CoreH
+	memH := 1.8e-3
+	uncoreH := 1.87e-3
+	dieH := coreAreaH + memH + uncoreH
+
+	blocks := make([]Block, 0, n+4)
+	// Column-major like Broadwell: the east-most column holds Core1..CoreR
+	// top to bottom, then the column west of it, and so on.
+	idx := 1
+	for col := spec.Cols - 1; col >= 0; col-- {
+		for row := 0; row < spec.Rows; row++ {
+			blocks = append(blocks, Block{
+				Name: fmt.Sprintf("Core%d", idx),
+				Kind: KindCore,
+				Rect: Rect{
+					X: float64(col) * spec.CoreW,
+					Y: float64(row) * spec.CoreH,
+					W: spec.CoreW,
+					H: spec.CoreH,
+				},
+			})
+			idx++
+		}
+	}
+	llcW := (dieW - coreAreaW) * 0.8 // the remaining 20% stays dead
+	blocks = append(blocks,
+		Block{Name: "LLC", Kind: KindCache, Rect: Rect{X: coreAreaW, Y: 0, W: llcW, H: coreAreaH}},
+		Block{Name: "MemCtrl", Kind: KindMemCtrl, Rect: Rect{X: 0, Y: coreAreaH, W: dieW, H: memH}},
+		Block{Name: "Uncore", Kind: KindUncore, Rect: Rect{X: 0, Y: coreAreaH + memH, W: dieW, H: uncoreH}},
+	)
+	return New(fmt.Sprintf("generic-%dx%d", spec.Rows, spec.Cols), dieW, dieH, blocks)
+}
+
+// GenericPackage returns a package geometry for a generic die, keeping the
+// Broadwell margin proportions.
+func GenericPackage(fp *Floorplan) PackageGeometry {
+	const marginX, marginY = 10.0e-3, 8.165e-3
+	return PackageGeometry{
+		Width:      fp.Width + 2*marginX,
+		Height:     fp.Height + 2*marginY,
+		DieOffsetX: marginX,
+		DieOffsetY: marginY,
+		DieWidth:   fp.Width,
+		DieHeight:  fp.Height,
+	}
+}
+
+// GenericCoreGridPos returns the (row, col) of core index i (0-based) on a
+// generic rows×cols die built by Generic.
+func GenericCoreGridPos(spec GridSpec, i int) (row, col int) {
+	colFromEast := i / spec.Rows
+	return i % spec.Rows, spec.Cols - 1 - colFromEast
+}
+
+// GenericRowExclusiveOrder builds the proposed placement order for a
+// generic die: one core per row first (round-robin over columns starting
+// west), then refilling row by row.
+func GenericRowExclusiveOrder(spec GridSpec) []int {
+	n := spec.Rows * spec.Cols
+	// index lookup: core index at (row, col).
+	at := make(map[[2]int]int, n)
+	for i := 0; i < n; i++ {
+		r, c := GenericCoreGridPos(spec, i)
+		at[[2]int{r, c}] = i
+	}
+	var order []int
+	for pass := 0; pass < spec.Cols; pass++ {
+		for row := 0; row < spec.Rows; row++ {
+			// Stagger the starting column per row so consecutive rows do
+			// not stack in the same column.
+			col := (row + pass) % spec.Cols
+			order = append(order, at[[2]int{row, col}])
+		}
+	}
+	return order
+}

@@ -1,0 +1,129 @@
+package floorplan
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestGenericMatchesBroadwellShape(t *testing.T) {
+	fp, err := Generic(DefaultGridSpec(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fp.BlocksOfKind(KindCore)); got != 8 {
+		t.Fatalf("got %d cores", got)
+	}
+	for _, name := range []string{"LLC", "MemCtrl", "Uncore"} {
+		if _, ok := fp.Block(name); !ok {
+			t.Fatalf("missing %s", name)
+		}
+	}
+	// Dead area exists east of the LLC.
+	if fp.CoveredArea() >= fp.Area() {
+		t.Fatal("no dead area")
+	}
+}
+
+func TestGenericSixteenCores(t *testing.T) {
+	spec := DefaultGridSpec(4, 4)
+	fp, err := Generic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := fp.BlocksOfKind(KindCore)
+	if len(cores) != 16 {
+		t.Fatalf("got %d cores", len(cores))
+	}
+	// Core grid positions must be unique and in range.
+	seen := map[[2]int]bool{}
+	for i := 0; i < 16; i++ {
+		r, c := GenericCoreGridPos(spec, i)
+		if r < 0 || r >= 4 || c < 0 || c >= 4 {
+			t.Fatalf("core %d at (%d,%d)", i, r, c)
+		}
+		if seen[[2]int{r, c}] {
+			t.Fatalf("grid slot (%d,%d) duplicated", r, c)
+		}
+		seen[[2]int{r, c}] = true
+		// Geometry must agree with the naming.
+		blk, ok := fp.Block(fmt.Sprintf("Core%d", i+1))
+		if !ok {
+			t.Fatalf("Core%d missing", i+1)
+		}
+		wantX := float64(c) * spec.CoreW
+		wantY := float64(r) * spec.CoreH
+		if blk.Rect.X != wantX || blk.Rect.Y != wantY {
+			t.Fatalf("Core%d at (%g,%g), want (%g,%g)", i+1, blk.Rect.X, blk.Rect.Y, wantX, wantY)
+		}
+	}
+}
+
+func TestGenericValidation(t *testing.T) {
+	bad := []GridSpec{
+		{Rows: 0, Cols: 2, CoreW: 1e-3, CoreH: 1e-3, LLCShare: 0.5},
+		{Rows: 2, Cols: 2, CoreW: 0, CoreH: 1e-3, LLCShare: 0.5},
+		{Rows: 2, Cols: 2, CoreW: 1e-3, CoreH: 1e-3, LLCShare: 0.95},
+	}
+	for i, s := range bad {
+		if _, err := Generic(s); err == nil {
+			t.Fatalf("spec %d should fail", i)
+		}
+	}
+}
+
+func TestGenericPackageCentersDie(t *testing.T) {
+	fp, _ := Generic(DefaultGridSpec(4, 4))
+	pg := GenericPackage(fp)
+	die := pg.DieRectOnPackage()
+	if die.W != fp.Width || die.H != fp.Height {
+		t.Fatal("die size mismatch")
+	}
+	if pg.Width <= fp.Width || pg.Height <= fp.Height {
+		t.Fatal("package must exceed die")
+	}
+}
+
+func TestGenericRowExclusiveOrder(t *testing.T) {
+	for _, dims := range [][2]int{{4, 2}, {4, 4}, {3, 3}, {2, 5}} {
+		spec := DefaultGridSpec(dims[0], dims[1])
+		order := GenericRowExclusiveOrder(spec)
+		n := dims[0] * dims[1]
+		if len(order) != n {
+			t.Fatalf("%v: order length %d", dims, len(order))
+		}
+		seen := map[int]bool{}
+		for _, i := range order {
+			if i < 0 || i >= n || seen[i] {
+				t.Fatalf("%v: order %v not a permutation", dims, order)
+			}
+			seen[i] = true
+		}
+		// The first Rows entries cover every row exactly once.
+		rows := map[int]int{}
+		for _, i := range order[:spec.Rows] {
+			r, _ := GenericCoreGridPos(spec, i)
+			rows[r]++
+		}
+		for r := 0; r < spec.Rows; r++ {
+			if rows[r] != 1 {
+				t.Fatalf("%v: first pass row histogram %v", dims, rows)
+			}
+		}
+		// Occupancy stays optimal at every prefix.
+		for k := 1; k <= n; k++ {
+			hist := map[int]int{}
+			max := 0
+			for _, i := range order[:k] {
+				r, _ := GenericCoreGridPos(spec, i)
+				hist[r]++
+				if hist[r] > max {
+					max = hist[r]
+				}
+			}
+			want := (k + spec.Rows - 1) / spec.Rows
+			if max != want {
+				t.Fatalf("%v: prefix %d max-per-row %d, want %d", dims, k, max, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package linalg
+
+import (
+	"math"
+)
+
+// Operator is an abstract square linear operator y = A·x. Implementations
+// must not retain x or y.
+type Operator interface {
+	// Apply computes y = A·x. len(x) == len(y) == Size().
+	Apply(x, y Vector)
+	// Size returns the dimension of the operator.
+	Size() int
+}
+
+// DiagonalPreconditioner applies z = D^-1·r for a diagonal D.
+type DiagonalPreconditioner struct {
+	InvDiag Vector
+}
+
+// Apply computes z = D^-1 · r element-wise.
+func (p *DiagonalPreconditioner) Apply(r, z Vector) {
+	for i, d := range p.InvDiag {
+		z[i] = r[i] * d
+	}
+}
+
+// CGOptions configures the conjugate-gradient solver.
+type CGOptions struct {
+	// Tol is the relative residual tolerance ‖r‖/‖b‖. Default 1e-9.
+	Tol float64
+	// MaxIter caps CG iterations. Default 10·n.
+	MaxIter int
+	// Precond, if non-nil, is applied as a left preconditioner.
+	Precond *DiagonalPreconditioner
+}
+
+// CGResult reports convergence statistics.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual
+}
+
+// CG solves A·x = b for a symmetric positive-definite operator using the
+// (optionally Jacobi-preconditioned) conjugate-gradient method. x is used
+// as the initial guess and is updated in place.
+func CG(a Operator, b, x Vector, opt CGOptions) (CGResult, error) {
+	n := a.Size()
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-9
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10 * n
+	}
+	bNorm := b.Norm2()
+	if bNorm == 0 {
+		x.Fill(0)
+		return CGResult{Iterations: 0, Residual: 0}, nil
+	}
+
+	r := make(Vector, n)
+	a.Apply(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	z := make(Vector, n)
+	applyPrecond := func() {
+		if opt.Precond != nil {
+			opt.Precond.Apply(r, z)
+		} else {
+			copy(z, r)
+		}
+	}
+	applyPrecond()
+	p := z.Clone()
+	ap := make(Vector, n)
+	rz := r.Dot(z)
+
+	var res CGResult
+	for k := 0; k < opt.MaxIter; k++ {
+		res.Iterations = k
+		rel := r.Norm2() / bNorm
+		res.Residual = rel
+		if rel < opt.Tol {
+			return res, nil
+		}
+		a.Apply(p, ap)
+		pap := p.Dot(ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			// Operator is not SPD along p; bail out with the current iterate.
+			return res, ErrNotConverged
+		}
+		alpha := rz / pap
+		x.AXPY(alpha, p)
+		r.AXPY(-alpha, ap)
+		applyPrecond()
+		rzNew := r.Dot(z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	res.Residual = r.Norm2() / bNorm
+	if res.Residual < opt.Tol {
+		return res, nil
+	}
+	return res, ErrNotConverged
+}
+
+// SOROptions configures the successive-over-relaxation solver.
+type SOROptions struct {
+	// Omega is the relaxation factor in (0,2). Default 1.6.
+	Omega float64
+	// Tol is the relative update tolerance. Default 1e-8.
+	Tol float64
+	// MaxIter caps sweeps. Default 20·sqrt(n)+200.
+	MaxIter int
+}
+
+// StencilSweeper is implemented by operators that support in-place
+// Gauss-Seidel/SOR sweeps (the structured thermal grid does).
+type StencilSweeper interface {
+	Operator
+	// SweepSOR performs one SOR sweep updating x toward A·x = b and
+	// returns the maximum absolute update applied.
+	SweepSOR(b, x Vector, omega float64) float64
+}
+
+// SOR solves A·x = b by successive over-relaxation for operators that
+// provide sweeps. x is the initial guess, updated in place.
+func SOR(a StencilSweeper, b, x Vector, opt SOROptions) (CGResult, error) {
+	if opt.Omega <= 0 || opt.Omega >= 2 {
+		opt.Omega = 1.6
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-8
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 20*int(math.Sqrt(float64(a.Size()))) + 200
+	}
+	scale := b.NormInf()
+	if scale == 0 {
+		scale = 1
+	}
+	var res CGResult
+	for k := 0; k < opt.MaxIter; k++ {
+		res.Iterations = k + 1
+		delta := a.SweepSOR(b, x, opt.Omega)
+		res.Residual = delta / scale
+		if res.Residual < opt.Tol {
+			return res, nil
+		}
+	}
+	return res, ErrNotConverged
+}
+
+// Bisect finds a root of f in [lo, hi] assuming f(lo) and f(hi) bracket a
+// sign change. It returns the midpoint after the interval shrinks below tol
+// or maxIter iterations. If the interval does not bracket a root, the
+// endpoint with the smaller |f| is returned and ok is false.
+func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (root float64, ok bool) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, true
+	}
+	if fhi == 0 {
+		return hi, true
+	}
+	if flo*fhi > 0 {
+		if math.Abs(flo) < math.Abs(fhi) {
+			return lo, false
+		}
+		return hi, false
+	}
+	for i := 0; i < maxIter && hi-lo > tol; i++ {
+		mid := 0.5 * (lo + hi)
+		fm := f(mid)
+		if fm == 0 {
+			return mid, true
+		}
+		if flo*fm < 0 {
+			hi, fhi = mid, fm
+		} else {
+			lo, flo = mid, fm
+		}
+	}
+	_ = fhi
+	return 0.5 * (lo + hi), true
+}

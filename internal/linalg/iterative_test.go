@@ -1,0 +1,303 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// denseOperator adapts a Dense matrix to the Operator interface for tests.
+type denseOperator struct{ m *Dense }
+
+func (d denseOperator) Apply(x, y Vector) { d.m.MulVec(x, y) }
+func (d denseOperator) Size() int         { return d.m.Rows }
+
+// laplace1D is a 1-D Poisson stencil operator with Dirichlet boundaries,
+// exercising both Operator and StencilSweeper.
+type laplace1D struct{ n int }
+
+func (l laplace1D) Size() int { return l.n }
+
+func (l laplace1D) Apply(x, y Vector) {
+	for i := 0; i < l.n; i++ {
+		s := 2 * x[i]
+		if i > 0 {
+			s -= x[i-1]
+		}
+		if i < l.n-1 {
+			s -= x[i+1]
+		}
+		y[i] = s
+	}
+}
+
+func (l laplace1D) SweepSOR(b, x Vector, omega float64) float64 {
+	var maxDelta float64
+	for i := 0; i < l.n; i++ {
+		s := b[i]
+		if i > 0 {
+			s += x[i-1]
+		}
+		if i < l.n-1 {
+			s += x[i+1]
+		}
+		xNew := s / 2
+		delta := omega * (xNew - x[i])
+		x[i] += delta
+		if a := math.Abs(delta); a > maxDelta {
+			maxDelta = a
+		}
+	}
+	return maxDelta
+}
+
+func poissonRHS(n int, want Vector) Vector {
+	b := make(Vector, n)
+	for i := 0; i < n; i++ {
+		b[i] = 2 * want[i]
+		if i > 0 {
+			b[i] -= want[i-1]
+		}
+		if i < n-1 {
+			b[i] -= want[i+1]
+		}
+	}
+	return b
+}
+
+func TestCGPoisson(t *testing.T) {
+	n := 200
+	want := make(Vector, n)
+	for i := range want {
+		want[i] = math.Sin(float64(i) * 0.1)
+	}
+	op := laplace1D{n}
+	b := poissonRHS(n, want)
+	x := make(Vector, n)
+	res, err := CG(op, b, x, CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("CG failed after %d iters, res %g: %v", res.Iterations, res.Residual, err)
+	}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-6) {
+			t.Fatalf("x[%d]=%v want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestCGPreconditioned(t *testing.T) {
+	n := 120
+	op := laplace1D{n}
+	want := make(Vector, n)
+	for i := range want {
+		want[i] = float64(i%7) - 3
+	}
+	b := poissonRHS(n, want)
+	inv := make(Vector, n)
+	inv.Fill(0.5) // diag of the stencil is 2
+	x := make(Vector, n)
+	res, err := CG(op, b, x, CGOptions{Tol: 1e-10, Precond: &DiagonalPreconditioner{InvDiag: inv}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > n {
+		t.Fatalf("preconditioned CG too slow: %d iterations", res.Iterations)
+	}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-6) {
+			t.Fatalf("x[%d]=%v want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	op := laplace1D{10}
+	x := make(Vector, 10)
+	x.Fill(3)
+	res, err := CG(op, make(Vector, 10), x, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 0 || x.NormInf() != 0 {
+		t.Fatalf("zero RHS should produce zero solution immediately, got %v after %d", x, res.Iterations)
+	}
+}
+
+func TestCGNonConvergenceBudget(t *testing.T) {
+	n := 400
+	op := laplace1D{n}
+	want := make(Vector, n)
+	for i := range want {
+		want[i] = math.Cos(float64(i) * 0.05)
+	}
+	b := poissonRHS(n, want)
+	x := make(Vector, n)
+	_, err := CG(op, b, x, CGOptions{Tol: 1e-14, MaxIter: 3})
+	if err != ErrNotConverged {
+		t.Fatalf("expected ErrNotConverged with tiny budget, got %v", err)
+	}
+}
+
+func TestSORPoisson(t *testing.T) {
+	n := 100
+	op := laplace1D{n}
+	want := make(Vector, n)
+	for i := range want {
+		want[i] = float64(i) / 10
+	}
+	b := poissonRHS(n, want)
+	x := make(Vector, n)
+	if _, err := SOR(op, b, x, SOROptions{Omega: 1.9, Tol: 1e-11, MaxIter: 200000}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-5) {
+			t.Fatalf("x[%d]=%v want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestCGMatchesLUOnRandomSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(20)
+		// Build SPD matrix A = M^T M + n·I.
+		m := NewDense(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += m.At(k, i) * m.At(k, j)
+				}
+				a.Set(i, j, s)
+			}
+			a.Add(i, i, float64(n))
+		}
+		b := make(Vector, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		luX, err := SolveDense(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cgX := make(Vector, n)
+		if _, err := CG(denseOperator{a}, b, cgX, CGOptions{Tol: 1e-12, MaxIter: 50 * n}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range luX {
+			if !almostEqual(cgX[i], luX[i], 1e-6) {
+				t.Fatalf("trial %d: CG[%d]=%v LU=%v", trial, i, cgX[i], luX[i])
+			}
+		}
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, ok := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12, 200)
+	if !ok || !almostEqual(root, math.Sqrt2, 1e-9) {
+		t.Fatalf("Bisect sqrt2 = %v ok=%v", root, ok)
+	}
+	// No bracket: should return endpoint with smaller |f| and ok=false.
+	r, ok := Bisect(func(x float64) float64 { return x + 10 }, 0, 1, 1e-9, 50)
+	if ok || r != 0 {
+		t.Fatalf("unbracketed Bisect = %v ok=%v, want 0,false", r, ok)
+	}
+	// Exact root at an endpoint.
+	r, ok = Bisect(func(x float64) float64 { return x }, 0, 1, 1e-9, 50)
+	if !ok || r != 0 {
+		t.Fatalf("endpoint root = %v ok=%v", r, ok)
+	}
+}
+
+func TestBisectProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		target := rng.Float64()*10 - 5
+		g := func(x float64) float64 { return x - target }
+		root, ok := Bisect(g, -6, 6, 1e-10, 100)
+		return ok && math.Abs(root-target) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1D(t *testing.T) {
+	tab := MustTable1D([]float64{0, 1, 2}, []float64{10, 20, 40})
+	cases := []struct{ x, want float64 }{
+		{-1, 10}, {0, 10}, {0.5, 15}, {1, 20}, {1.5, 30}, {2, 40}, {3, 40},
+	}
+	for _, c := range cases {
+		if got := tab.At(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("At(%v)=%v want %v", c.x, got, c.want)
+		}
+	}
+	if tab.Min() != 0 || tab.Max() != 2 {
+		t.Fatalf("range = [%v %v]", tab.Min(), tab.Max())
+	}
+}
+
+func TestTable1DInverse(t *testing.T) {
+	tab := MustTable1D([]float64{0, 1, 2}, []float64{10, 20, 40})
+	inv, err := tab.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inv.At(30); !almostEqual(got, 1.5, 1e-12) {
+		t.Fatalf("inverse At(30)=%v want 1.5", got)
+	}
+	dec := MustTable1D([]float64{0, 1, 2}, []float64{40, 20, 10})
+	invDec, err := dec.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := invDec.At(15); !almostEqual(got, 1.5, 1e-12) {
+		t.Fatalf("decreasing inverse At(15)=%v want 1.5", got)
+	}
+	if _, err := MustTable1D([]float64{0, 1, 2}, []float64{1, 5, 3}).Inverse(); err == nil {
+		t.Fatal("non-monotonic inverse should fail")
+	}
+}
+
+func TestTable1DErrors(t *testing.T) {
+	if _, err := NewTable1D([]float64{1, 1}, []float64{0, 0}); err == nil {
+		t.Fatal("non-increasing xs should error")
+	}
+	if _, err := NewTable1D(nil, nil); err == nil {
+		t.Fatal("empty table should error")
+	}
+	if _, err := NewTable1D([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestClampLerp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp wrong")
+	}
+	if Lerp(10, 20, 0.25) != 12.5 {
+		t.Fatal("Lerp wrong")
+	}
+}
+
+// Property: interpolation is monotone for monotone tables.
+func TestTableMonotoneProperty(t *testing.T) {
+	tab := MustTable1D([]float64{0, 1, 3, 7}, []float64{0, 2, 3, 11})
+	f := func(a, b float64) bool {
+		x1 := Clamp(math.Abs(a), 0, 7)
+		x2 := Clamp(math.Abs(b), 0, 7)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		return tab.At(x1) <= tab.At(x2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package metrics computes the thermal-map statistics the paper reports:
+// hot-spot temperature θmax, average θavg, the maximum spatial gradient
+// ∇θmax in °C/mm, and hot-spot counting on die and package maps.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/floorplan"
+)
+
+// MapStats summarizes a temperature map (all temperatures in °C).
+type MapStats struct {
+	MaxC  float64
+	MinC  float64
+	MeanC float64
+	// MaxGradCPerMM is the paper's ∇θmax: the largest temperature
+	// difference between adjacent cells divided by the cell pitch, °C/mm.
+	MaxGradCPerMM float64
+	// Cells is the number of cells included (after masking).
+	Cells int
+}
+
+// Analyze computes statistics over the whole map.
+func Analyze(grid floorplan.Grid, temps []float64) (MapStats, error) {
+	return AnalyzeMasked(grid, temps, nil)
+}
+
+// AnalyzeMasked computes statistics over cells where mask is true. A nil
+// mask includes every cell. Gradients are evaluated only between two
+// included cells.
+func AnalyzeMasked(grid floorplan.Grid, temps []float64, mask []bool) (MapStats, error) {
+	if len(temps) != grid.Cells() {
+		return MapStats{}, fmt.Errorf("metrics: %d temps for %d cells", len(temps), grid.Cells())
+	}
+	if mask != nil && len(mask) != grid.Cells() {
+		return MapStats{}, fmt.Errorf("metrics: %d mask entries for %d cells", len(mask), grid.Cells())
+	}
+	in := func(i int) bool { return mask == nil || mask[i] }
+	st := MapStats{MaxC: math.Inf(-1), MinC: math.Inf(1)}
+	var sum float64
+	for iy := 0; iy < grid.NY; iy++ {
+		for ix := 0; ix < grid.NX; ix++ {
+			i := grid.Index(ix, iy)
+			if !in(i) {
+				continue
+			}
+			t := temps[i]
+			st.Cells++
+			sum += t
+			if t > st.MaxC {
+				st.MaxC = t
+			}
+			if t < st.MinC {
+				st.MinC = t
+			}
+			if ix+1 < grid.NX {
+				j := grid.Index(ix+1, iy)
+				if in(j) {
+					if g := math.Abs(t-temps[j]) / (grid.DX * 1e3); g > st.MaxGradCPerMM {
+						st.MaxGradCPerMM = g
+					}
+				}
+			}
+			if iy+1 < grid.NY {
+				j := grid.Index(ix, iy+1)
+				if in(j) {
+					if g := math.Abs(t-temps[j]) / (grid.DY * 1e3); g > st.MaxGradCPerMM {
+						st.MaxGradCPerMM = g
+					}
+				}
+			}
+		}
+	}
+	if st.Cells == 0 {
+		return MapStats{}, fmt.Errorf("metrics: mask excludes every cell")
+	}
+	st.MeanC = sum / float64(st.Cells)
+	return st, nil
+}
+
+// RectMask returns a mask selecting cells whose centers fall inside rect.
+func RectMask(grid floorplan.Grid, rect floorplan.Rect) []bool {
+	mask := make([]bool, grid.Cells())
+	for iy := 0; iy < grid.NY; iy++ {
+		for ix := 0; ix < grid.NX; ix++ {
+			cx, cy := grid.CellCenter(ix, iy)
+			mask[grid.Index(ix, iy)] = rect.Contains(cx, cy)
+		}
+	}
+	return mask
+}
+
+// HotspotMagnitude integrates the temperature excess above the threshold
+// over the masked area, in °C·mm² — the "magnitude of hot spots" the
+// paper's mapping policy minimizes alongside their number.
+func HotspotMagnitude(grid floorplan.Grid, temps []float64, mask []bool, thresholdC float64) float64 {
+	cellMM2 := grid.DX * grid.DY * 1e6
+	var mag float64
+	for i, t := range temps {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		if t > thresholdC {
+			mag += (t - thresholdC) * cellMM2
+		}
+	}
+	return mag
+}
+
+// Percentile returns the p-th percentile (0–100) of the masked cells using
+// nearest-rank on a sorted copy.
+func Percentile(temps []float64, mask []bool, p float64) (float64, error) {
+	var vals []float64
+	for i, t := range temps {
+		if mask == nil || mask[i] {
+			vals = append(vals, t)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, fmt.Errorf("metrics: no cells selected")
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("metrics: percentile %g outside [0,100]", p)
+	}
+	sort.Float64s(vals)
+	rank := int(math.Ceil(p/100*float64(len(vals)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(vals) {
+		rank = len(vals) - 1
+	}
+	return vals[rank], nil
+}
+
+// Hotspots counts connected regions (4-neighborhood) of cells at or above
+// the threshold temperature, restricted to the mask (nil = everywhere).
+func Hotspots(grid floorplan.Grid, temps []float64, mask []bool, thresholdC float64) int {
+	in := func(i int) bool {
+		return (mask == nil || mask[i]) && temps[i] >= thresholdC
+	}
+	seen := make([]bool, grid.Cells())
+	var count int
+	var stack []int
+	for start := 0; start < grid.Cells(); start++ {
+		if seen[start] || !in(start) {
+			continue
+		}
+		count++
+		stack = append(stack[:0], start)
+		seen[start] = true
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ix, iy := i%grid.NX, i/grid.NX
+			for _, nb := range [][2]int{{ix - 1, iy}, {ix + 1, iy}, {ix, iy - 1}, {ix, iy + 1}} {
+				nx, ny := nb[0], nb[1]
+				if nx < 0 || nx >= grid.NX || ny < 0 || ny >= grid.NY {
+					continue
+				}
+				j := grid.Index(nx, ny)
+				if !seen[j] && in(j) {
+					seen[j] = true
+					stack = append(stack, j)
+				}
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,132 @@
+// Package power models the Xeon E5 v4 server power consumption used in the
+// paper: idle C-states (Table I), per-core dynamic power, the uncore
+// (LLC + memory controller + IO) model of §IV-C, and the assembly of
+// per-block power maps for the thermal simulator.
+package power
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/floorplan"
+)
+
+// Frequency is a core clock frequency in GHz. The paper evaluates the three
+// P-states 2.6, 2.9 and 3.2 GHz.
+type Frequency float64
+
+// The paper's three core frequency levels (§IV-C1).
+const (
+	FMin Frequency = 2.6
+	FMid Frequency = 2.9
+	FMax Frequency = 3.2
+)
+
+// Levels returns the paper's discrete frequency levels in ascending order.
+func Levels() []Frequency { return []Frequency{FMin, FMid, FMax} }
+
+// Uncore frequency range in GHz (§IV-C2).
+const (
+	UncoreFreqMin = 1.2
+	UncoreFreqMax = 2.8
+)
+
+// CState is an idle power state of the target Intel processor (§IV-C1).
+type CState int
+
+// Idle states, shallowest to deepest. POLL, C1 and C1E powers are measured
+// in the paper's Table I; C3 and C6 extend the table with datasheet-typical
+// values so the mapping policy can reason about deeper states.
+const (
+	POLL CState = iota
+	C1
+	C1E
+	C3
+	C6
+)
+
+// String returns the conventional C-state name.
+func (s CState) String() string {
+	switch s {
+	case POLL:
+		return "POLL"
+	case C1:
+		return "C1"
+	case C1E:
+		return "C1E"
+	case C3:
+		return "C3"
+	case C6:
+		return "C6"
+	default:
+		return fmt.Sprintf("CState(%d)", int(s))
+	}
+}
+
+// Latency returns the wake-up latency to resume execution from the state.
+// Table I lists POLL=0, C1=2, C1E=10 (microseconds); C3/C6 follow the
+// E5 v4 datasheet order of magnitude.
+func (s CState) Latency() time.Duration {
+	switch s {
+	case POLL:
+		return 0
+	case C1:
+		return 2 * time.Microsecond
+	case C1E:
+		return 10 * time.Microsecond
+	case C3:
+		return 50 * time.Microsecond
+	case C6:
+		return 150 * time.Microsecond
+	default:
+		return 0
+	}
+}
+
+// tableI holds the measured idle power (W) for all 8 cores at the three
+// frequency levels (paper Table I), extended with C3/C6.
+var tableI = map[CState][3]float64{
+	POLL: {27, 32, 40},
+	C1:   {14, 15, 17},
+	C1E:  {9, 9, 9},
+	C3:   {5, 5, 5},
+	C6:   {2, 2, 2},
+}
+
+func freqSlot(f Frequency) int {
+	switch {
+	case f <= FMin:
+		return 0
+	case f <= FMid:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// CStateTotalPower returns the Table I idle power for all 8 cores parked in
+// state s with the package clocked at f.
+func CStateTotalPower(s CState, f Frequency) float64 {
+	row, ok := tableI[s]
+	if !ok {
+		return 0
+	}
+	return row[freqSlot(f)]
+}
+
+// CStatePerCore returns the per-core idle power in state s at frequency f.
+func CStatePerCore(s CState, f Frequency) float64 {
+	return CStateTotalPower(s, f) / float64(floorplan.NumCores)
+}
+
+// DeepestStateWithin returns the deepest C-state whose wake-up latency does
+// not exceed the tolerable delay d. With d == 0 only POLL qualifies.
+func DeepestStateWithin(d time.Duration) CState {
+	best := POLL
+	for _, s := range []CState{C1, C1E, C3, C6} {
+		if s.Latency() <= d {
+			best = s
+		}
+	}
+	return best
+}

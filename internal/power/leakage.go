@@ -1,0 +1,86 @@
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+)
+
+// The paper's power model is temperature-independent; real 14 nm leakage
+// grows roughly exponentially with junction temperature, which couples the
+// power and thermal problems in the direction that penalizes bad cooling.
+// This file provides the leakage extension used by cosim's
+// leakage-coupled solver and the corresponding ablation bench.
+
+// LeakageModel scales the static share of each block's power with its
+// temperature: scale(T) = exp(β·(T − T_ref)), normalized so the Table I
+// calibration holds at the reference temperature.
+type LeakageModel struct {
+	// BetaPerC is the exponential sensitivity (1/°C). Silicon leakage
+	// roughly doubles every 50–60 °C: β ≈ ln(2)/55 ≈ 0.0126.
+	BetaPerC float64
+	// RefC is the temperature at which the calibrated static powers hold.
+	RefC float64
+}
+
+// DefaultLeakage returns the 14 nm-typical model: doubling every 55 °C,
+// referenced to the 60 °C junction the Table I measurements imply.
+func DefaultLeakage() LeakageModel {
+	return LeakageModel{BetaPerC: math.Ln2 / 55, RefC: 60}
+}
+
+// Validate checks the model parameters.
+func (l LeakageModel) Validate() error {
+	if l.BetaPerC < 0 || l.BetaPerC > 0.1 {
+		return fmt.Errorf("power: leakage beta %g outside [0,0.1] 1/°C", l.BetaPerC)
+	}
+	if l.RefC < 0 || l.RefC > 150 {
+		return fmt.Errorf("power: leakage reference %g °C implausible", l.RefC)
+	}
+	return nil
+}
+
+// Scale returns the multiplicative leakage factor at temperature tC,
+// clamped to [0.25, 4] to keep the coupled fixed point well-behaved.
+func (l LeakageModel) Scale(tC float64) float64 {
+	s := math.Exp(l.BetaPerC * (tC - l.RefC))
+	if s < 0.25 {
+		return 0.25
+	}
+	if s > 4 {
+		return 4
+	}
+	return s
+}
+
+// SplitBlockPowers separates a package state's per-block powers into the
+// temperature-sensitive static share and the temperature-insensitive
+// dynamic share. The C-state powers of Table I are treated as static; an
+// active core's baseline is its POLL share, its workload power is dynamic;
+// the uncore splits per §IV-C2 (9 W static + proportional dynamic).
+func (m *Model) SplitBlockPowers(st PackageState) (static, dynamic map[string]float64) {
+	static = make(map[string]float64, floorplan.NumCores+3)
+	dynamic = make(map[string]float64, floorplan.NumCores+3)
+	for i := 0; i < floorplan.NumCores; i++ {
+		name := floorplan.CoreName(i)
+		load := st.Cores[i]
+		if load.Active {
+			static[name] = CStatePerCore(POLL, st.Freq)
+			dynamic[name] = load.DynWatts
+		} else {
+			static[name] = CStatePerCore(load.Idle, st.Freq)
+			dynamic[name] = 0
+		}
+	}
+	llc := LLCPower(st.LLC)
+	static["LLC"] = 0.4
+	dynamic["LLC"] = llc - 0.4
+	uncore := UncorePower(st.UncoreFreq)
+	staticShare := UncoreStaticWatts / uncore
+	static["MemCtrl"] = 0.45 * uncore * staticShare
+	dynamic["MemCtrl"] = 0.45 * uncore * (1 - staticShare)
+	static["Uncore"] = 0.55 * uncore * staticShare
+	dynamic["Uncore"] = 0.55 * uncore * (1 - staticShare)
+	return static, dynamic
+}

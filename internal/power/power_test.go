@@ -1,0 +1,204 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/floorplan"
+)
+
+func TestTableIMatchesPaper(t *testing.T) {
+	// Paper Table I, exactly.
+	cases := []struct {
+		s    CState
+		f    Frequency
+		want float64
+	}{
+		{POLL, FMin, 27}, {POLL, FMid, 32}, {POLL, FMax, 40},
+		{C1, FMin, 14}, {C1, FMid, 15}, {C1, FMax, 17},
+		{C1E, FMin, 9}, {C1E, FMid, 9}, {C1E, FMax, 9},
+	}
+	for _, c := range cases {
+		if got := CStateTotalPower(c.s, c.f); got != c.want {
+			t.Fatalf("CStateTotalPower(%v,%v) = %v, want %v", c.s, c.f, got, c.want)
+		}
+	}
+}
+
+func TestCStateOrdering(t *testing.T) {
+	// Deeper states draw less power and wake more slowly at all levels.
+	states := []CState{POLL, C1, C1E, C3, C6}
+	for _, f := range Levels() {
+		for i := 1; i < len(states); i++ {
+			if CStateTotalPower(states[i], f) >= CStateTotalPower(states[i-1], f) {
+				t.Fatalf("%v should draw less than %v at %v GHz", states[i], states[i-1], f)
+			}
+		}
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i].Latency() <= states[i-1].Latency() {
+			t.Fatalf("%v should wake slower than %v", states[i], states[i-1])
+		}
+	}
+}
+
+func TestCStatePerCore(t *testing.T) {
+	if got := CStatePerCore(POLL, FMax); got != 5 {
+		t.Fatalf("per-core POLL@3.2 = %v, want 5", got)
+	}
+}
+
+func TestCStateStrings(t *testing.T) {
+	for s, want := range map[CState]string{POLL: "POLL", C1: "C1", C1E: "C1E", C3: "C3", C6: "C6"} {
+		if s.String() != want {
+			t.Fatalf("String() = %q, want %q", s.String(), want)
+		}
+	}
+	if CState(42).String() == "" {
+		t.Fatal("unknown state should still format")
+	}
+}
+
+func TestDeepestStateWithin(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want CState
+	}{
+		{0, POLL},
+		{1 * time.Microsecond, POLL},
+		{2 * time.Microsecond, C1},
+		{10 * time.Microsecond, C1E},
+		{time.Millisecond, C6},
+	}
+	for _, c := range cases {
+		if got := DeepestStateWithin(c.d); got != c.want {
+			t.Fatalf("DeepestStateWithin(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestUncorePowerEndpoints(t *testing.T) {
+	// §IV-C2: 9 W constant + 8 W swing from min to max uncore frequency.
+	if got := UncorePower(UncoreFreqMin); got != 9 {
+		t.Fatalf("uncore@min = %v, want 9", got)
+	}
+	if got := UncorePower(UncoreFreqMax); got != 17 {
+		t.Fatalf("uncore@max = %v, want 17", got)
+	}
+	if got := UncorePower(0.1); got != 9 {
+		t.Fatalf("below-range uncore must clamp, got %v", got)
+	}
+	if got := UncorePower(9.9); got != 17 {
+		t.Fatalf("above-range uncore must clamp, got %v", got)
+	}
+}
+
+func TestLLCPowerRange(t *testing.T) {
+	if got := LLCPower(1); got != 2 {
+		t.Fatalf("LLC worst case = %v, want 2", got)
+	}
+	if got := LLCPower(0); got != 0.4 {
+		t.Fatalf("LLC idle = %v, want 0.4", got)
+	}
+	if got := LLCPower(5); got != 2 {
+		t.Fatalf("LLC activity must clamp, got %v", got)
+	}
+}
+
+func TestDynScale(t *testing.T) {
+	if got := DynScale(FMax); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("DynScale(fmax) = %v", got)
+	}
+	if DynScale(FMin) >= DynScale(FMid) || DynScale(FMid) >= DynScale(FMax) {
+		t.Fatal("DynScale must increase with frequency")
+	}
+}
+
+func TestCorePower(t *testing.T) {
+	active := CoreLoad{Active: true, DynWatts: 2.5}
+	if got := CorePower(active, FMax); got != 7.5 {
+		t.Fatalf("active core = %v, want 7.5 (5 POLL + 2.5 dyn)", got)
+	}
+	idle := CoreLoad{Idle: C1}
+	if got := CorePower(idle, FMax); got != 17.0/8 {
+		t.Fatalf("idle C1 core = %v, want %v", got, 17.0/8)
+	}
+}
+
+func TestModelBlockPowers(t *testing.T) {
+	fp := floorplan.BroadwellEP()
+	m, err := NewModel(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st PackageState
+	st.Freq = FMax
+	st.UncoreFreq = UncoreFreqMax
+	st.LLC = 1
+	for i := range st.Cores {
+		st.Cores[i] = CoreLoad{Active: true, DynWatts: 2}
+	}
+	bp := m.BlockPowers(st)
+	if len(bp) != floorplan.NumCores+3 {
+		t.Fatalf("got %d blocks, want %d", len(bp), floorplan.NumCores+3)
+	}
+	if bp["Core1"] != 7 {
+		t.Fatalf("Core1 = %v, want 7", bp["Core1"])
+	}
+	if math.Abs(bp["MemCtrl"]+bp["Uncore"]-17) > 1e-12 {
+		t.Fatalf("uncore strips sum to %v, want 17", bp["MemCtrl"]+bp["Uncore"])
+	}
+	total := m.TotalPower(st)
+	want := 8*7.0 + 2 + 17
+	if math.Abs(total-want) > 1e-9 {
+		t.Fatalf("total = %v, want %v", total, want)
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	fp := floorplan.MustNew("tiny", 1e-3, 1e-3, []floorplan.Block{
+		{Name: "LLC", Rect: floorplan.Rect{X: 0, Y: 0, W: 1e-4, H: 1e-4}},
+	})
+	if _, err := NewModel(fp); err == nil {
+		t.Fatal("model must reject floorplans without the Broadwell blocks")
+	}
+}
+
+// Property: package power is monotone in dynamic watts and frequency.
+func TestPowerMonotoneProperty(t *testing.T) {
+	fp := floorplan.BroadwellEP()
+	m, _ := NewModel(fp)
+	f := func(d1, d2 float64) bool {
+		a := math.Mod(math.Abs(d1), 4)
+		b := math.Mod(math.Abs(d2), 4)
+		if a > b {
+			a, b = b, a
+		}
+		mk := func(d float64, fr Frequency) PackageState {
+			var st PackageState
+			st.Freq = fr
+			st.UncoreFreq = 2.0
+			st.LLC = 0.5
+			for i := range st.Cores {
+				st.Cores[i] = CoreLoad{Active: true, DynWatts: d}
+			}
+			return st
+		}
+		if m.TotalPower(mk(a, FMax)) > m.TotalPower(mk(b, FMax))+1e-9 {
+			return false
+		}
+		return m.TotalPower(mk(a, FMin)) <= m.TotalPower(mk(a, FMax))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	ls := Levels()
+	if len(ls) != 3 || ls[0] != FMin || ls[2] != FMax {
+		t.Fatalf("Levels = %v", ls)
+	}
+}

@@ -1,0 +1,59 @@
+package rack
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BladeStatus is the scheduler's view of one blade when a thermal
+// emergency forces a migration decision (§V: balanced package temperatures
+// under the shared water loop).
+type BladeStatus struct {
+	CPU int
+	// TCaseC is the blade's current case temperature.
+	TCaseC float64
+	// PowerW is the blade's current package power.
+	PowerW float64
+	// FreeCores is the number of unallocated cores.
+	FreeCores int
+}
+
+// MigrationTarget picks the blade an emergency workload should move to:
+// the coolest blade with enough free cores. The source blade is excluded.
+func MigrationTarget(blades []BladeStatus, sourceCPU, coresNeeded int) (BladeStatus, error) {
+	var candidates []BladeStatus
+	for _, b := range blades {
+		if b.CPU == sourceCPU || b.FreeCores < coresNeeded {
+			continue
+		}
+		candidates = append(candidates, b)
+	}
+	if len(candidates) == 0 {
+		return BladeStatus{}, fmt.Errorf("rack: no blade has %d free cores for migration from CPU %d", coresNeeded, sourceCPU)
+	}
+	sort.SliceStable(candidates, func(i, j int) bool {
+		if candidates[i].TCaseC != candidates[j].TCaseC {
+			return candidates[i].TCaseC < candidates[j].TCaseC
+		}
+		return candidates[i].PowerW < candidates[j].PowerW
+	})
+	return candidates[0], nil
+}
+
+// TemperatureSpread returns the max−min TCase across blades — the §V
+// balance objective under a shared water temperature.
+func TemperatureSpread(blades []BladeStatus) float64 {
+	if len(blades) == 0 {
+		return 0
+	}
+	lo, hi := blades[0].TCaseC, blades[0].TCaseC
+	for _, b := range blades[1:] {
+		if b.TCaseC < lo {
+			lo = b.TCaseC
+		}
+		if b.TCaseC > hi {
+			hi = b.TCaseC
+		}
+	}
+	return hi - lo
+}

@@ -1,0 +1,61 @@
+package rack
+
+import "testing"
+
+func blades() []BladeStatus {
+	return []BladeStatus{
+		{CPU: 0, TCaseC: 80, PowerW: 70, FreeCores: 0},
+		{CPU: 1, TCaseC: 45, PowerW: 40, FreeCores: 4},
+		{CPU: 2, TCaseC: 42, PowerW: 45, FreeCores: 2},
+		{CPU: 3, TCaseC: 42, PowerW: 30, FreeCores: 6},
+	}
+}
+
+func TestMigrationTargetPicksCoolest(t *testing.T) {
+	got, err := MigrationTarget(blades(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPUs 2 and 3 tie at 42 °C; the lower-power one (3) wins.
+	if got.CPU != 3 {
+		t.Fatalf("target CPU %d, want 3", got.CPU)
+	}
+}
+
+func TestMigrationTargetRespectsCores(t *testing.T) {
+	got, err := MigrationTarget(blades(), 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CPU != 3 {
+		t.Fatalf("only CPU 3 has 5 free cores, got %d", got.CPU)
+	}
+	if _, err := MigrationTarget(blades(), 0, 7); err == nil {
+		t.Fatal("no blade has 7 free cores")
+	}
+}
+
+func TestMigrationTargetExcludesSource(t *testing.T) {
+	got, err := MigrationTarget(blades(), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CPU == 3 {
+		t.Fatal("source blade must be excluded")
+	}
+}
+
+func TestMigrationTargetEmpty(t *testing.T) {
+	if _, err := MigrationTarget(nil, 0, 1); err == nil {
+		t.Fatal("empty rack must error")
+	}
+}
+
+func TestTemperatureSpread(t *testing.T) {
+	if got := TemperatureSpread(blades()); got != 38 {
+		t.Fatalf("spread %v, want 38", got)
+	}
+	if TemperatureSpread(nil) != 0 {
+		t.Fatal("empty spread should be 0")
+	}
+}

@@ -1,0 +1,195 @@
+// Package refrigerant provides saturation property tables for the working
+// fluids considered in the thermosyphon design study (§VI-B): R236fa (the
+// paper's chosen refrigerant), R134a and R245fa as design alternatives, and
+// liquid water for the condenser coolant loop.
+//
+// Property values are piecewise-linear fits of published saturation tables,
+// adequate for the compact two-phase model: the simulator needs correct
+// magnitudes and monotone trends, not equation-of-state accuracy.
+package refrigerant
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Fluid exposes saturation-line properties of a refrigerant as functions of
+// saturation temperature in °C. All outputs are SI: Pa, J/kg, kg/m³,
+// J/(kg·K), W/(m·K), Pa·s, N/m.
+type Fluid struct {
+	name string
+	// Tables keyed by saturation temperature (°C).
+	psat  *linalg.Table1D // saturation pressure (kPa in table, returned as Pa)
+	hfg   *linalg.Table1D // latent heat (kJ/kg in table, returned as J/kg)
+	rhoL  *linalg.Table1D // liquid density kg/m³
+	rhoV  *linalg.Table1D // vapor density kg/m³
+	cpL   *linalg.Table1D // liquid specific heat J/(kg·K)
+	kL    *linalg.Table1D // liquid conductivity W/(m·K)
+	muL   *linalg.Table1D // liquid viscosity Pa·s
+	sigma *linalg.Table1D // surface tension N/m
+	tsat  *linalg.Table1D // inverse: kPa → °C
+}
+
+// Name returns the refrigerant designation (e.g. "R236fa").
+func (f *Fluid) Name() string { return f.name }
+
+// TempRange returns the validity range of the tables in °C.
+func (f *Fluid) TempRange() (lo, hi float64) { return f.psat.Min(), f.psat.Max() }
+
+// SatPressure returns the saturation pressure (Pa) at tC (°C).
+func (f *Fluid) SatPressure(tC float64) float64 { return f.psat.At(tC) * 1e3 }
+
+// SatTemperature returns the saturation temperature (°C) at pressure p (Pa).
+func (f *Fluid) SatTemperature(p float64) float64 { return f.tsat.At(p / 1e3) }
+
+// Hfg returns the latent heat of vaporization (J/kg) at tC.
+func (f *Fluid) Hfg(tC float64) float64 { return f.hfg.At(tC) * 1e3 }
+
+// RhoLiquid returns the saturated liquid density (kg/m³) at tC.
+func (f *Fluid) RhoLiquid(tC float64) float64 { return f.rhoL.At(tC) }
+
+// RhoVapor returns the saturated vapor density (kg/m³) at tC.
+func (f *Fluid) RhoVapor(tC float64) float64 { return f.rhoV.At(tC) }
+
+// CpLiquid returns the saturated liquid specific heat (J/kg·K) at tC.
+func (f *Fluid) CpLiquid(tC float64) float64 { return f.cpL.At(tC) }
+
+// KLiquid returns the saturated liquid thermal conductivity (W/m·K) at tC.
+func (f *Fluid) KLiquid(tC float64) float64 { return f.kL.At(tC) }
+
+// MuLiquid returns the saturated liquid dynamic viscosity (Pa·s) at tC.
+func (f *Fluid) MuLiquid(tC float64) float64 { return f.muL.At(tC) }
+
+// SurfaceTension returns the vapor-liquid surface tension (N/m) at tC.
+func (f *Fluid) SurfaceTension(tC float64) float64 { return f.sigma.At(tC) }
+
+// PrandtlLiquid returns the liquid Prandtl number at tC.
+func (f *Fluid) PrandtlLiquid(tC float64) float64 {
+	return f.CpLiquid(tC) * f.MuLiquid(tC) / f.KLiquid(tC)
+}
+
+func newFluid(name string, tC, psatKPa, hfgKJ, rhoL, rhoV, cpL, kL, muL, sigma []float64) *Fluid {
+	f := &Fluid{
+		name:  name,
+		psat:  linalg.MustTable1D(tC, psatKPa),
+		hfg:   linalg.MustTable1D(tC, hfgKJ),
+		rhoL:  linalg.MustTable1D(tC, rhoL),
+		rhoV:  linalg.MustTable1D(tC, rhoV),
+		cpL:   linalg.MustTable1D(tC, cpL),
+		kL:    linalg.MustTable1D(tC, kL),
+		muL:   linalg.MustTable1D(tC, muL),
+		sigma: linalg.MustTable1D(tC, sigma),
+	}
+	inv, err := f.psat.Inverse()
+	if err != nil {
+		panic(fmt.Sprintf("refrigerant %s: %v", name, err))
+	}
+	f.tsat = inv
+	return f
+}
+
+var r236fa = newFluid("R236fa",
+	[]float64{0, 10, 20, 30, 40, 50, 60, 70, 80},
+	[]float64{106, 155, 220, 305, 413, 546, 709, 905, 1137},                           // kPa
+	[]float64{153, 149, 145, 140, 135, 129, 123, 116, 108},                            // kJ/kg
+	[]float64{1418, 1390, 1362, 1332, 1300, 1266, 1230, 1191, 1148},                   // kg/m³ liquid
+	[]float64{7.8, 11.1, 15.3, 20.9, 27.9, 36.7, 47.7, 61.4, 78.5},                    // kg/m³ vapor
+	[]float64{1210, 1235, 1260, 1290, 1320, 1355, 1390, 1435, 1480},                   // J/kg·K
+	[]float64{0.0790, 0.0768, 0.0745, 0.0723, 0.0700, 0.0678, 0.0655, 0.0633, 0.0610}, // W/m·K
+	[]float64{350e-6, 324e-6, 300e-6, 277e-6, 255e-6, 234e-6, 215e-6, 197e-6, 180e-6}, // Pa·s
+	[]float64{0.0135, 0.0121, 0.0107, 0.0094, 0.0082, 0.0070, 0.0058, 0.0047, 0.0036}, // N/m
+)
+
+var r134a = newFluid("R134a",
+	[]float64{0, 10, 20, 30, 40, 50, 60, 70, 80},
+	[]float64{293, 415, 572, 770, 1017, 1318, 1682, 2117, 2633},
+	[]float64{199, 191, 182, 173, 163, 152, 139, 124, 106},
+	[]float64{1295, 1261, 1225, 1187, 1147, 1102, 1053, 996, 928},
+	[]float64{14.4, 20.2, 27.8, 37.5, 50.1, 66.3, 87.4, 115.6, 155.1},
+	[]float64{1341, 1381, 1425, 1477, 1538, 1615, 1730, 1906, 2230},
+	[]float64{0.0920, 0.0875, 0.0830, 0.0788, 0.0747, 0.0700, 0.0655, 0.0605, 0.0550},
+	[]float64{267e-6, 235e-6, 207e-6, 183e-6, 161e-6, 142e-6, 124e-6, 107e-6, 91e-6},
+	[]float64{0.0115, 0.0098, 0.0082, 0.0066, 0.0051, 0.0037, 0.0024, 0.0013, 0.0004},
+)
+
+var r245fa = newFluid("R245fa",
+	[]float64{0, 10, 20, 30, 40, 50, 60, 70, 80},
+	[]float64{53.4, 82.5, 123, 178, 251, 345, 464, 611, 790},
+	[]float64{202, 197, 192, 186, 180, 173, 166, 158, 149},
+	[]float64{1404, 1378, 1352, 1325, 1297, 1267, 1236, 1203, 1168},
+	[]float64{3.1, 4.8, 6.8, 9.7, 13.5, 18.3, 24.5, 32.2, 41.5},
+	[]float64{1280, 1300, 1322, 1346, 1372, 1401, 1434, 1472, 1514},
+	[]float64{0.0940, 0.0910, 0.0880, 0.0850, 0.0820, 0.0790, 0.0760, 0.0730, 0.0700},
+	[]float64{512e-6, 452e-6, 402e-6, 358e-6, 319e-6, 285e-6, 255e-6, 228e-6, 204e-6},
+	[]float64{0.0173, 0.0159, 0.0146, 0.0132, 0.0119, 0.0105, 0.0092, 0.0079, 0.0066},
+)
+
+// r1234ze is the low-GWP HFO alternative (R1234ze(E)): the forward-looking
+// candidate for two-phase cooling as high-GWP HFCs like R236fa phase out.
+var r1234ze = newFluid("R1234ze",
+	[]float64{0, 10, 20, 30, 40, 50, 60, 70, 80},
+	[]float64{216, 309, 428, 579, 766, 998, 1279, 1618, 2024},
+	[]float64{184, 177, 170, 163, 155, 146, 136, 124, 110},
+	[]float64{1240, 1208, 1176, 1141, 1103, 1062, 1016, 964, 903},
+	[]float64{11.7, 16.0, 21.5, 28.4, 37.1, 48.0, 61.9, 79.6, 102.7},
+	[]float64{1320, 1355, 1390, 1430, 1475, 1530, 1600, 1695, 1830},
+	[]float64{0.0830, 0.0800, 0.0770, 0.0741, 0.0712, 0.0683, 0.0654, 0.0625, 0.0596},
+	[]float64{280e-6, 250e-6, 224e-6, 201e-6, 180e-6, 161e-6, 144e-6, 128e-6, 113e-6},
+	[]float64{0.0131, 0.0117, 0.0103, 0.0089, 0.0076, 0.0063, 0.0050, 0.0038, 0.0026},
+)
+
+// R236fa returns the paper's chosen refrigerant (§VI-B).
+func R236fa() *Fluid { return r236fa }
+
+// R134a returns the R134a design alternative.
+func R134a() *Fluid { return r134a }
+
+// R245fa returns the R245fa design alternative.
+func R245fa() *Fluid { return r245fa }
+
+// R1234ze returns the low-GWP HFO alternative — a forward-looking
+// extension beyond the paper's candidate set.
+func R1234ze() *Fluid { return r1234ze }
+
+// Candidates returns the refrigerants the design-space study evaluates.
+func Candidates() []*Fluid { return []*Fluid{r236fa, r134a, r245fa, r1234ze} }
+
+// ByName returns a candidate fluid by designation.
+func ByName(name string) (*Fluid, error) {
+	for _, f := range Candidates() {
+		if f.name == name {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("refrigerant: unknown fluid %q", name)
+}
+
+// Liquid water properties for the condenser coolant loop, evaluated at
+// temperature tC in 0–90 °C.
+var (
+	waterRho = linalg.MustTable1D(
+		[]float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90},
+		[]float64{999.8, 999.7, 998.2, 995.7, 992.2, 988.0, 983.2, 977.8, 971.8, 965.3})
+	waterCp = linalg.MustTable1D(
+		[]float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90},
+		[]float64{4217, 4192, 4182, 4178, 4179, 4181, 4185, 4190, 4197, 4205})
+	waterK = linalg.MustTable1D(
+		[]float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90},
+		[]float64{0.561, 0.580, 0.598, 0.615, 0.631, 0.644, 0.654, 0.663, 0.670, 0.675})
+	waterMu = linalg.MustTable1D(
+		[]float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90},
+		[]float64{1.787e-3, 1.306e-3, 1.002e-3, 0.798e-3, 0.653e-3, 0.547e-3, 0.467e-3, 0.404e-3, 0.355e-3, 0.315e-3})
+)
+
+// WaterDensity returns liquid water density (kg/m³) at tC (°C).
+func WaterDensity(tC float64) float64 { return waterRho.At(tC) }
+
+// WaterCp returns liquid water specific heat (J/kg·K) at tC.
+func WaterCp(tC float64) float64 { return waterCp.At(tC) }
+
+// WaterK returns liquid water thermal conductivity (W/m·K) at tC.
+func WaterK(tC float64) float64 { return waterK.At(tC) }
+
+// WaterMu returns liquid water dynamic viscosity (Pa·s) at tC.
+func WaterMu(tC float64) float64 { return waterMu.At(tC) }

@@ -1,0 +1,151 @@
+package refrigerant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCandidates(t *testing.T) {
+	cs := Candidates()
+	if len(cs) != 4 {
+		t.Fatalf("got %d candidates", len(cs))
+	}
+	for _, f := range cs {
+		if f.Name() == "" {
+			t.Fatal("unnamed fluid")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	f, err := ByName("R236fa")
+	if err != nil || f.Name() != "R236fa" {
+		t.Fatalf("ByName: %v %v", f, err)
+	}
+	if _, err := ByName("R12"); err == nil {
+		t.Fatal("unknown fluid must error")
+	}
+}
+
+func TestR236faAnchorValues(t *testing.T) {
+	f := R236fa()
+	// Published anchors (±10%): Psat(30°C) ≈ 320 kPa, hfg(30°C) ≈ 140 kJ/kg,
+	// ρl(25°C) ≈ 1360 kg/m³.
+	if p := f.SatPressure(30); p < 270e3 || p > 350e3 {
+		t.Fatalf("Psat(30) = %v Pa", p)
+	}
+	if h := f.Hfg(30); h < 126e3 || h > 154e3 {
+		t.Fatalf("hfg(30) = %v", h)
+	}
+	if r := f.RhoLiquid(25); r < 1290 || r > 1430 {
+		t.Fatalf("rhoL(25) = %v", r)
+	}
+}
+
+func TestSaturationRoundTrip(t *testing.T) {
+	for _, f := range Candidates() {
+		lo, hi := f.TempRange()
+		for tC := lo; tC <= hi; tC += 5 {
+			p := f.SatPressure(tC)
+			back := f.SatTemperature(p)
+			if math.Abs(back-tC) > 0.75 {
+				t.Fatalf("%s: Tsat(Psat(%v)) = %v", f.Name(), tC, back)
+			}
+		}
+	}
+}
+
+func TestMonotoneTrends(t *testing.T) {
+	for _, f := range Candidates() {
+		lo, hi := f.TempRange()
+		prev := struct{ p, h, rl, rv, sg float64 }{
+			f.SatPressure(lo), f.Hfg(lo), f.RhoLiquid(lo), f.RhoVapor(lo), f.SurfaceTension(lo),
+		}
+		for tC := lo + 1; tC <= hi; tC++ {
+			cur := struct{ p, h, rl, rv, sg float64 }{
+				f.SatPressure(tC), f.Hfg(tC), f.RhoLiquid(tC), f.RhoVapor(tC), f.SurfaceTension(tC),
+			}
+			if cur.p <= prev.p {
+				t.Fatalf("%s: Psat not increasing at %v °C", f.Name(), tC)
+			}
+			if cur.h >= prev.h {
+				t.Fatalf("%s: hfg not decreasing at %v °C", f.Name(), tC)
+			}
+			if cur.rl >= prev.rl {
+				t.Fatalf("%s: rhoL not decreasing at %v °C", f.Name(), tC)
+			}
+			if cur.rv <= prev.rv {
+				t.Fatalf("%s: rhoV not increasing at %v °C", f.Name(), tC)
+			}
+			if cur.sg >= prev.sg {
+				t.Fatalf("%s: sigma not decreasing at %v °C", f.Name(), tC)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestVaporLighterThanLiquid(t *testing.T) {
+	for _, f := range Candidates() {
+		lo, hi := f.TempRange()
+		for tC := lo; tC <= hi; tC += 2 {
+			if f.RhoVapor(tC) >= f.RhoLiquid(tC) {
+				t.Fatalf("%s at %v °C: vapor denser than liquid", f.Name(), tC)
+			}
+		}
+	}
+}
+
+func TestPrandtlPlausible(t *testing.T) {
+	for _, f := range Candidates() {
+		pr := f.PrandtlLiquid(30)
+		if pr < 2 || pr > 10 {
+			t.Fatalf("%s Prandtl(30) = %v, out of refrigerant range", f.Name(), pr)
+		}
+	}
+}
+
+func TestR134aHigherPressureThanR236fa(t *testing.T) {
+	// R134a is the higher-pressure fluid at any temperature; this ordering
+	// is what the design study exploits.
+	for tC := 0.0; tC <= 80; tC += 10 {
+		if R134a().SatPressure(tC) <= R236fa().SatPressure(tC) {
+			t.Fatalf("R134a should exceed R236fa pressure at %v °C", tC)
+		}
+		if R245fa().SatPressure(tC) >= R236fa().SatPressure(tC) {
+			t.Fatalf("R245fa should be below R236fa pressure at %v °C", tC)
+		}
+	}
+}
+
+func TestWaterProperties(t *testing.T) {
+	if rho := WaterDensity(30); math.Abs(rho-995.7) > 0.5 {
+		t.Fatalf("water rho(30) = %v", rho)
+	}
+	if cp := WaterCp(30); math.Abs(cp-4178) > 5 {
+		t.Fatalf("water cp(30) = %v", cp)
+	}
+	if k := WaterK(30); math.Abs(k-0.615) > 0.005 {
+		t.Fatalf("water k(30) = %v", k)
+	}
+	if mu := WaterMu(30); math.Abs(mu-0.798e-3) > 1e-5 {
+		t.Fatalf("water mu(30) = %v", mu)
+	}
+}
+
+// Property: saturation round trip holds for random temperatures in range.
+func TestSatRoundTripProperty(t *testing.T) {
+	f := R236fa()
+	lo, hi := f.TempRange()
+	check := func(x float64) bool {
+		tC := lo + math.Mod(math.Abs(x), hi-lo)
+		if math.IsNaN(tC) {
+			return true
+		}
+		return math.Abs(f.SatTemperature(f.SatPressure(tC))-tC) < 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package render serializes thermal maps and experiment series: ASCII heat
+// maps for terminals, CSV for plotting, and binary PGM images.
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/floorplan"
+)
+
+// ramp is the ASCII intensity ramp, cold to hot.
+const ramp = " .:-=+*#%@"
+
+// ASCIIMap writes an ASCII heat map of temps (row-major on grid) to w,
+// normalizing colors between the map's min and max. A legend with the
+// extremes is appended.
+func ASCIIMap(w io.Writer, grid floorplan.Grid, temps []float64) error {
+	if len(temps) != grid.Cells() {
+		return fmt.Errorf("render: %d temps for %d cells", len(temps), grid.Cells())
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, t := range temps {
+		lo = math.Min(lo, t)
+		hi = math.Max(hi, t)
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	var sb strings.Builder
+	for iy := 0; iy < grid.NY; iy++ {
+		for ix := 0; ix < grid.NX; ix++ {
+			t := temps[grid.Index(ix, iy)]
+			level := int((t - lo) / span * float64(len(ramp)-1))
+			if level < 0 {
+				level = 0
+			}
+			if level >= len(ramp) {
+				level = len(ramp) - 1
+			}
+			sb.WriteByte(ramp[level])
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "min %.1f °C ('%c')  max %.1f °C ('%c')\n", lo, ramp[0], hi, ramp[len(ramp)-1])
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// CSVMap writes the map as x_mm,y_mm,temp_C rows with a header.
+func CSVMap(w io.Writer, grid floorplan.Grid, temps []float64) error {
+	if len(temps) != grid.Cells() {
+		return fmt.Errorf("render: %d temps for %d cells", len(temps), grid.Cells())
+	}
+	var sb strings.Builder
+	sb.WriteString("x_mm,y_mm,temp_c\n")
+	for iy := 0; iy < grid.NY; iy++ {
+		for ix := 0; ix < grid.NX; ix++ {
+			cx, cy := grid.CellCenter(ix, iy)
+			fmt.Fprintf(&sb, "%.3f,%.3f,%.3f\n", cx*1e3, cy*1e3, temps[grid.Index(ix, iy)])
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// PGM writes a binary (P5) PGM image of the map scaled to [min,max]→[0,255].
+func PGM(w io.Writer, grid floorplan.Grid, temps []float64) error {
+	if len(temps) != grid.Cells() {
+		return fmt.Errorf("render: %d temps for %d cells", len(temps), grid.Cells())
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, t := range temps {
+		lo = math.Min(lo, t)
+		hi = math.Max(hi, t)
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", grid.NX, grid.NY); err != nil {
+		return err
+	}
+	buf := make([]byte, grid.Cells())
+	for i, t := range temps {
+		buf[i] = byte(math.Round((t - lo) / span * 255))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// Table renders an aligned text table: header row plus data rows.
+func Table(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		return strings.TrimRight(sb.String(), " ")
+	}
+	var sb strings.Builder
+	sb.WriteString(line(header))
+	sb.WriteByte('\n')
+	sb.WriteString(strings.Repeat("-", len(line(header))))
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		sb.WriteString(line(r))
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

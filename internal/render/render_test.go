@@ -1,0 +1,105 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+func grid() floorplan.Grid { return floorplan.NewGrid(4, 3, 4, 3) }
+
+func temps() []float64 {
+	t := make([]float64, 12)
+	for i := range t {
+		t[i] = 40 + float64(i)
+	}
+	return t
+}
+
+func TestASCIIMap(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ASCIIMap(&buf, grid(), temps()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 { // 3 rows + legend
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for _, l := range lines[:3] {
+		if len(l) != 4 {
+			t.Fatalf("row %q has wrong width", l)
+		}
+	}
+	if !strings.Contains(lines[3], "min 40.0") || !strings.Contains(lines[3], "max 51.0") {
+		t.Fatalf("legend wrong: %q", lines[3])
+	}
+	if err := ASCIIMap(&buf, grid(), make([]float64, 2)); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestASCIIMapFlat(t *testing.T) {
+	var buf bytes.Buffer
+	flat := make([]float64, 12)
+	for i := range flat {
+		flat[i] = 50
+	}
+	if err := ASCIIMap(&buf, grid(), flat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVMap(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSVMap(&buf, grid(), temps()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 13 { // header + 12 cells
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0] != "x_mm,y_mm,temp_c" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if err := CSVMap(&buf, grid(), nil); err == nil {
+		t.Fatal("nil temps must error")
+	}
+}
+
+func TestPGM(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PGM(&buf, grid(), temps()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n4 3\n255\n")) {
+		t.Fatalf("bad PGM header: %q", out[:12])
+	}
+	pix := out[len("P5\n4 3\n255\n"):]
+	if len(pix) != 12 {
+		t.Fatalf("got %d pixels", len(pix))
+	}
+	if pix[0] != 0 || pix[11] != 255 {
+		t.Fatalf("scaling wrong: first %d last %d", pix[0], pix[11])
+	}
+	if err := PGM(&buf, grid(), nil); err == nil {
+		t.Fatal("nil temps must error")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table(&buf, []string{"name", "v"}, [][]string{{"alpha", "1"}, {"b", "22"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "alpha  1") || !strings.Contains(out, "b      22") {
+		t.Fatalf("table misaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "-----") {
+		t.Fatal("missing separator")
+	}
+}

@@ -1,0 +1,94 @@
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/floorplan"
+)
+
+// SVGOptions configures the SVG heat-map writer.
+type SVGOptions struct {
+	// CellPx is the rendered size of one grid cell in pixels (default 8).
+	CellPx int
+	// MinC/MaxC pin the color scale; when both are zero the map's own
+	// extremes are used.
+	MinC, MaxC float64
+	// Overlay draws the outlines of these rectangles (grid frame), e.g.
+	// the die and core outlines.
+	Overlay []floorplan.Rect
+}
+
+// SVGMap writes a self-contained SVG heat map of temps on grid, using a
+// blue→red ramp with an embedded min/max legend.
+func SVGMap(w io.Writer, grid floorplan.Grid, temps []float64, opt SVGOptions) error {
+	if len(temps) != grid.Cells() {
+		return fmt.Errorf("render: %d temps for %d cells", len(temps), grid.Cells())
+	}
+	if opt.CellPx <= 0 {
+		opt.CellPx = 8
+	}
+	lo, hi := opt.MinC, opt.MaxC
+	if lo == 0 && hi == 0 {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, t := range temps {
+			lo = math.Min(lo, t)
+			hi = math.Max(hi, t)
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	widthPx := grid.NX * opt.CellPx
+	heightPx := grid.NY*opt.CellPx + 20 // legend strip
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", widthPx, heightPx)
+	for iy := 0; iy < grid.NY; iy++ {
+		for ix := 0; ix < grid.NX; ix++ {
+			t := temps[grid.Index(ix, iy)]
+			r, g, b := tempColor((t - lo) / span)
+			fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,%d)"/>`+"\n",
+				ix*opt.CellPx, iy*opt.CellPx, opt.CellPx, opt.CellPx, r, g, b)
+		}
+	}
+	// Overlays: convert grid-frame rectangles to pixels.
+	for _, o := range opt.Overlay {
+		x := (o.X - grid.OriginX) / grid.DX * float64(opt.CellPx)
+		y := (o.Y - grid.OriginY) / grid.DY * float64(opt.CellPx)
+		wp := o.W / grid.DX * float64(opt.CellPx)
+		hp := o.H / grid.DY * float64(opt.CellPx)
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="black" stroke-width="1"/>`+"\n",
+			x, y, wp, hp)
+	}
+	fmt.Fprintf(&sb, `<text x="2" y="%d" font-family="monospace" font-size="12">%.1f–%.1f °C</text>`+"\n",
+		grid.NY*opt.CellPx+14, lo, hi)
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// tempColor maps a normalized value in [0,1] onto a blue→cyan→yellow→red
+// ramp.
+func tempColor(v float64) (r, g, b int) {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	switch {
+	case v < 1.0/3:
+		t := v * 3
+		return 0, int(255 * t), 255
+	case v < 2.0/3:
+		t := (v - 1.0/3) * 3
+		return int(255 * t), 255, int(255 * (1 - t))
+	default:
+		t := (v - 2.0/3) * 3
+		return 255, int(255 * (1 - t)), 0
+	}
+}

@@ -1,0 +1,77 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+func TestSVGMap(t *testing.T) {
+	var buf bytes.Buffer
+	g := grid()
+	if err := SVGMap(&buf, g, temps(), SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, `<svg xmlns=`) || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a well-formed SVG envelope")
+	}
+	// One rect per cell plus the legend text.
+	if n := strings.Count(out, "<rect "); n != g.Cells() {
+		t.Fatalf("got %d rects, want %d", n, g.Cells())
+	}
+	if !strings.Contains(out, "40.0–51.0 °C") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestSVGMapOverlay(t *testing.T) {
+	var buf bytes.Buffer
+	g := grid()
+	opt := SVGOptions{Overlay: []floorplan.Rect{{X: 1, Y: 1, W: 2, H: 1}}}
+	if err := SVGMap(&buf, g, temps(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), `stroke="black"`); n != 1 {
+		t.Fatalf("got %d overlays", n)
+	}
+}
+
+func TestSVGMapPinnedScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVGMap(&buf, grid(), temps(), SVGOptions{MinC: 0, MaxC: 100, CellPx: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.0–100.0 °C") {
+		t.Fatal("pinned scale not honored")
+	}
+}
+
+func TestSVGMapErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVGMap(&buf, grid(), nil, SVGOptions{}); err == nil {
+		t.Fatal("nil temps must error")
+	}
+}
+
+func TestTempColorRamp(t *testing.T) {
+	// Cold end: blue; hot end: red; midpoints stay in gamut.
+	r, g, b := tempColor(0)
+	if r != 0 || b != 255 {
+		t.Fatalf("cold color rgb(%d,%d,%d)", r, g, b)
+	}
+	r, g, b = tempColor(1)
+	if r != 255 || b != 0 {
+		t.Fatalf("hot color rgb(%d,%d,%d)", r, g, b)
+	}
+	for v := -0.5; v <= 1.5; v += 0.05 {
+		r, g, b = tempColor(v)
+		for _, c := range []int{r, g, b} {
+			if c < 0 || c > 255 {
+				t.Fatalf("v=%v out-of-gamut rgb(%d,%d,%d)", v, r, g, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestGenerate(t *testing.T) {
+	md, err := Generate(experiments.Coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# Reproduction report",
+		"## Fig. 2",
+		"## Table I",
+		"## Fig. 5",
+		"## Fig. 6",
+		"## Table II",
+		"## Fig. 7",
+		"## §VIII-B",
+		"| POLL | 27 | 32 | 40 |",
+		"Proposed",
+		"[8]+[27]+[9]",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	// Well-formed markdown tables: every table row has balanced pipes.
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(line, "|") && !strings.HasSuffix(line, "|") {
+			t.Fatalf("unterminated table row: %q", line)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cosim"
+	"repro/internal/power"
+	"repro/internal/thermosyphon"
+	"repro/internal/workload"
+)
+
+// Governor drives a transient co-simulation of a workload trace with the
+// paper's runtime policy in the loop: every control period it inspects
+// TCASE and reacts — valve first, then DVFS if QoS still holds.
+type Governor struct {
+	Sys *cosim.System
+	// Period is the control interval (seconds of simulated time).
+	Period float64
+	// Step is the transient integration step; must divide Period.
+	Step float64
+	// FlowStepKgH / FlowMaxKgH bound the valve.
+	FlowStepKgH, FlowMaxKgH float64
+	// TCaseLimit is the emergency threshold.
+	TCaseLimit float64
+	// ReleaseHysteresisC, when positive, lets the governor close the
+	// valve back toward the base flow once TCASE has stayed below
+	// (limit − hysteresis) for ReleasePeriods consecutive control
+	// periods — recovering the §VI-C pumping economy after transients.
+	ReleaseHysteresisC float64
+	// ReleasePeriods is the required consecutive-cool period count.
+	ReleasePeriods int
+}
+
+// NewGovernor returns a governor with a 1 s control period and 0.25 s
+// integration steps at the paper's thermal limit.
+func NewGovernor(sys *cosim.System) *Governor {
+	return &Governor{
+		Sys:         sys,
+		Period:      1.0,
+		Step:        0.25,
+		FlowStepKgH: 1,
+		FlowMaxKgH:  20,
+		TCaseLimit:  TCaseMax,
+	}
+}
+
+// Sample is one control-period record of a governed run.
+type Sample struct {
+	Time    float64
+	Phase   string
+	DieMaxC float64
+	TCaseC  float64
+	FlowKgH float64
+	Freq    power.Frequency
+	PowerW  float64
+	Actions int // cumulative action count
+}
+
+// RunResult is the full timeline of a governed trace execution.
+type RunResult struct {
+	Samples []Sample
+	Actions []Action
+	// Emergencies counts periods where the limit held despite all
+	// remedies being exhausted.
+	Emergencies int
+}
+
+// Run simulates the trace under the governor: the workload runs with the
+// mapping's configuration, phases modulate its dynamic power, and the
+// runtime policy reacts to thermal emergencies.
+func (g *Governor) Run(tr workload.Trace, m core.Mapping, q workload.QoS, op thermosyphon.Operating) (*RunResult, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if g.Step <= 0 || g.Period < g.Step {
+		return nil, fmt.Errorf("sched: bad governor timing (period %g, step %g)", g.Period, g.Step)
+	}
+	if g.TCaseLimit <= 0 {
+		g.TCaseLimit = TCaseMax
+	}
+	sim, err := cosim.NewTransient(g.Sys, op, 30)
+	if err != nil {
+		return nil, err
+	}
+	mapping := m
+	out := &RunResult{}
+	horizon := tr.TotalDuration().Seconds()
+	baseFlow := op.WaterFlowKgH
+	coolPeriods := 0
+
+	for sim.Time() < horizon {
+		phase := tr.At(time.Duration(sim.Time() * float64(time.Second)))
+		st := phaseState(tr.Bench, mapping, phase)
+		bp := g.Sys.Power.BlockPowers(st)
+		var total float64
+		for _, p := range bp {
+			total += p
+		}
+		// Integrate one control period.
+		for t := 0.0; t < g.Period-1e-9 && sim.Time() < horizon; t += g.Step {
+			if err := sim.Step(g.Step, bp); err != nil {
+				return nil, err
+			}
+		}
+		// Control law (§VII): valve first, then DVFS under QoS.
+		tc := sim.TCase()
+		if tc < g.TCaseLimit-g.ReleaseHysteresisC && g.ReleaseHysteresisC > 0 {
+			coolPeriods++
+			if coolPeriods >= g.ReleasePeriods && sim.Operating().WaterFlowKgH > baseFlow {
+				cur := sim.Operating()
+				cur.WaterFlowKgH -= g.FlowStepKgH
+				if cur.WaterFlowKgH < baseFlow {
+					cur.WaterFlowKgH = baseFlow
+				}
+				if err := sim.SetOperating(cur); err != nil {
+					return nil, err
+				}
+				out.Actions = append(out.Actions, Action{Kind: "flow-release", FlowKgH: cur.WaterFlowKgH})
+				coolPeriods = 0
+			}
+		} else {
+			coolPeriods = 0
+		}
+		if tc >= g.TCaseLimit {
+			cur := sim.Operating()
+			switch {
+			case cur.WaterFlowKgH+g.FlowStepKgH <= g.FlowMaxKgH:
+				cur.WaterFlowKgH += g.FlowStepKgH
+				if err := sim.SetOperating(cur); err != nil {
+					return nil, err
+				}
+				out.Actions = append(out.Actions, Action{Kind: "flow", FlowKgH: cur.WaterFlowKgH})
+			default:
+				lower, ok := lowerFreq(mapping.Config.Freq)
+				cand := mapping.Config
+				cand.Freq = lower
+				if ok && q.Satisfied(tr.Bench, cand) {
+					mapping.Config = cand
+					out.Actions = append(out.Actions, Action{Kind: "dvfs", Freq: lower})
+				} else {
+					out.Emergencies++
+				}
+			}
+		}
+		dieMax, err := sim.DieMax()
+		if err != nil {
+			return nil, err
+		}
+		out.Samples = append(out.Samples, Sample{
+			Time:    sim.Time(),
+			Phase:   phase.Name,
+			DieMaxC: dieMax,
+			TCaseC:  tc,
+			FlowKgH: sim.Operating().WaterFlowKgH,
+			Freq:    mapping.Config.Freq,
+			PowerW:  total,
+			Actions: len(out.Actions),
+		})
+	}
+	return out, nil
+}
+
+// phaseState builds the package state for a mapping with the phase's
+// power modulation applied.
+func phaseState(b workload.Benchmark, m core.Mapping, p workload.Phase) power.PackageState {
+	st := core.PackageState(b, m)
+	for i := range st.Cores {
+		if st.Cores[i].Active {
+			st.Cores[i].DynWatts *= p.DynScale
+		}
+	}
+	// Memory-heavy phases push the uncore toward its ceiling.
+	st.UncoreFreq = power.UncoreFreqMin + (st.UncoreFreq-power.UncoreFreqMin)*p.MemScale
+	if st.UncoreFreq > power.UncoreFreqMax {
+		st.UncoreFreq = power.UncoreFreqMax
+	}
+	st.LLC *= p.MemScale
+	if st.LLC > 1 {
+		st.LLC = 1
+	}
+	return st
+}

@@ -1,0 +1,223 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/thermosyphon"
+	"repro/internal/workload"
+)
+
+func shortTrace(t *testing.T, name string) workload.Trace {
+	t.Helper()
+	b, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.SynthesizeTrace(b, 42)
+	// Trim to keep the test quick.
+	if len(tr.Phases) > 4 {
+		tr.Phases = tr.Phases[:4]
+	}
+	return tr
+}
+
+func TestGovernorNominalRun(t *testing.T) {
+	sys := coarseSystem(t)
+	g := NewGovernor(sys)
+	tr := shortTrace(t, "ferret")
+	m, err := core.Plan(tr.Bench, workload.QoS2x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Run(tr, m, workload.QoS2x, thermosyphon.DefaultOperating())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	// Nominal run at the design point: no actions, no emergencies.
+	if len(out.Actions) != 0 || out.Emergencies != 0 {
+		t.Fatalf("nominal run acted: %d actions, %d emergencies", len(out.Actions), out.Emergencies)
+	}
+	// Time advances monotonically and temperatures stay physical.
+	for i, s := range out.Samples {
+		if i > 0 && s.Time <= out.Samples[i-1].Time {
+			t.Fatal("time not monotone")
+		}
+		if s.DieMaxC < 25 || s.DieMaxC > 110 {
+			t.Fatalf("sample %d die %.1f implausible", i, s.DieMaxC)
+		}
+		if s.Phase == "" {
+			t.Fatal("sample without phase")
+		}
+	}
+}
+
+func TestGovernorReactsToTightLimit(t *testing.T) {
+	sys := coarseSystem(t)
+	g := NewGovernor(sys)
+	tr := shortTrace(t, "x264")
+	m, err := core.Plan(tr.Bench, workload.QoS3x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Config.Freq = power.FMax
+	// First find the nominal peak TCase, then re-run with the limit
+	// below it.
+	base, err := g.Run(tr, m, workload.QoS3x, thermosyphon.DefaultOperating())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0.0
+	for _, s := range base.Samples {
+		if s.TCaseC > peak {
+			peak = s.TCaseC
+		}
+	}
+	g2 := NewGovernor(sys)
+	g2.TCaseLimit = peak - 1
+	out, err := g2.Run(tr, m, workload.QoS3x, thermosyphon.DefaultOperating())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Actions) == 0 {
+		t.Fatal("tight limit must trigger actions")
+	}
+	// First action must be the valve (§VII).
+	if out.Actions[0].Kind != "flow" {
+		t.Fatalf("first action %v, want flow", out.Actions[0])
+	}
+	// Flow must be monotone non-decreasing across samples.
+	for i := 1; i < len(out.Samples); i++ {
+		if out.Samples[i].FlowKgH < out.Samples[i-1].FlowKgH {
+			t.Fatal("valve closed spontaneously")
+		}
+	}
+}
+
+func TestGovernorDVFSWhenValveExhausted(t *testing.T) {
+	sys := coarseSystem(t)
+	g := NewGovernor(sys)
+	g.FlowMaxKgH = thermosyphon.DefaultOperating().WaterFlowKgH // valve pinned
+	g.TCaseLimit = 35                                           // force constant violation
+	tr := shortTrace(t, "x264")
+	m, err := core.Plan(tr.Bench, workload.QoS3x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Config.Freq = power.FMax
+	out, err := g.Run(tr, m, workload.QoS3x, thermosyphon.DefaultOperating())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dvfs int
+	for _, a := range out.Actions {
+		if a.Kind == "flow" {
+			t.Fatal("valve pinned; no flow actions allowed")
+		}
+		if a.Kind == "dvfs" {
+			dvfs++
+		}
+	}
+	// With QoS3x headroom the governor can step fmax→fmid→fmin: at most
+	// two DVFS actions, then emergencies accumulate.
+	if dvfs == 0 {
+		t.Fatal("expected DVFS actions")
+	}
+	if dvfs > 2 {
+		t.Fatalf("impossible: %d DVFS steps on a 3-level ladder", dvfs)
+	}
+	if out.Emergencies == 0 {
+		t.Fatal("a 35 °C limit must end in emergencies")
+	}
+	// Frequency in the last sample must be the floor.
+	last := out.Samples[len(out.Samples)-1]
+	if last.Freq != power.FMin {
+		t.Fatalf("final frequency %v, want FMin", last.Freq)
+	}
+}
+
+func TestGovernorTimingValidation(t *testing.T) {
+	sys := coarseSystem(t)
+	g := NewGovernor(sys)
+	g.Step = 0
+	tr := shortTrace(t, "vips")
+	m, _ := core.Plan(tr.Bench, workload.QoS2x)
+	if _, err := g.Run(tr, m, workload.QoS2x, thermosyphon.DefaultOperating()); err == nil {
+		t.Fatal("zero step must error")
+	}
+	g2 := NewGovernor(sys)
+	bad := workload.Trace{Bench: tr.Bench}
+	if _, err := g2.Run(bad, m, workload.QoS2x, thermosyphon.DefaultOperating()); err == nil {
+		t.Fatal("empty trace must error")
+	}
+}
+
+func TestGovernorValveRelease(t *testing.T) {
+	sys := coarseSystem(t)
+	b, err := workload.ByName("x264")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hot phase that forces the valve open, then a long cool tail.
+	tr := workload.Trace{
+		Bench: b,
+		Phases: []workload.Phase{
+			{Name: "hot", Duration: 8 * time.Second, DynScale: 1.2, MemScale: 0.8},
+			{Name: "cool", Duration: 14 * time.Second, DynScale: 0.15, MemScale: 0.4},
+		},
+	}
+	m, err := core.Plan(b, workload.QoS3x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Config.Freq = power.FMax
+
+	g := NewGovernor(sys)
+	base, err := g.Run(tr, m, workload.QoS3x, thermosyphon.DefaultOperating())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0.0
+	for _, s := range base.Samples {
+		if s.TCaseC > peak {
+			peak = s.TCaseC
+		}
+	}
+
+	g2 := NewGovernor(sys)
+	g2.TCaseLimit = peak - 0.5
+	g2.ReleaseHysteresisC = 1
+	g2.ReleasePeriods = 2
+	out, err := g2.Run(tr, m, workload.QoS3x, thermosyphon.DefaultOperating())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opened, released bool
+	for _, a := range out.Actions {
+		if a.Kind == "flow" {
+			opened = true
+		}
+		if a.Kind == "flow-release" {
+			released = true
+			if a.FlowKgH < thermosyphon.DefaultOperating().WaterFlowKgH {
+				t.Fatal("release must not undershoot the base flow")
+			}
+		}
+	}
+	if !opened {
+		t.Fatal("hot phase should open the valve")
+	}
+	if !released {
+		t.Fatal("cool tail should release the valve")
+	}
+	// Final flow back at (or near) the base.
+	last := out.Samples[len(out.Samples)-1]
+	if last.FlowKgH > thermosyphon.DefaultOperating().WaterFlowKgH+2 {
+		t.Fatalf("valve not released: final flow %.0f", last.FlowKgH)
+	}
+}

@@ -1,0 +1,146 @@
+// Package sched implements the paper's runtime control loop (§VII, final
+// paragraph): during execution, the water flow rate is increased only when
+// a thermal emergency occurs (TCASE ≥ TCASE_MAX), and the core frequency is
+// lowered only if the flow rate is exhausted and the QoS constraint still
+// holds at the lower frequency.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cosim"
+	"repro/internal/power"
+	"repro/internal/thermosyphon"
+	"repro/internal/workload"
+)
+
+// TCaseMax is the paper's thermal constraint: the maximum temperature at
+// the center of the heat spreader (§VI-B).
+const TCaseMax = 85.0
+
+// Controller regulates one blade at runtime.
+type Controller struct {
+	Sys *cosim.System
+	// Op is the current cooling operating point; Regulate may raise the
+	// flow rate.
+	Op thermosyphon.Operating
+	// FlowStepKgH is the valve increment per emergency reaction.
+	FlowStepKgH float64
+	// FlowMaxKgH is the valve's maximum flow.
+	FlowMaxKgH float64
+	// TCaseLimit is the emergency threshold (defaults to TCaseMax).
+	TCaseLimit float64
+}
+
+// NewController returns a controller at the paper's design operating point
+// with a 1 kg/h valve step up to 20 kg/h.
+func NewController(sys *cosim.System) *Controller {
+	return &Controller{
+		Sys:         sys,
+		Op:          thermosyphon.DefaultOperating(),
+		FlowStepKgH: 1,
+		FlowMaxKgH:  20,
+		TCaseLimit:  TCaseMax,
+	}
+}
+
+// Action describes one regulation step taken by the controller.
+type Action struct {
+	Kind string // "flow" or "dvfs"
+	// FlowKgH is the flow after a "flow" action.
+	FlowKgH float64
+	// Freq is the frequency after a "dvfs" action.
+	Freq power.Frequency
+}
+
+// Outcome reports the converged regulation result.
+type Outcome struct {
+	Result  *cosim.Result
+	Op      thermosyphon.Operating
+	Mapping core.Mapping
+	TCase   float64
+	Actions []Action
+	// Emergency is true if the limit could not be met even after all
+	// actions (the workload must then be migrated off the blade).
+	Emergency bool
+}
+
+// Regulate runs the control loop for one application mapped by Algorithm 1
+// under QoS q: solve the coupled steady state, and while TCASE exceeds the
+// limit, first open the valve, then drop frequency while QoS allows.
+func (c *Controller) Regulate(b workload.Benchmark, m core.Mapping, q workload.QoS) (*Outcome, error) {
+	if c.TCaseLimit <= 0 {
+		c.TCaseLimit = TCaseMax
+	}
+	op := c.Op
+	mapping := m
+	out := &Outcome{Op: op, Mapping: mapping}
+
+	solve := func() error {
+		st := core.PackageState(b, mapping)
+		res, err := c.Sys.SolveSteady(st, op)
+		if err != nil {
+			return err
+		}
+		out.Result = res
+		out.TCase = c.Sys.TCase(res)
+		out.Op = op
+		out.Mapping = mapping
+		return nil
+	}
+	if err := solve(); err != nil {
+		return nil, err
+	}
+
+	for out.TCase >= c.TCaseLimit {
+		// First remedy: open the valve (§VII: "we increase water flow
+		// rate only if a thermal emergency occurs").
+		if op.WaterFlowKgH+c.FlowStepKgH <= c.FlowMaxKgH {
+			op.WaterFlowKgH += c.FlowStepKgH
+			out.Actions = append(out.Actions, Action{Kind: "flow", FlowKgH: op.WaterFlowKgH})
+			if err := solve(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Valve exhausted: lower the frequency if QoS still holds.
+		lower, ok := lowerFreq(mapping.Config.Freq)
+		if !ok {
+			out.Emergency = true
+			break
+		}
+		cand := mapping.Config
+		cand.Freq = lower
+		if !q.Satisfied(b, cand) {
+			out.Emergency = true
+			break
+		}
+		mapping.Config = cand
+		out.Actions = append(out.Actions, Action{Kind: "dvfs", Freq: lower})
+		if err := solve(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func lowerFreq(f power.Frequency) (power.Frequency, bool) {
+	levels := power.Levels()
+	for i := 1; i < len(levels); i++ {
+		if levels[i] == f {
+			return levels[i-1], true
+		}
+	}
+	return f, false
+}
+
+// RegulatePlan is a convenience wrapper: run Algorithm 1 for the benchmark
+// and then regulate the resulting mapping.
+func (c *Controller) RegulatePlan(b workload.Benchmark, q workload.QoS) (*Outcome, error) {
+	m, err := core.Plan(b, q)
+	if err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	return c.Regulate(b, m, q)
+}

@@ -1,0 +1,80 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Analytic reference solutions used to validate the finite-volume model in
+// its limiting regimes: 1-D conduction through the layer stack and the
+// classical spreading-resistance estimate for a small source on a larger
+// plate. The tests compare the 3-D solver against these closed forms.
+
+// SlabResistance returns the 1-D series thermal resistance (K/W) of the
+// stack per unit area times area — i.e. for a column of the given area
+// through every layer, terminated by a convective film h on top.
+func (s *Stack) SlabResistance(area, h float64) (float64, error) {
+	if area <= 0 {
+		return 0, fmt.Errorf("thermal: non-positive area")
+	}
+	if h <= 0 {
+		return 0, fmt.Errorf("thermal: non-positive film coefficient")
+	}
+	var rPerArea float64 // m²K/W
+	for _, l := range s.Layers {
+		rPerArea += l.Thickness / l.Base.K
+	}
+	rPerArea += 1 / h
+	return rPerArea / area, nil
+}
+
+// OneDSlabTemp returns the analytic bottom temperature of a uniformly
+// heated stack column: T = T_fluid + q·R_slab with q the total heat and
+// R_slab the series resistance over the full area.
+func (s *Stack) OneDSlabTemp(q, area, h, tFluid float64) (float64, error) {
+	r, err := s.SlabResistance(area, h)
+	if err != nil {
+		return 0, err
+	}
+	return tFluid + q*r, nil
+}
+
+// SpreadingResistance returns the classical (Lee et al.) approximation of
+// the constriction/spreading resistance (K/W) for a circular source of
+// radius a on a circular plate of radius b and thickness t with
+// conductivity k, cooled by film h on the far side.
+func SpreadingResistance(a, b, t, k, h float64) (float64, error) {
+	if a <= 0 || b <= a || t <= 0 || k <= 0 || h <= 0 {
+		return 0, fmt.Errorf("thermal: invalid spreading geometry (a=%g b=%g t=%g k=%g h=%g)", a, b, t, k, h)
+	}
+	eps := a / b
+	tau := t / b
+	biot := h * b / k
+	lambda := math.Pi + 1/(math.Sqrt(math.Pi)*eps)
+	phi := (math.Tanh(lambda*tau) + lambda/biot) / (1 + lambda/biot*math.Tanh(lambda*tau))
+	psiMax := eps*tau/math.Sqrt(math.Pi) + 1/math.Sqrt(math.Pi)*(1-eps)*phi
+	return psiMax / (k * a * math.Sqrt(math.Pi)), nil
+}
+
+// EquivalentRadius returns the radius of the circle with the same area as
+// a w×h rectangle — the standard adaptation of circular spreading formulas
+// to rectangular sources.
+func EquivalentRadius(w, h float64) float64 {
+	return math.Sqrt(w * h / math.Pi)
+}
+
+// TimeConstant returns the lumped RC time constant (s) of the stack per
+// unit area against a film h: τ = (Σ ρcp·t) · (Σ t/k + 1/h). It bounds how
+// long transients take to settle, which the transient tests use.
+func (s *Stack) TimeConstant(h float64) (float64, error) {
+	if h <= 0 {
+		return 0, fmt.Errorf("thermal: non-positive film coefficient")
+	}
+	var capPerArea, rPerArea float64
+	for _, l := range s.Layers {
+		capPerArea += l.Base.VolHeatCap * l.Thickness
+		rPerArea += l.Thickness / l.Base.K
+	}
+	rPerArea += 1 / h
+	return capPerArea * rPerArea, nil
+}

@@ -1,0 +1,129 @@
+package thermal
+
+import (
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/linalg"
+)
+
+// Field is a temperature solution over a model's unknowns (°C).
+type Field struct {
+	model *Model
+	T     linalg.Vector
+}
+
+// Layer returns the temperature slice of one layer (length Cells()).
+// The returned slice aliases the field; callers must not modify it.
+func (f *Field) Layer(l int) []float64 {
+	cells := f.model.cells
+	return f.T[l*cells : (l+1)*cells]
+}
+
+// LayerByName returns the temperatures of the named layer.
+func (f *Field) LayerByName(name string) ([]float64, error) {
+	l := f.model.Stack.LayerIndex(name)
+	if l < 0 {
+		return nil, fmt.Errorf("thermal: no layer %q", name)
+	}
+	return f.Layer(l), nil
+}
+
+// At returns the temperature of cell (ix, iy) in layer l.
+func (f *Field) At(l, ix, iy int) float64 {
+	g := f.model.Stack.Grid
+	return f.T[l*f.model.cells+g.Index(ix, iy)]
+}
+
+// Clone returns an independent copy of the field.
+func (f *Field) Clone() *Field {
+	return &Field{model: f.model, T: f.T.Clone()}
+}
+
+// Model returns the model the field was solved on.
+func (f *Field) Model() *Model { return f.model }
+
+// SampleAt returns the temperature of layer l at physical point (x, y),
+// clamped into the grid.
+func (f *Field) SampleAt(l int, x, y float64) float64 {
+	g := f.model.Stack.Grid
+	ix, iy := g.CellAt(x, y)
+	return f.At(l, ix, iy)
+}
+
+// RegionStats summarizes a rectangular probe of one layer.
+type RegionStats struct {
+	Max, Min, Mean float64
+	// MaxX, MaxY locate the hottest cell center (grid frame).
+	MaxX, MaxY float64
+}
+
+// Region computes temperature statistics of layer l restricted to cells
+// whose centers fall inside rect (grid coordinate frame). It returns an
+// error if the rectangle covers no cell centers.
+func (f *Field) Region(l int, rect floorplan.Rect) (RegionStats, error) {
+	g := f.model.Stack.Grid
+	st := RegionStats{Max: -1e300, Min: 1e300}
+	var sum float64
+	var count int
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			cx, cy := g.CellCenter(ix, iy)
+			if !rect.Contains(cx, cy) {
+				continue
+			}
+			t := f.At(l, ix, iy)
+			sum += t
+			count++
+			if t > st.Max {
+				st.Max, st.MaxX, st.MaxY = t, cx, cy
+			}
+			if t < st.Min {
+				st.Min = t
+			}
+		}
+	}
+	if count == 0 {
+		return RegionStats{}, fmt.Errorf("thermal: probe rectangle covers no cells")
+	}
+	st.Mean = sum / float64(count)
+	return st, nil
+}
+
+// TotalHeatToTop integrates the heat leaving through the top boundary (W)
+// for the given boundary condition — used to verify energy conservation.
+func (f *Field) TotalHeatToTop(bc TopBoundary) float64 {
+	m := f.model
+	top := (m.nl - 1) * m.cells
+	var q float64
+	for c := 0; c < m.cells; c++ {
+		if g := m.topG(bc, c); g != 0 {
+			q += g * (f.T[top+c] - bc.TFluid[c])
+		}
+	}
+	return q
+}
+
+// TopHeatPerCell returns the per-cell heat flow (W) leaving through the top
+// boundary, which the thermosyphon's channel-marching model consumes.
+func (f *Field) TopHeatPerCell(bc TopBoundary) []float64 {
+	m := f.model
+	top := (m.nl - 1) * m.cells
+	q := make([]float64, m.cells)
+	for c := 0; c < m.cells; c++ {
+		if g := m.topG(bc, c); g != 0 {
+			q[c] = g * (f.T[top+c] - bc.TFluid[c])
+		}
+	}
+	return q
+}
+
+// TotalHeatToBottom integrates heat leaving through the board-side path (W).
+func (f *Field) TotalHeatToBottom() float64 {
+	m := f.model
+	var q float64
+	for c := 0; c < m.cells; c++ {
+		q += m.gBottom[c] * (f.T[c] - m.Env.AmbientC)
+	}
+	return q
+}

@@ -1,0 +1,147 @@
+// Package thermal implements a 3D-ICE-style compact thermal simulator: a
+// finite-volume RC network over a layered chip stack (die, TIM, heat
+// spreader, evaporator wall) solved with the hand-rolled linear algebra in
+// internal/linalg. It supports steady-state solves (preconditioned CG) and
+// backward-Euler transients, with a per-cell convective top boundary that
+// the thermosyphon model supplies.
+//
+// The paper obtains die temperatures with the 3D-ICE simulator of Sridhar
+// et al. (ICCD'10); this package is the equivalent compact-model substrate.
+package thermal
+
+import (
+	"fmt"
+
+	"repro/internal/floorplan"
+)
+
+// Material holds the bulk thermal properties of a stack layer.
+type Material struct {
+	// K is thermal conductivity (W/m·K).
+	K float64
+	// VolHeatCap is volumetric heat capacity ρ·cp (J/m³·K).
+	VolHeatCap float64
+}
+
+// Stock materials for the Xeon E5 package stack.
+var (
+	// Silicon is bulk die silicon.
+	Silicon = Material{K: 130, VolHeatCap: 1.63e6}
+	// Copper is the heat spreader / evaporator base material.
+	Copper = Material{K: 390, VolHeatCap: 3.45e6}
+	// TIM is a thermal interface material layer.
+	TIM = Material{K: 4, VolHeatCap: 2.0e6}
+	// Underfill models the low-conductivity fill surrounding the die
+	// within its layer (laterally, outside the die footprint).
+	Underfill = Material{K: 0.5, VolHeatCap: 1.2e6}
+)
+
+// RegionOverride replaces a layer's base material inside a rectangle.
+type RegionOverride struct {
+	Rect floorplan.Rect
+	Mat  Material
+}
+
+// LayerSpec describes one layer of the chip stack, bottom to top.
+type LayerSpec struct {
+	Name      string
+	Thickness float64 // m
+	Base      Material
+	Overrides []RegionOverride
+}
+
+// Stack is a layered finite-volume discretization target.
+type Stack struct {
+	Grid   floorplan.Grid
+	Layers []LayerSpec
+}
+
+// Validate checks the stack for positive thicknesses and conductivities.
+func (s *Stack) Validate() error {
+	if s.Grid.NX < 2 || s.Grid.NY < 2 {
+		return fmt.Errorf("thermal: grid too small (%dx%d)", s.Grid.NX, s.Grid.NY)
+	}
+	if len(s.Layers) == 0 {
+		return fmt.Errorf("thermal: stack has no layers")
+	}
+	for _, l := range s.Layers {
+		if l.Thickness <= 0 {
+			return fmt.Errorf("thermal: layer %q has non-positive thickness", l.Name)
+		}
+		if l.Base.K <= 0 || l.Base.VolHeatCap <= 0 {
+			return fmt.Errorf("thermal: layer %q has non-physical base material", l.Name)
+		}
+		for _, o := range l.Overrides {
+			if o.Mat.K <= 0 || o.Mat.VolHeatCap <= 0 {
+				return fmt.Errorf("thermal: layer %q override has non-physical material", l.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// LayerIndex returns the index of the named layer, or -1.
+func (s *Stack) LayerIndex(name string) int {
+	for i, l := range s.Layers {
+		if l.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Canonical Xeon E5 v4 stack layer names.
+const (
+	LayerDie      = "die"
+	LayerTIM1     = "tim1"
+	LayerSpreader = "spreader"
+	LayerTIM2     = "tim2"
+	LayerEvap     = "evaporator"
+)
+
+// XeonStackConfig parameterizes the standard five-layer package stack.
+type XeonStackConfig struct {
+	// NX, NY set the grid resolution over the package footprint.
+	NX, NY int
+	// Package geometry; the die is placed per the geometry's offsets.
+	Package floorplan.PackageGeometry
+}
+
+// DefaultXeonStackConfig returns the resolution used throughout the
+// experiments: 0.5 mm cells over the 38×30 mm spreader.
+func DefaultXeonStackConfig() XeonStackConfig {
+	return XeonStackConfig{NX: 76, NY: 60, Package: floorplan.XeonE5Package()}
+}
+
+// NewXeonStack builds the five-layer Xeon E5 v4 package stack: silicon die
+// (with underfill outside the die footprint), TIM1, copper heat spreader,
+// TIM2, and the copper evaporator base plate of the thermosyphon.
+func NewXeonStack(cfg XeonStackConfig) *Stack {
+	grid := floorplan.NewGrid(cfg.NX, cfg.NY, cfg.Package.Width, cfg.Package.Height)
+	dieRect := cfg.Package.DieRectOnPackage()
+	dieOnly := []RegionOverride{{Rect: dieRect, Mat: Silicon}}
+	timOnly := []RegionOverride{{Rect: dieRect, Mat: TIM}}
+	return &Stack{
+		Grid: grid,
+		Layers: []LayerSpec{
+			{Name: LayerDie, Thickness: 0.5e-3, Base: Underfill, Overrides: dieOnly},
+			{Name: LayerTIM1, Thickness: 0.05e-3, Base: Underfill, Overrides: timOnly},
+			{Name: LayerSpreader, Thickness: 2.5e-3, Base: Copper},
+			{Name: LayerTIM2, Thickness: 0.05e-3, Base: TIM},
+			{Name: LayerEvap, Thickness: 0.6e-3, Base: Copper},
+		},
+	}
+}
+
+// materialAt resolves the material of a cell by sampling the cell centroid
+// against the layer's overrides (last matching override wins).
+func materialAt(l LayerSpec, g floorplan.Grid, ix, iy int) Material {
+	cx, cy := g.CellCenter(ix, iy)
+	m := l.Base
+	for _, o := range l.Overrides {
+		if o.Rect.Contains(cx, cy) {
+			m = o.Mat
+		}
+	}
+	return m
+}

@@ -1,0 +1,115 @@
+package thermosyphon
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChannelReportUniform(t *testing.T) {
+	d := DefaultDesign()
+	grid := testGrid()
+	rep, err := d.ChannelReport(grid, uniformHeat(grid, 70), DefaultOperating())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep) != grid.NY { // E-W channels: one per row
+		t.Fatalf("got %d channels, want %d", len(rep), grid.NY)
+	}
+	var total float64
+	for _, c := range rep {
+		total += c.HeatW
+		if c.ExitQuality <= 0 || c.ExitQuality > 0.99 {
+			t.Fatalf("channel %d exit quality %v", c.Channel, c.ExitQuality)
+		}
+		if c.MinH <= 0 || c.MaxH < c.MinH {
+			t.Fatalf("channel %d HTC range [%v,%v]", c.Channel, c.MinH, c.MaxH)
+		}
+		if c.DryoutPos < 0 || c.DryoutPos > 1 {
+			t.Fatalf("channel %d dryout pos %v", c.Channel, c.DryoutPos)
+		}
+	}
+	if math.Abs(total-70) > 1e-9 {
+		t.Fatalf("channel heats sum to %v, want 70", total)
+	}
+	// Uniform load: all channels identical.
+	for _, c := range rep[1:] {
+		if math.Abs(c.ExitQuality-rep[0].ExitQuality) > 1e-9 {
+			t.Fatal("uniform load must give identical channels")
+		}
+	}
+}
+
+func TestChannelReportVertical(t *testing.T) {
+	d := DefaultDesign()
+	d.Orientation = InletNorth
+	grid := testGrid()
+	rep, err := d.ChannelReport(grid, uniformHeat(grid, 50), DefaultOperating())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep) != grid.NX { // N-S channels: one per column
+		t.Fatalf("got %d channels, want %d", len(rep), grid.NX)
+	}
+}
+
+func TestChannelReportLoadedChannelDriesFirst(t *testing.T) {
+	d := DefaultDesign()
+	grid := testGrid()
+	q := make([]float64, grid.Cells())
+	// Put 40 W on channel 10, nothing elsewhere.
+	for ix := 0; ix < grid.NX; ix++ {
+		q[grid.Index(ix, 10)] = 40.0 / float64(grid.NX)
+	}
+	rep, err := d.ChannelReport(grid, q, DefaultOperating())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := WorstChannel(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.Channel != 10 {
+		t.Fatalf("worst channel %d, want 10", worst.Channel)
+	}
+	if worst.DryoutPos >= 1 {
+		t.Fatal("fully loaded channel must dry out")
+	}
+	// Unloaded channels stay liquid.
+	if rep[0].ExitQuality > 0.01 {
+		t.Fatalf("unloaded channel quality %v", rep[0].ExitQuality)
+	}
+}
+
+func TestChannelReportErrors(t *testing.T) {
+	d := DefaultDesign()
+	grid := testGrid()
+	if _, err := d.ChannelReport(grid, make([]float64, 1), DefaultOperating()); err == nil {
+		t.Fatal("bad length must error")
+	}
+	bad := DefaultDesign()
+	bad.Fluid = nil
+	if _, err := bad.ChannelReport(grid, uniformHeat(grid, 10), DefaultOperating()); err == nil {
+		t.Fatal("invalid design must error")
+	}
+	if _, err := WorstChannel(nil); err == nil {
+		t.Fatal("empty report must error")
+	}
+}
+
+func TestChannelReportConsistentWithEvaporate(t *testing.T) {
+	d := DefaultDesign()
+	grid := testGrid()
+	heat := uniformHeat(grid, 70)
+	rep, err := d.ChannelReport(grid, heat, DefaultOperating())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.Evaporate(grid, heat, DefaultOperating())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, _ := WorstChannel(rep)
+	if math.Abs(worst.ExitQuality-st.MaxQuality) > 1e-9 {
+		t.Fatalf("report worst quality %v vs state max %v", worst.ExitQuality, st.MaxQuality)
+	}
+}

@@ -1,0 +1,177 @@
+package thermosyphon
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+	"repro/internal/linalg"
+)
+
+// State is the converged thermosyphon operating state for one heat-flux
+// distribution: the per-cell boundary condition for the thermal model plus
+// the loop and condenser solutions.
+type State struct {
+	Condenser CondenserSolution
+	Loop      LoopSolution
+	// H is the per-cell effective heat transfer coefficient (W/m²·K) on
+	// the evaporator base grid.
+	H []float64
+	// TFluid is the per-cell refrigerant temperature (°C), below
+	// saturation near the inlet.
+	TFluid []float64
+	// TotalHeatW is the heat load the state was solved for.
+	TotalHeatW float64
+	// MaxQuality is the highest vapor quality reached in any channel.
+	MaxQuality float64
+	// DryoutCells counts cells operating beyond the critical quality.
+	DryoutCells int
+}
+
+// BoilingHTC returns the local flow-boiling heat transfer coefficient
+// (W/m²·K, per wetted area) at vapor quality x and wall heat flux qFlux
+// (W/m²): a nucleate term (Cooper-style q″^0.7) plus a convective term
+// enhanced by vapor acceleration, rolled off beyond the dryout quality.
+func (d *Design) BoilingHTC(x, qFlux, tsatC float64) float64 {
+	fl := d.Fluid
+	hl := 4.36 * fl.KLiquid(tsatC) / d.ChannelHydraulicDiam
+	hnb := 2.2 * math.Pow(math.Max(qFlux, 1000), 0.7)
+	ratio := fl.RhoLiquid(tsatC) / fl.RhoVapor(tsatC)
+	x = linalg.Clamp(x, 0, 1)
+	hcv := hl * (1 + 2.2*math.Pow(x, 0.8)*math.Pow(ratio, 0.35))
+	h := hnb + hcv
+	// Past the critical quality the liquid film breaks down: the HTC
+	// falls steeply toward a 25 % vapor-convection floor.
+	if xc := d.CritQuality(); x > xc {
+		h *= math.Max(0.25, 1-1.5*(x-xc))
+	}
+	return h
+}
+
+// channelPath yields the marching order of one channel: for horizontal
+// orientations channels are grid rows traversed west→east (InletWest) or
+// east→west; for vertical orientations channels are grid columns.
+func channelPath(o Orientation, grid floorplan.Grid, channel int) []int {
+	var path []int
+	switch o {
+	case InletWest:
+		for ix := 0; ix < grid.NX; ix++ {
+			path = append(path, grid.Index(ix, channel))
+		}
+	case InletEast:
+		for ix := grid.NX - 1; ix >= 0; ix-- {
+			path = append(path, grid.Index(ix, channel))
+		}
+	case InletNorth:
+		for iy := 0; iy < grid.NY; iy++ {
+			path = append(path, grid.Index(channel, iy))
+		}
+	case InletSouth:
+		for iy := grid.NY - 1; iy >= 0; iy-- {
+			path = append(path, grid.Index(channel, iy))
+		}
+	}
+	return path
+}
+
+// channelCount returns the number of parallel channels on the grid.
+func channelCount(o Orientation, grid floorplan.Grid) int {
+	if o.Horizontal() {
+		return grid.NY
+	}
+	return grid.NX
+}
+
+// Evaporate solves the thermosyphon for the given per-cell absorbed heat
+// (W per grid cell, as extracted from the thermal model's top boundary):
+// condenser sets the saturation temperature, the gravity loop sets the mass
+// flow, and a 1-D quality march along every channel yields the local HTC
+// and fluid temperature fields.
+func (d *Design) Evaporate(grid floorplan.Grid, cellHeat []float64, op Operating) (*State, error) {
+	return d.evaporate(grid, cellHeat, op, 0)
+}
+
+// EvaporateAt is Evaporate with the refrigerant mass flow pinned to
+// mdotKgS instead of the quasi-static loop balance — used by transient
+// simulations that model the loop's startup inertia.
+func (d *Design) EvaporateAt(grid floorplan.Grid, cellHeat []float64, op Operating, mdotKgS float64) (*State, error) {
+	if mdotKgS <= 0 {
+		return nil, fmt.Errorf("thermosyphon: non-positive pinned mass flow %g", mdotKgS)
+	}
+	return d.evaporate(grid, cellHeat, op, mdotKgS)
+}
+
+func (d *Design) evaporate(grid floorplan.Grid, cellHeat []float64, op Operating, mdotPin float64) (*State, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := op.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cellHeat) != grid.Cells() {
+		return nil, fmt.Errorf("thermosyphon: heat vector has %d cells, want %d", len(cellHeat), grid.Cells())
+	}
+	var q float64
+	for _, w := range cellHeat {
+		if w > 0 {
+			q += w
+		}
+	}
+	if q < 1 {
+		q = 1 // keep the loop solvable at near-idle loads
+	}
+	cond, err := d.Condense(q, op)
+	if err != nil {
+		return nil, err
+	}
+	loop, err := d.SolveLoop(q, cond.TsatC)
+	if err != nil {
+		return nil, err
+	}
+	if mdotPin > 0 {
+		loop.MassFlowKgS = mdotPin
+		loop.ExitQuality = d.exitQuality(q, mdotPin, cond.TsatC)
+	}
+
+	st := &State{
+		Condenser:  cond,
+		Loop:       loop,
+		H:          make([]float64, grid.Cells()),
+		TFluid:     make([]float64, grid.Cells()),
+		TotalHeatW: q,
+	}
+	nCh := channelCount(d.Orientation, grid)
+	mCh := loop.MassFlowKgS / float64(nCh)
+	hfg := d.Fluid.Hfg(cond.TsatC)
+	cellArea := grid.DX * grid.DY
+	xc := d.CritQuality()
+
+	for ch := 0; ch < nCh; ch++ {
+		path := channelPath(d.Orientation, grid, ch)
+		n := len(path)
+		x := 0.0
+		for pos, c := range path {
+			w := math.Max(cellHeat[c], 0)
+			xMid := x + 0.5*w/(mCh*hfg)
+			xMid = linalg.Clamp(xMid, 0, 0.99)
+			qFlux := w / cellArea
+			st.H[c] = d.BoilingHTC(xMid, qFlux, cond.TsatC) * d.AreaEnhancement
+			// Inlet subcooling decays over the first SubcoolFraction of
+			// the channel.
+			frac := float64(pos) / float64(n)
+			sub := 0.0
+			if d.SubcoolFraction > 0 && frac < d.SubcoolFraction {
+				sub = d.InletSubcoolC * (1 - frac/d.SubcoolFraction)
+			}
+			st.TFluid[c] = cond.TsatC - sub
+			if xMid > xc {
+				st.DryoutCells++
+			}
+			x = linalg.Clamp(x+w/(mCh*hfg), 0, 0.99)
+		}
+		if x > st.MaxQuality {
+			st.MaxQuality = x
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,120 @@
+package thermosyphon
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+const gravity = 9.80665 // m/s²
+
+// CondenserSolution is the water-side state for a given heat load.
+type CondenserSolution struct {
+	// TsatC is the refrigerant saturation (condensing) temperature.
+	TsatC float64
+	// WaterOutC is the coolant outlet temperature.
+	WaterOutC float64
+	// Effectiveness is the ε-NTU effectiveness used.
+	Effectiveness float64
+}
+
+// Condense solves the condenser for heat load q (W) at the operating
+// point: with the condensing side at effectively infinite capacity rate,
+// ε = 1 − exp(−NTU) and T_sat = T_w,in + q / (ε·C_w).
+func (d *Design) Condense(q float64, op Operating) (CondenserSolution, error) {
+	if err := op.Validate(); err != nil {
+		return CondenserSolution{}, err
+	}
+	if q < 0 {
+		return CondenserSolution{}, fmt.Errorf("thermosyphon: negative heat load %g", q)
+	}
+	cw := op.WaterHeatCapacity()
+	ntu := d.condenserEffUA() / cw
+	eff := 1 - math.Exp(-ntu)
+	sol := CondenserSolution{
+		TsatC:         op.WaterInC + q/(eff*cw),
+		WaterOutC:     op.WaterInC + q/cw,
+		Effectiveness: eff,
+	}
+	return sol, nil
+}
+
+// homogeneousDensity returns the homogeneous two-phase mixture density at
+// quality x and saturation temperature tsat.
+func (d *Design) homogeneousDensity(x, tsatC float64) float64 {
+	rl := d.Fluid.RhoLiquid(tsatC)
+	rv := d.Fluid.RhoVapor(tsatC)
+	x = linalg.Clamp(x, 0, 1)
+	return 1 / (x/rv + (1-x)/rl)
+}
+
+// LoopSolution is the natural-circulation state of the refrigerant loop.
+type LoopSolution struct {
+	// MassFlowKgS is the circulating refrigerant mass flow.
+	MassFlowKgS float64
+	// ExitQuality is the vapor quality leaving the evaporator.
+	ExitQuality float64
+	// DrivingHeadPa and FrictionPa report the converged balance.
+	DrivingHeadPa, FrictionPa float64
+}
+
+// exitQuality returns the evaporator exit quality for mass flow m under
+// heat load q, clamped below total evaporation.
+func (d *Design) exitQuality(q, m, tsatC float64) float64 {
+	if m <= 0 {
+		return 0.99
+	}
+	return linalg.Clamp(q/(m*d.Fluid.Hfg(tsatC)), 0, 0.99)
+}
+
+// drivingHead returns the gravitational driving pressure (Pa) when the
+// riser carries a mixture of exit quality xe. The downcomer liquid column
+// height scales with the filling ratio.
+func (d *Design) drivingHead(xe, tsatC float64) float64 {
+	rl := d.Fluid.RhoLiquid(tsatC)
+	level := linalg.Clamp(d.FillingRatio+0.25, 0.30, 1.0)
+	down := rl * gravity * d.RiserHeight * level
+	up := d.homogeneousDensity(xe, tsatC) * gravity * d.RiserHeight
+	return down - up
+}
+
+// friction returns the two-phase loop friction pressure drop (Pa) at mass
+// flow m with exit quality xe: a lumped single-phase loss scaled by a
+// homogeneous two-phase multiplier.
+func (d *Design) friction(m, xe, tsatC float64) float64 {
+	rl := d.Fluid.RhoLiquid(tsatC)
+	rv := d.Fluid.RhoVapor(tsatC)
+	dyn := m * m / (2 * rl * d.PipeArea * d.PipeArea)
+	phi2 := 1 + 0.35*xe*(rl/rv-1)
+	return d.LoopK * dyn * phi2
+}
+
+// SolveLoop finds the natural-circulation mass flow for heat load q (W) at
+// saturation temperature tsat by balancing driving head against friction.
+func (d *Design) SolveLoop(q, tsatC float64) (LoopSolution, error) {
+	if err := d.Validate(); err != nil {
+		return LoopSolution{}, err
+	}
+	if q <= 0 {
+		return LoopSolution{}, fmt.Errorf("thermosyphon: loop requires positive heat load, got %g", q)
+	}
+	residual := func(m float64) float64 {
+		xe := d.exitQuality(q, m, tsatC)
+		return d.drivingHead(xe, tsatC) - d.friction(m, xe, tsatC)
+	}
+	// At tiny flows the head dominates (positive residual); at huge flows
+	// friction dominates (negative). Bisection brackets the balance.
+	lo, hi := 1e-6, 0.2
+	root, ok := linalg.Bisect(residual, lo, hi, 1e-10, 200)
+	if !ok {
+		return LoopSolution{}, fmt.Errorf("thermosyphon: loop balance not bracketed (q=%g W, tsat=%g °C)", q, tsatC)
+	}
+	xe := d.exitQuality(q, root, tsatC)
+	return LoopSolution{
+		MassFlowKgS:   root,
+		ExitQuality:   xe,
+		DrivingHeadPa: d.drivingHead(xe, tsatC),
+		FrictionPa:    d.friction(root, xe, tsatC),
+	}, nil
+}

@@ -1,0 +1,168 @@
+// Package workload provides the PARSEC 3.0 benchmark profile database used
+// by the paper's evaluation: per-benchmark execution-time and power
+// characteristics as a function of the assigned number of cores (Nc),
+// threads (Nt) and frequency (f), plus the QoS model of §IV-B.
+//
+// The paper profiles the real benchmarks on a Xeon E5-2667 v4 with RAPL;
+// that hardware is unavailable here, so the database is synthetic but
+// calibrated so that (a) normalized execution times reproduce the spread of
+// Fig. 3, and (b) total package power across all configurations and
+// applications spans the paper's reported 40.5–79.3 W range (§V).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/power"
+)
+
+// Benchmark describes the performance/power character of one PARSEC
+// workload. All power figures are per-core dynamic watts at FMax with one
+// thread per core.
+type Benchmark struct {
+	Name string
+	// SerialFrac is the Amdahl serial fraction of the program.
+	SerialFrac float64
+	// MemIntensity in [0,1]: fraction of runtime bound on memory; these
+	// cycles do not contract with core frequency and drive the uncore.
+	MemIntensity float64
+	// CacheIntensity in [0,1]: LLC pressure, drives LLC power.
+	CacheIntensity float64
+	// DynPerCoreMax is the per-core dynamic power (W) at FMax.
+	DynPerCoreMax float64
+	// SMTYield in [0,1]: marginal throughput of a second hardware thread
+	// on the same core (1 = perfect SMT scaling).
+	SMTYield float64
+	// RefTime is the native execution time with 8 cores / 16 threads at
+	// FMax — the paper's QoS baseline.
+	RefTime time.Duration
+	// IdleTolerance is the per-application tolerable wake-up delay dᵢ for
+	// idle cores (Algorithm 1 input), which gates C-state selection.
+	IdleTolerance time.Duration
+}
+
+// parsec is the 13-benchmark PARSEC 3.0 roster of Fig. 3.
+var parsec = []Benchmark{
+	{Name: "blackscholes", SerialFrac: 0.02, MemIntensity: 0.10, CacheIntensity: 0.20, DynPerCoreMax: 2.05, SMTYield: 0.25, RefTime: 35 * time.Second, IdleTolerance: 50 * time.Microsecond},
+	{Name: "bodytrack", SerialFrac: 0.08, MemIntensity: 0.25, CacheIntensity: 0.35, DynPerCoreMax: 2.15, SMTYield: 0.30, RefTime: 60 * time.Second, IdleTolerance: 10 * time.Microsecond},
+	{Name: "canneal", SerialFrac: 0.15, MemIntensity: 0.70, CacheIntensity: 0.65, DynPerCoreMax: 1.55, SMTYield: 0.50, RefTime: 85 * time.Second, IdleTolerance: 200 * time.Microsecond},
+	{Name: "dedup", SerialFrac: 0.10, MemIntensity: 0.55, CacheIntensity: 0.60, DynPerCoreMax: 1.95, SMTYield: 0.45, RefTime: 50 * time.Second, IdleTolerance: 100 * time.Microsecond},
+	{Name: "facesim", SerialFrac: 0.05, MemIntensity: 0.45, CacheIntensity: 0.50, DynPerCoreMax: 2.30, SMTYield: 0.35, RefTime: 110 * time.Second, IdleTolerance: 50 * time.Microsecond},
+	{Name: "ferret", SerialFrac: 0.04, MemIntensity: 0.35, CacheIntensity: 0.60, DynPerCoreMax: 2.40, SMTYield: 0.40, RefTime: 90 * time.Second, IdleTolerance: 20 * time.Microsecond},
+	{Name: "fluidanimate", SerialFrac: 0.06, MemIntensity: 0.50, CacheIntensity: 0.45, DynPerCoreMax: 2.20, SMTYield: 0.35, RefTime: 75 * time.Second, IdleTolerance: 50 * time.Microsecond},
+	{Name: "freqmine", SerialFrac: 0.10, MemIntensity: 0.30, CacheIntensity: 0.55, DynPerCoreMax: 2.85, SMTYield: 0.30, RefTime: 95 * time.Second, IdleTolerance: 10 * time.Microsecond},
+	{Name: "raytrace", SerialFrac: 0.07, MemIntensity: 0.20, CacheIntensity: 0.40, DynPerCoreMax: 1.90, SMTYield: 0.30, RefTime: 80 * time.Second, IdleTolerance: 1 * time.Microsecond},
+	{Name: "streamcluster", SerialFrac: 0.08, MemIntensity: 0.65, CacheIntensity: 0.50, DynPerCoreMax: 1.75, SMTYield: 0.50, RefTime: 100 * time.Second, IdleTolerance: 200 * time.Microsecond},
+	{Name: "swaptions", SerialFrac: 0.01, MemIntensity: 0.05, CacheIntensity: 0.15, DynPerCoreMax: 2.90, SMTYield: 0.25, RefTime: 45 * time.Second, IdleTolerance: 1 * time.Microsecond},
+	{Name: "vips", SerialFrac: 0.05, MemIntensity: 0.40, CacheIntensity: 0.50, DynPerCoreMax: 2.30, SMTYield: 0.40, RefTime: 65 * time.Second, IdleTolerance: 100 * time.Microsecond},
+	{Name: "x264", SerialFrac: 0.12, MemIntensity: 0.30, CacheIntensity: 0.45, DynPerCoreMax: 3.00, SMTYield: 0.35, RefTime: 55 * time.Second, IdleTolerance: 20 * time.Microsecond},
+}
+
+// All returns the 13 PARSEC benchmarks sorted by name.
+func All() []Benchmark {
+	out := append([]Benchmark(nil), parsec...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns the named benchmark, or an error listing valid names.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range parsec {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// WorstCase returns the benchmark/configuration pair with the highest total
+// package power across the full configuration space: the design point for
+// the thermosyphon (§VI-B considers the maximum workload).
+func WorstCase() (Benchmark, Config) {
+	var (
+		bestB Benchmark
+		bestC Config
+		bestP = -1.0
+	)
+	for _, b := range parsec {
+		for _, c := range Configs() {
+			if p := b.PackagePower(c, power.POLL); p > bestP {
+				bestP, bestB, bestC = p, b, c
+			}
+		}
+	}
+	return bestB, bestC
+}
+
+// effectiveThreads returns the throughput-equivalent thread count for Nt
+// threads on Nc cores given the benchmark's SMT yield.
+func (b Benchmark) effectiveThreads(nc, nt int) float64 {
+	if nt <= nc {
+		return float64(nt)
+	}
+	extra := float64(nt - nc)
+	return float64(nc) + b.SMTYield*extra
+}
+
+// timeFactor is the raw relative execution time of a configuration:
+// an Amdahl law over effective threads, with the memory-bound share of the
+// runtime insensitive to core frequency.
+func (b Benchmark) timeFactor(c Config) float64 {
+	eff := b.effectiveThreads(c.Cores, c.Threads)
+	par := (1 - b.SerialFrac) / eff
+	// Memory contention: memory-bound apps lose a little parallel
+	// efficiency per extra effective thread.
+	contention := 1 + 0.04*b.MemIntensity*(eff-1)
+	amdahl := b.SerialFrac + par*contention
+	fScale := (1-b.MemIntensity)*float64(power.FMax)/float64(c.Freq) + b.MemIntensity
+	return amdahl * fScale
+}
+
+// ExecTime returns the predicted execution time of the benchmark under the
+// configuration.
+func (b Benchmark) ExecTime(c Config) time.Duration {
+	ref := b.timeFactor(Config{Cores: 8, Threads: 16, Freq: power.FMax})
+	return time.Duration(float64(b.RefTime) * b.timeFactor(c) / ref)
+}
+
+// NormalizedTime returns ExecTime normalized to the native baseline
+// (8 cores, 16 threads, FMax) — the x-axis quantity of Fig. 3 before
+// dividing by the QoS limit.
+func (b Benchmark) NormalizedTime(c Config) float64 {
+	return b.timeFactor(c) / b.timeFactor(Config{Cores: 8, Threads: 16, Freq: power.FMax})
+}
+
+// DynPerCore returns the per-core dynamic power (W) of the benchmark at
+// frequency f, accounting for SMT and for memory-bound stall cycles that
+// draw less dynamic power.
+func (b Benchmark) DynPerCore(c Config) float64 {
+	base := b.DynPerCoreMax * power.DynScale(c.Freq)
+	if c.Threads > c.Cores {
+		base *= power.SMTDynFactor
+	}
+	// Stalled (memory-bound) cycles burn ~35% less dynamic power.
+	return base * (1 - 0.35*b.MemIntensity)
+}
+
+// UncoreFreq returns the uncore frequency (GHz) the benchmark drives at the
+// configuration: memory-intensive workloads on many cores saturate it.
+func (b Benchmark) UncoreFreq(c Config) float64 {
+	demand := b.MemIntensity * math.Sqrt(float64(c.Cores)/8.0)
+	return power.UncoreFreqMin + (power.UncoreFreqMax-power.UncoreFreqMin)*math.Min(demand*1.6, 1)
+}
+
+// LLCActivity returns the LLC activity factor in [0,1] at the configuration.
+func (b Benchmark) LLCActivity(c Config) float64 {
+	return math.Min(b.CacheIntensity*(0.4+0.6*float64(c.Cores)/8.0), 1)
+}
+
+// PackagePower returns the total CPU package power (W) when the benchmark
+// runs under configuration c with all inactive cores parked in idle.
+func (b Benchmark) PackagePower(c Config, idle power.CState) float64 {
+	active := float64(c.Cores) * (power.CStatePerCore(power.POLL, c.Freq) + b.DynPerCore(c))
+	idleP := float64(8-c.Cores) * power.CStatePerCore(idle, c.Freq)
+	return active + idleP + power.UncorePower(b.UncoreFreq(c)) + power.LLCPower(b.LLCActivity(c))
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDatabaseSanity validates every benchmark's profile fields against
+// physical and modeling bounds; a bad entry would silently corrupt all
+// downstream experiments.
+func TestDatabaseSanity(t *testing.T) {
+	for _, b := range All() {
+		if b.Name == "" {
+			t.Fatal("unnamed benchmark")
+		}
+		if b.SerialFrac < 0 || b.SerialFrac > 0.5 {
+			t.Fatalf("%s: serial fraction %v implausible for PARSEC", b.Name, b.SerialFrac)
+		}
+		if b.MemIntensity < 0 || b.MemIntensity > 1 {
+			t.Fatalf("%s: memory intensity %v out of range", b.Name, b.MemIntensity)
+		}
+		if b.CacheIntensity < 0 || b.CacheIntensity > 1 {
+			t.Fatalf("%s: cache intensity %v out of range", b.Name, b.CacheIntensity)
+		}
+		if b.DynPerCoreMax < 1 || b.DynPerCoreMax > 4 {
+			t.Fatalf("%s: %v W/core dynamic power outside the calibrated envelope", b.Name, b.DynPerCoreMax)
+		}
+		if b.SMTYield < 0.1 || b.SMTYield > 0.8 {
+			t.Fatalf("%s: SMT yield %v implausible", b.Name, b.SMTYield)
+		}
+		if b.RefTime < 10*time.Second || b.RefTime > 10*time.Minute {
+			t.Fatalf("%s: reference time %v outside PARSEC native range", b.Name, b.RefTime)
+		}
+		if b.IdleTolerance < 0 {
+			t.Fatalf("%s: negative idle tolerance", b.Name)
+		}
+	}
+}
+
+// TestRosterDiversity: the policy comparison depends on the roster
+// covering both POLL-bound and deep-sleep workloads, and both compute- and
+// memory-bound extremes.
+func TestRosterDiversity(t *testing.T) {
+	var pollBound, deepSleep, computeBound, memoryBound int
+	for _, b := range All() {
+		if b.IdleTolerance < 2*time.Microsecond {
+			pollBound++
+		}
+		if b.IdleTolerance >= 10*time.Microsecond {
+			deepSleep++
+		}
+		if b.MemIntensity < 0.15 {
+			computeBound++
+		}
+		if b.MemIntensity > 0.55 {
+			memoryBound++
+		}
+	}
+	if pollBound == 0 || deepSleep == 0 {
+		t.Fatalf("roster lacks C-state diversity: %d POLL-bound, %d deep", pollBound, deepSleep)
+	}
+	if computeBound == 0 || memoryBound == 0 {
+		t.Fatalf("roster lacks memory diversity: %d compute, %d memory", computeBound, memoryBound)
+	}
+}
+
+// TestExecTimePositive: execution times must be positive over the whole
+// configuration space.
+func TestExecTimePositive(t *testing.T) {
+	for _, b := range All() {
+		for _, c := range Configs() {
+			if et := b.ExecTime(c); et <= 0 {
+				t.Fatalf("%s %v: exec time %v", b.Name, c, et)
+			}
+		}
+	}
+}

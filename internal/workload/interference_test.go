@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/power"
+)
+
+func TestPairSlowdownShape(t *testing.T) {
+	im := DefaultInterference()
+	canneal, _ := ByName("canneal")        // mem 0.70, cache 0.65
+	swaptions, _ := ByName("swaptions")    // mem 0.05, cache 0.15
+	streamcl, _ := ByName("streamcluster") // mem 0.65, cache 0.50
+
+	// Two memory/cache-heavy co-runners interfere the most.
+	heavy := im.PairSlowdown(canneal, streamcl)
+	light := im.PairSlowdown(swaptions, swaptions)
+	if heavy <= light {
+		t.Fatalf("heavy pair %v should exceed light pair %v", heavy, light)
+	}
+	if heavy < 1.05 || heavy > 1.35 {
+		t.Fatalf("heavy pair slowdown %v outside calibrated band", heavy)
+	}
+	if light < 1 || light > 1.02 {
+		t.Fatalf("light pair slowdown %v outside band", light)
+	}
+	// Slowdowns are never speedups.
+	for _, a := range All() {
+		for _, b := range All() {
+			if im.PairSlowdown(a, b) < 1 {
+				t.Fatalf("%s vs %s: slowdown below 1", a.Name, b.Name)
+			}
+		}
+	}
+}
+
+func TestSlowdownComposition(t *testing.T) {
+	im := DefaultInterference()
+	canneal, _ := ByName("canneal")
+	dedup, _ := ByName("dedup")
+	vips, _ := ByName("vips")
+	solo := im.Slowdown(canneal, nil)
+	if solo != 1 {
+		t.Fatalf("no co-runners must mean no slowdown, got %v", solo)
+	}
+	one := im.Slowdown(canneal, []Benchmark{dedup})
+	two := im.Slowdown(canneal, []Benchmark{dedup, vips})
+	if !(two > one && one > 1) {
+		t.Fatalf("slowdown must grow with co-runners: %v, %v", one, two)
+	}
+	// Damping: the second co-runner adds less than the first.
+	first := one - 1
+	second := two/one - 1
+	if second >= first {
+		t.Fatalf("second co-runner (%v) should add less than the first (%v)", second, first)
+	}
+}
+
+func TestCoRunSatisfied(t *testing.T) {
+	im := DefaultInterference()
+	canneal, _ := ByName("canneal")
+	streamcl, _ := ByName("streamcluster")
+	// A configuration right at the solo 2x boundary must fail once a
+	// heavy co-runner is added.
+	var boundary Config
+	found := false
+	for _, c := range Configs() {
+		nt := canneal.NormalizedTime(c)
+		if nt > 1.85 && nt <= 2.0 {
+			boundary, found = c, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no boundary configuration in the space")
+	}
+	if !QoS2x.Satisfied(canneal, boundary) {
+		t.Fatal("boundary config should pass solo")
+	}
+	if im.CoRunSatisfied(QoS2x, canneal, boundary, []Benchmark{streamcl}) {
+		t.Fatal("boundary config must fail with a heavy co-runner")
+	}
+	// Generous configurations survive co-running.
+	strong := Config{Cores: 8, Threads: 16, Freq: power.FMax}
+	if !im.CoRunSatisfied(QoS2x, canneal, strong, []Benchmark{streamcl}) {
+		t.Fatal("native config must survive interference at 2x")
+	}
+}
+
+func TestSlowdownSymmetricPairs(t *testing.T) {
+	im := DefaultInterference()
+	a, _ := ByName("ferret")
+	b, _ := ByName("facesim")
+	// PairSlowdown is not required to be symmetric (victim sensitivity
+	// differs), but both directions must be finite and ≥ 1.
+	ab := im.PairSlowdown(a, b)
+	ba := im.PairSlowdown(b, a)
+	if math.IsNaN(ab) || math.IsNaN(ba) || ab < 1 || ba < 1 {
+		t.Fatalf("degenerate pair slowdowns %v %v", ab, ba)
+	}
+}

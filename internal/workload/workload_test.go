@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/power"
+)
+
+func TestRosterComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, b := range All() {
+		names[b.Name] = true
+	}
+	// The 13 PARSEC benchmarks of Fig. 3.
+	for _, want := range []string{
+		"blackscholes", "bodytrack", "facesim", "ferret", "fluidanimate",
+		"freqmine", "raytrace", "swaptions", "vips", "x264",
+		"canneal", "dedup", "streamcluster",
+	} {
+		if !names[want] {
+			t.Fatalf("missing benchmark %q", want)
+		}
+	}
+	if len(names) != 13 {
+		t.Fatalf("got %d benchmarks, want 13", len(names))
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("x264")
+	if err != nil || b.Name != "x264" {
+		t.Fatalf("ByName(x264) = %v, %v", b, err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestBaselineNormalizedTimeIsOne(t *testing.T) {
+	base := Config{Cores: 8, Threads: 16, Freq: power.FMax}
+	for _, b := range All() {
+		if nt := b.NormalizedTime(base); math.Abs(nt-1) > 1e-12 {
+			t.Fatalf("%s baseline normalized time = %v", b.Name, nt)
+		}
+		if b.ExecTime(base) != b.RefTime {
+			t.Fatalf("%s baseline exec time = %v, want %v", b.Name, b.ExecTime(base), b.RefTime)
+		}
+	}
+}
+
+func TestFewerResourcesNeverFaster(t *testing.T) {
+	for _, b := range All() {
+		strong := Config{Cores: 8, Threads: 16, Freq: power.FMax}
+		for _, weak := range []Config{
+			{Cores: 2, Threads: 4, Freq: power.FMax},
+			{Cores: 4, Threads: 8, Freq: power.FMax},
+			{Cores: 8, Threads: 16, Freq: power.FMin},
+			{Cores: 8, Threads: 8, Freq: power.FMax},
+		} {
+			if b.NormalizedTime(weak) < b.NormalizedTime(strong)-1e-12 {
+				t.Fatalf("%s: %v faster than %v", b.Name, weak, strong)
+			}
+		}
+	}
+}
+
+func TestFrequencyMonotone(t *testing.T) {
+	for _, b := range All() {
+		for nc := 1; nc <= 8; nc++ {
+			c26 := Config{Cores: nc, Threads: nc, Freq: power.FMin}
+			c32 := Config{Cores: nc, Threads: nc, Freq: power.FMax}
+			if b.NormalizedTime(c32) > b.NormalizedTime(c26)+1e-12 {
+				t.Fatalf("%s: higher frequency slower at Nc=%d", b.Name, nc)
+			}
+			if b.DynPerCore(c32) < b.DynPerCore(c26) {
+				t.Fatalf("%s: dynamic power must rise with frequency", b.Name)
+			}
+		}
+	}
+}
+
+func TestMemoryBoundBenefitsLessFromFrequency(t *testing.T) {
+	// canneal (mem 0.70) should gain less from FMin→FMax than swaptions
+	// (mem 0.05), at fixed cores/threads.
+	canneal, _ := ByName("canneal")
+	swaptions, _ := ByName("swaptions")
+	gain := func(b Benchmark) float64 {
+		lo := Config{Cores: 8, Threads: 16, Freq: power.FMin}
+		hi := Config{Cores: 8, Threads: 16, Freq: power.FMax}
+		return b.NormalizedTime(lo) / b.NormalizedTime(hi)
+	}
+	if gain(canneal) >= gain(swaptions) {
+		t.Fatalf("canneal freq gain %v should be below swaptions %v", gain(canneal), gain(swaptions))
+	}
+}
+
+func TestPackagePowerRangeMatchesPaper(t *testing.T) {
+	// §V: package power spans 40.5–79.3 W over all configurations and
+	// applications (profiled with POLL idles). The synthetic model must
+	// land in that ballpark.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range All() {
+		for _, c := range Configs() {
+			if c.Cores < 2 {
+				continue // paper's profiled configs start at 2 cores
+			}
+			p := b.PackagePower(c, power.POLL)
+			lo = math.Min(lo, p)
+			hi = math.Max(hi, p)
+		}
+	}
+	if lo < 36 || lo > 45 {
+		t.Fatalf("min package power = %.1f W, want ≈40.5", lo)
+	}
+	if hi < 74 || hi > 84 {
+		t.Fatalf("max package power = %.1f W, want ≈79.3", hi)
+	}
+}
+
+func TestPackagePowerIdleStateOrdering(t *testing.T) {
+	b, _ := ByName("bodytrack")
+	c := Config{Cores: 4, Threads: 8, Freq: power.FMid}
+	pPoll := b.PackagePower(c, power.POLL)
+	pC1 := b.PackagePower(c, power.C1)
+	pC1E := b.PackagePower(c, power.C1E)
+	if !(pPoll > pC1 && pC1 > pC1E) {
+		t.Fatalf("idle-state power ordering violated: %v %v %v", pPoll, pC1, pC1E)
+	}
+}
+
+func TestConfigValid(t *testing.T) {
+	good := []Config{
+		{2, 4, power.FMax}, {8, 8, power.FMin}, {1, 1, power.FMid},
+	}
+	for _, c := range good {
+		if !c.Valid() {
+			t.Fatalf("%v should be valid", c)
+		}
+	}
+	bad := []Config{
+		{0, 0, power.FMax}, {9, 9, power.FMax}, {4, 6, power.FMax},
+		{2, 4, 3.0}, {2, 8, power.FMax},
+	}
+	for _, c := range bad {
+		if c.Valid() {
+			t.Fatalf("%v should be invalid", c)
+		}
+	}
+}
+
+func TestConfigsEnumeration(t *testing.T) {
+	cs := Configs()
+	if len(cs) != 8*2*3 {
+		t.Fatalf("got %d configs, want 48", len(cs))
+	}
+	for _, c := range cs {
+		if !c.Valid() {
+			t.Fatalf("enumerated invalid config %v", c)
+		}
+	}
+}
+
+func TestFig3Configs(t *testing.T) {
+	cs := Fig3Configs()
+	if len(cs) != 5 {
+		t.Fatalf("Fig3 config count = %d", len(cs))
+	}
+	for _, c := range cs {
+		if c.Freq != power.FMax {
+			t.Fatalf("Fig3 configs are all at fmax, got %v", c)
+		}
+	}
+}
+
+func TestFig3Spread(t *testing.T) {
+	// Fig. 3: at (2,4,fmax) most benchmarks exceed the 2x QoS limit
+	// region (normalized time > 2), while (8,16,fmax) is 1 by definition
+	// and (8,8,fmax) stays below 2x for everything.
+	var above2 int
+	for _, b := range All() {
+		nt := b.NormalizedTime(Config{Cores: 2, Threads: 4, Freq: power.FMax})
+		if nt > 2 {
+			above2++
+		}
+		if nt < 1.5 {
+			t.Fatalf("%s at (2,4,fmax) normalized %v, implausibly fast", b.Name, nt)
+		}
+		if n88 := b.NormalizedTime(Config{Cores: 8, Threads: 8, Freq: power.FMax}); n88 > 2 {
+			t.Fatalf("%s at (8,8,fmax) = %v, should be < 2", b.Name, n88)
+		}
+	}
+	if above2 < 6 {
+		t.Fatalf("only %d benchmarks exceed 2x at (2,4,fmax); Fig. 3 shows most do", above2)
+	}
+}
+
+func TestQoSSatisfied(t *testing.T) {
+	b, _ := ByName("ferret")
+	base := Config{Cores: 8, Threads: 16, Freq: power.FMax}
+	if !QoS1x.Satisfied(b, base) {
+		t.Fatal("baseline must satisfy 1x")
+	}
+	tiny := Config{Cores: 1, Threads: 1, Freq: power.FMin}
+	if QoS1x.Satisfied(b, tiny) {
+		t.Fatal("single slow core cannot satisfy 1x")
+	}
+	if !QoS3x.Satisfied(b, Config{Cores: 4, Threads: 8, Freq: power.FMax}) {
+		t.Fatal("4c8t@fmax should satisfy 3x for ferret")
+	}
+}
+
+func TestQoSString(t *testing.T) {
+	if QoS2x.String() != "2x" {
+		t.Fatalf("QoS2x = %q", QoS2x.String())
+	}
+}
+
+func TestNewProfile(t *testing.T) {
+	b, _ := ByName("vips")
+	p := NewProfile(b)
+	if len(p.Entries) != len(Configs()) {
+		t.Fatalf("profile has %d entries", len(p.Entries))
+	}
+	for _, e := range p.Entries {
+		if e.Power <= 0 || e.NormTime <= 0 {
+			t.Fatalf("bad profile entry %+v", e)
+		}
+	}
+}
+
+func TestWorstCase(t *testing.T) {
+	b, c := WorstCase()
+	if !c.Valid() {
+		t.Fatalf("worst case config invalid: %v", c)
+	}
+	// Worst case must use all cores at max frequency.
+	if c.Cores != 8 || c.Freq != power.FMax {
+		t.Fatalf("worst case should be 8 cores @ fmax, got %v (%s)", c, b.Name)
+	}
+	p := b.PackagePower(c, power.POLL)
+	if p < 74 || p > 84 {
+		t.Fatalf("worst-case power %.1f W out of expected band", p)
+	}
+}
+
+func TestUncoreFreqBounds(t *testing.T) {
+	for _, b := range All() {
+		for _, c := range Configs() {
+			uf := b.UncoreFreq(c)
+			if uf < power.UncoreFreqMin-1e-12 || uf > power.UncoreFreqMax+1e-12 {
+				t.Fatalf("%s %v uncore freq %v out of range", b.Name, c, uf)
+			}
+			la := b.LLCActivity(c)
+			if la < 0 || la > 1 {
+				t.Fatalf("%s LLC activity %v out of range", b.Name, la)
+			}
+		}
+	}
+}
+
+// Property: more threads on the same cores never increases execution time,
+// and SMT never doubles throughput.
+func TestSMTProperty(t *testing.T) {
+	f := func(bi uint8, nc8 uint8) bool {
+		bs := All()
+		b := bs[int(bi)%len(bs)]
+		nc := 1 + int(nc8)%8
+		one := Config{Cores: nc, Threads: nc, Freq: power.FMax}
+		two := Config{Cores: nc, Threads: 2 * nc, Freq: power.FMax}
+		t1 := b.NormalizedTime(one)
+		t2 := b.NormalizedTime(two)
+		if t2 > t1+1e-12 {
+			return false // SMT slower than single-threaded
+		}
+		// SMT speedup bounded by 2.
+		return t1/t2 <= 2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
