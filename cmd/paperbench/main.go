@@ -7,6 +7,7 @@
 //
 //	paperbench -exp all -res medium
 //	paperbench -exp fig7 -res full -maps
+//	paperbench -exp design -res full -workers 8
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/render"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -33,8 +35,10 @@ func main() {
 	maps := flag.Bool("maps", false, "print ASCII thermal maps where available")
 	out := flag.String("outdir", "", "directory for SVG/CSV artifacts (optional)")
 	reportPath := flag.String("report", "", "write a full markdown reproduction report to this file and exit")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
+	sweep.SetDefaultWorkers(*workers)
 	res, err := parseRes(*resFlag)
 	if err != nil {
 		fatal(err)

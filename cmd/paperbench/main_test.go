@@ -1,0 +1,86 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	os.Stdout = old
+	w.Close()
+	out, _ := io.ReadAll(r)
+	r.Close()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return string(out)
+}
+
+func TestParseRes(t *testing.T) {
+	for s, want := range map[string]experiments.Resolution{
+		"coarse": experiments.Coarse,
+		"medium": experiments.Medium,
+		"full":   experiments.Full,
+	} {
+		got, err := parseRes(s)
+		if err != nil || got != want {
+			t.Fatalf("parseRes(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseRes("nope"); err == nil {
+		t.Fatal("expected error for unknown resolution")
+	}
+}
+
+func TestGridFor(t *testing.T) {
+	for _, res := range []experiments.Resolution{experiments.Coarse, experiments.Medium, experiments.Full} {
+		g := gridFor(res)
+		if g.NX <= 0 || g.NY <= 0 || g.DX <= 0 || g.DY <= 0 {
+			t.Fatalf("gridFor(%v) = %+v", res, g)
+		}
+	}
+}
+
+func TestRunTableI(t *testing.T) {
+	out := captureStdout(t, runTableI)
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "POLL") {
+		t.Fatalf("Table I output wrong:\n%s", out)
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	out := captureStdout(t, runFig3)
+	if !strings.Contains(out, "Fig. 3") || !strings.Contains(out, "benchmark") {
+		t.Fatalf("Fig. 3 output wrong:\n%s", out)
+	}
+}
+
+func TestRunFig6Coarse(t *testing.T) {
+	out := captureStdout(t, func() error { return runFig6(experiments.Coarse, false) })
+	for _, want := range []string{"Fig. 6", "scenario1-staggered", "scenario3-clustered"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig5Coarse(t *testing.T) {
+	out := captureStdout(t, func() error { return runFig5(experiments.Coarse, false) })
+	if !strings.Contains(out, "Fig. 5") || !strings.Contains(out, "orientation") {
+		t.Fatalf("Fig. 5 output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	os.Stdout = old
+	w.Close()
+	out, _ := io.ReadAll(r)
+	r.Close()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return string(out)
+}
+
+func TestRackplanRuns(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(4, workload.QoS2x, "coarse", 30)
+	})
+	for _, want := range []string{
+		"13 apps over 4 blades",
+		"shared loop:",
+		"rack PUE with thermosyphons:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRackplanBadResolution(t *testing.T) {
+	if err := run(4, workload.QoS2x, "nope", 30); err == nil {
+		t.Fatal("expected error for unknown resolution")
+	}
+}

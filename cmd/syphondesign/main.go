@@ -17,13 +17,16 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/power"
 	"repro/internal/render"
+	"repro/internal/sweep"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
 
 func main() {
 	resFlag := flag.String("res", "medium", "thermal resolution: coarse|medium|full")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+	sweep.SetDefaultWorkers(*workers)
 	var res experiments.Resolution
 	switch *resFlag {
 	case "coarse":

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	os.Stdout = old
+	w.Close()
+	out, _ := io.ReadAll(r)
+	r.Close()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return string(out)
+}
+
+func TestSyphondesignRuns(t *testing.T) {
+	out := captureStdout(t, func() error { return run(experiments.Coarse) })
+	for _, want := range []string{
+		"== Orientation study (§VI-A)",
+		"chosen orientation:",
+		"chosen charge:",
+		"chosen water point:",
+		"== Worst-channel view under the worst-case workload",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

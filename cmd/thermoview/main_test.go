@@ -1,0 +1,68 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	os.Stdout = old
+	w.Close()
+	out, _ := io.ReadAll(r)
+	r.Close()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return string(out)
+}
+
+func TestThermoviewProposed(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run("x264", workload.QoS2x, "proposed", "coarse", "none")
+	})
+	for _, want := range []string{"x264 @2x via proposed", "die: θmax", "pkg: θmax", "Tsat"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestThermoviewBaselineCSV(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run("canneal", workload.QoS3x, "coskun", "coarse", "csv")
+	})
+	if !strings.Contains(out, "canneal @3x via coskun") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, ",") {
+		t.Fatal("no CSV map emitted")
+	}
+}
+
+func TestThermoviewErrors(t *testing.T) {
+	cases := []struct{ bench, policy, res, format string }{
+		{"nope", "proposed", "coarse", "none"},
+		{"x264", "nope", "coarse", "none"},
+		{"x264", "proposed", "nope", "none"},
+		{"x264", "proposed", "coarse", "nope"},
+	}
+	for _, c := range cases {
+		if err := run(c.bench, workload.QoS2x, c.policy, c.res, c.format); err == nil {
+			t.Fatalf("expected error for %+v", c)
+		}
+	}
+}

@@ -1,90 +1,120 @@
 // Designsweep walks the §VI design space of the thermosyphon: evaporator
 // orientation, refrigerant choice and filling ratio, all evaluated at the
 // worst-case workload, then picks the water operating point — the
-// workload- and platform-aware design flow the paper advocates.
+// workload- and platform-aware design flow the paper advocates. All three
+// grids fan out across the internal/sweep worker pool, which preserves
+// input order, so the printed tables match the serial scan exactly.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
+	"repro/internal/cosim"
 	"repro/internal/experiments"
 	"repro/internal/power"
 	"repro/internal/refrigerant"
+	"repro/internal/sweep"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
 
 func main() {
+	if err := run(os.Stdout, experiments.Coarse); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, res experiments.Resolution) error {
 	bench, cfg := workload.WorstCase()
-	fmt.Printf("design workload (worst case): %s %v → %.1f W\n\n",
+	fmt.Fprintf(w, "design workload (worst case): %s %v → %.1f W\n\n",
 		bench.Name, cfg, bench.PackagePower(cfg, power.POLL))
 	mapping := experiments.FullLoadMapping(cfg, power.POLL)
 
+	solve := func(d thermosyphon.Design) (dieMax, pkgMax float64, err error) {
+		sys, err := experiments.NewSystem(d, res)
+		if err != nil {
+			return 0, 0, err
+		}
+		die, pkg, _, err := experiments.SolveMapping(sys, bench, mapping, thermosyphon.DefaultOperating())
+		if err != nil {
+			return 0, 0, err
+		}
+		return die.MaxC, pkg.MaxC, nil
+	}
+
 	// Orientation sweep (§VI-A): which edge should the inlet sit on?
-	fmt.Println("orientation sweep:")
-	for _, o := range thermosyphon.Orientations() {
+	type oTemps struct{ die, pkg float64 }
+	oRes, err := sweep.Run(thermosyphon.Orientations(), func(o thermosyphon.Orientation) (oTemps, error) {
 		d := thermosyphon.DefaultDesign()
 		d.Orientation = o
-		die, pkg := solve(d, bench, mapping)
-		fmt.Printf("  %-12v die θmax %.1f °C  pkg θmax %.1f °C\n", o, die, pkg)
+		die, pkg, err := solve(d)
+		return oTemps{die: die, pkg: pkg}, err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "orientation sweep:")
+	for i, o := range thermosyphon.Orientations() {
+		fmt.Fprintf(w, "  %-12v die θmax %.1f °C  pkg θmax %.1f °C\n", o, oRes[i].die, oRes[i].pkg)
 	}
 
 	// Refrigerant and filling ratio (§VI-B): dryout vs condenser flooding.
-	fmt.Println("\nrefrigerant × filling ratio sweep (die θmax, °C):")
 	fills := []float64{0.35, 0.45, 0.55, 0.65, 0.75}
-	fmt.Print("  fluid   ")
-	for _, fr := range fills {
-		fmt.Printf("  %4.0f%%", fr*100)
+	grid := sweep.Cross(refrigerant.Candidates(), fills)
+	dies, err := sweep.Run(grid, func(p sweep.Pair[*refrigerant.Fluid, float64]) (float64, error) {
+		d := thermosyphon.DefaultDesign()
+		d.Fluid = p.A
+		d.FillingRatio = p.B
+		die, _, err := solve(d)
+		return die, err
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Println()
-	for _, fl := range refrigerant.Candidates() {
-		fmt.Printf("  %-8s", fl.Name())
-		for _, fr := range fills {
-			d := thermosyphon.DefaultDesign()
-			d.Fluid = fl
-			d.FillingRatio = fr
-			die, _ := solve(d, bench, mapping)
-			fmt.Printf("  %5.1f", die)
+	fmt.Fprintln(w, "\nrefrigerant × filling ratio sweep (die θmax, °C):")
+	fmt.Fprint(w, "  fluid   ")
+	for _, fr := range fills {
+		fmt.Fprintf(w, "  %4.0f%%", fr*100)
+	}
+	fmt.Fprintln(w)
+	for i, fl := range refrigerant.Candidates() {
+		fmt.Fprintf(w, "  %-8s", fl.Name())
+		for j := range fills {
+			fmt.Fprintf(w, "  %5.1f", dies[i*len(fills)+j])
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
 	// Water operating point (§VI-C): lowest flow, warmest water that
-	// keeps TCASE below 85 °C.
-	fmt.Println("\nwater operating point selection:")
+	// keeps TCASE below 85 °C — sweep.First scans the grid cheapest-first
+	// with one reused system per worker and keeps the serial early exit.
+	fmt.Fprintln(w, "\nwater operating point selection:")
 	d := thermosyphon.DefaultDesign()
-	sys, err := experiments.NewSystem(d, experiments.Coarse)
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, flow := range []float64{3, 5, 7} {
-		for _, tw := range []float64{45, 40, 35, 30} {
-			op := thermosyphon.Operating{WaterInC: tw, WaterFlowKgH: flow}
+	ops := sweep.Cross([]float64{3, 5, 7}, []float64{45, 40, 35, 30})
+	i, tc, found, err := sweep.First(ops,
+		func() (*cosim.System, error) { return experiments.NewSystem(d, res) },
+		func(sys *cosim.System, p sweep.Pair[float64, float64]) (float64, error) {
+			op := thermosyphon.Operating{WaterInC: p.B, WaterFlowKgH: p.A}
 			st := core.PackageState(bench, mapping)
-			res, err := sys.SolveSteady(st, op)
+			r, err := sys.SolveSteady(st, op)
 			if err != nil {
-				log.Fatal(err)
+				return 0, err
 			}
-			tc := sys.TCase(res)
-			if tc < 85 {
-				fmt.Printf("  first feasible: %.0f kg/h @ %.0f °C → TCASE %.1f °C (limit 85)\n", flow, tw, tc)
-				return
-			}
-		}
-	}
-	fmt.Println("  no feasible water point found")
-}
-
-func solve(d thermosyphon.Design, b workload.Benchmark, m core.Mapping) (dieMax, pkgMax float64) {
-	sys, err := experiments.NewSystem(d, experiments.Coarse)
+			return sys.TCase(r), nil
+		},
+		func(tc float64) bool { return tc < 85 })
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	die, pkg, _, err := experiments.SolveMapping(sys, b, m, thermosyphon.DefaultOperating())
-	if err != nil {
-		log.Fatal(err)
+	if !found {
+		fmt.Fprintln(w, "  no feasible water point found")
+		return nil
 	}
-	return die.MaxC, pkg.MaxC
+	fmt.Fprintf(w, "  first feasible: %.0f kg/h @ %.0f °C → TCASE %.1f °C (limit 85)\n",
+		ops[i].A, ops[i].B, tc)
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestDesignSweepRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, experiments.Coarse); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"orientation sweep:",
+		"refrigerant × filling ratio sweep",
+		"R236fa",
+		"first feasible:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

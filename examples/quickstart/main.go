@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -17,10 +18,16 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout, experiments.Medium); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, res experiments.Resolution) error {
 	// 1. Pick a workload and a QoS constraint (2x degradation allowed).
 	bench, err := workload.ByName("ferret")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	const qos = workload.QoS2x
 
@@ -28,29 +35,27 @@ func main() {
 	// thermosyphon-aware thread mapping.
 	mapping, err := core.Plan(bench, qos)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%s @%s → config %v, cores %v, idle state %v\n",
+	fmt.Fprintf(w, "%s @%s → config %v, cores %v, idle state %v\n",
 		bench.Name, qos, mapping.Config, mapping.ActiveCores, mapping.IdleState)
 
 	// 3. Build the simulated blade: Broadwell-EP die + package stack +
 	// the paper's R236fa thermosyphon design, and solve the coupled
 	// steady state at the design operating point (7 kg/h water at 30 °C).
-	sys, err := experiments.NewSystem(thermosyphon.DefaultDesign(), experiments.Medium)
+	sys, err := experiments.NewSystem(thermosyphon.DefaultDesign(), res)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	die, pkg, result, err := experiments.SolveMapping(sys, bench, mapping, thermosyphon.DefaultOperating())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// 4. Report the paper's metrics and render the die map.
-	fmt.Printf("package power %.1f W, saturation %.1f °C, exit quality %.2f\n",
+	fmt.Fprintf(w, "package power %.1f W, saturation %.1f °C, exit quality %.2f\n",
 		result.TotalPowerW, result.Syphon.Condenser.TsatC, result.Syphon.Loop.ExitQuality)
-	fmt.Printf("die:     θmax %.1f °C  θavg %.1f °C  ∇θmax %.2f °C/mm\n", die.MaxC, die.MeanC, die.MaxGradCPerMM)
-	fmt.Printf("package: θmax %.1f °C  θavg %.1f °C  ∇θmax %.2f °C/mm\n", pkg.MaxC, pkg.MeanC, pkg.MaxGradCPerMM)
-	if err := render.ASCIIMap(os.Stdout, sys.Thermal.Grid(), sys.DieTemps(result)); err != nil {
-		log.Fatal(err)
-	}
+	fmt.Fprintf(w, "die:     θmax %.1f °C  θavg %.1f °C  ∇θmax %.2f °C/mm\n", die.MaxC, die.MeanC, die.MaxGradCPerMM)
+	fmt.Fprintf(w, "package: θmax %.1f °C  θavg %.1f °C  ∇θmax %.2f °C/mm\n", pkg.MaxC, pkg.MeanC, pkg.MaxGradCPerMM)
+	return render.ASCIIMap(w, sys.Thermal.Grid(), sys.DieTemps(result))
 }

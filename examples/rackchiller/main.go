@@ -6,7 +6,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -16,6 +18,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout, experiments.Coarse); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, res experiments.Resolution) error {
 	// Submit the full PARSEC roster at 2x QoS.
 	var apps []rack.App
 	for _, b := range workload.All() {
@@ -25,23 +33,23 @@ func main() {
 	const nBlades = 4
 	assignments, err := rack.Allocate(apps, nBlades)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("allocated %d apps over %d blades (imbalance %.1f W):\n",
+	fmt.Fprintf(w, "allocated %d apps over %d blades (imbalance %.1f W):\n",
 		len(apps), nBlades, rack.Imbalance(assignments))
 	for _, a := range assignments {
-		fmt.Printf("  blade %d (%.1f W):", a.CPU, a.PowerW)
+		fmt.Fprintf(w, "  blade %d (%.1f W):", a.CPU, a.PowerW)
 		for _, app := range a.Apps {
-			fmt.Printf(" %s", app.Bench.Name)
+			fmt.Fprintf(w, " %s", app.Bench.Name)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
 	// Simulate each blade: run its heaviest app through Algorithm 1 and
 	// the coupled solver to get the actual heat into the water loop.
-	sys, err := experiments.NewSystem(thermosyphon.DefaultDesign(), experiments.Coarse)
+	sys, err := experiments.NewSystem(thermosyphon.DefaultDesign(), res)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var bladeHeat []float64
 	var hottest float64
@@ -53,29 +61,29 @@ func main() {
 		app := a.Apps[0] // heaviest first by LPT construction
 		m, err := core.Plan(app.Bench, app.QoS)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		die, _, res, err := experiments.SolveMapping(sys, app.Bench, m, thermosyphon.DefaultOperating())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		bladeHeat = append(bladeHeat, res.TotalPowerW)
 		if die.MaxC > hottest {
 			hottest = die.MaxC
 		}
-		fmt.Printf("  blade %d lead app %-13s → %.1f W, die θmax %.1f °C\n",
+		fmt.Fprintf(w, "  blade %d lead app %-13s → %.1f W, die θmax %.1f °C\n",
 			a.CPU, app.Bench.Name, res.TotalPowerW, die.MaxC)
 	}
-	fmt.Printf("hottest die in the rack: %.1f °C\n\n", hottest)
+	fmt.Fprintf(w, "hottest die in the rack: %.1f °C\n\n", hottest)
 
 	// Cost the shared loop: all blades get the same water temperature
 	// (one chiller per rack), so the hottest blade dictates it.
 	loop := rack.SharedLoop{WaterInC: 30, PerBladeFlowKgH: 7, AmbientC: 35}
 	budget, err := loop.Cost(bladeHeat)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("shared loop at %.0f °C: heat %.1f W, water ΔT %.2f °C, Eq.(1) %.1f W, chiller %.1f W\n",
+	fmt.Fprintf(w, "shared loop at %.0f °C: heat %.1f W, water ΔT %.2f °C, Eq.(1) %.1f W, chiller %.1f W\n",
 		loop.WaterInC, budget.HeatW, budget.WaterDeltaT, budget.Eq1PowerW, budget.ChillerPowerW)
 
 	// What if the rack had to run 10 °C colder water because one blade
@@ -83,9 +91,10 @@ func main() {
 	cold := rack.SharedLoop{WaterInC: 20, PerBladeFlowKgH: 7, AmbientC: 35}
 	coldBudget, err := cold.Cost(bladeHeat)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("same rack at %.0f °C water: chiller %.1f W (%.0f%% more)\n",
+	fmt.Fprintf(w, "same rack at %.0f °C water: chiller %.1f W (%.0f%% more)\n",
 		cold.WaterInC, coldBudget.ChillerPowerW,
 		(coldBudget.ChillerPowerW/budget.ChillerPowerW-1)*100)
+	return nil
 }

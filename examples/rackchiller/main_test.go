@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestRackChillerRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, experiments.Coarse); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"allocated 13 apps over 4 blades",
+		"hottest die in the rack:",
+		"shared loop at 30 °C:",
+		"same rack at 20 °C water:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

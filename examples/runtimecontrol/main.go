@@ -6,7 +6,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -17,46 +19,52 @@ import (
 )
 
 func main() {
-	sys, err := experiments.NewSystem(thermosyphon.DefaultDesign(), experiments.Coarse)
-	if err != nil {
+	if err := run(os.Stdout, experiments.Coarse); err != nil {
 		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, res experiments.Resolution) error {
+	sys, err := experiments.NewSystem(thermosyphon.DefaultDesign(), res)
+	if err != nil {
+		return err
 	}
 	bench, err := workload.ByName("x264")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	mapping, err := core.Plan(bench, workload.QoS1x)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("workload %s @1x → %v on cores %v\n\n", bench.Name, mapping.Config, mapping.ActiveCores)
+	fmt.Fprintf(w, "workload %s @1x → %v on cores %v\n\n", bench.Name, mapping.Config, mapping.ActiveCores)
 
 	// Transient warm-up: march the RC network from a cold start with the
 	// converged boundary, watching the die approach steady state.
 	st := core.PackageState(bench, mapping)
 	op := thermosyphon.DefaultOperating()
-	res, err := sys.SolveSteady(st, op)
+	res2, err := sys.SolveSteady(st, op)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	steadyDie, err := sys.DieStats(res)
+	steadyDie, err := sys.DieStats(res2)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	powerCells, err := sys.PowerCells(res.BlockPower)
+	powerCells, err := sys.PowerCells(res2.BlockPower)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	field := sys.Thermal.UniformField(30)
-	fmt.Println("transient warm-up (0.5 s steps):")
+	fmt.Fprintln(w, "transient warm-up (0.5 s steps):")
 	for step := 1; step <= 10; step++ {
-		field, err = sys.Thermal.StepTransient(field, 0.5, map[int][]float64{0: powerCells}, res.BC)
+		field, err = sys.Thermal.StepTransient(field, 0.5, map[int][]float64{0: powerCells}, res2.BC)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		temps, err := field.LayerByName(thermal.LayerDie)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		max := temps[0]
 		for _, t := range temps {
@@ -64,34 +72,35 @@ func main() {
 				max = t
 			}
 		}
-		fmt.Printf("  t=%4.1fs die θmax %.1f °C (steady %.1f)\n", float64(step)*0.5, max, steadyDie.MaxC)
+		fmt.Fprintf(w, "  t=%4.1fs die θmax %.1f °C (steady %.1f)\n", float64(step)*0.5, max, steadyDie.MaxC)
 	}
 
 	// Synthetic emergency: clamp the case-temperature limit just below
 	// the current operating point and let the controller react.
-	fmt.Println("\nruntime regulation under a synthetic emergency:")
+	fmt.Fprintln(w, "\nruntime regulation under a synthetic emergency:")
 	ctl := sched.NewController(sys)
 	out, err := ctl.Regulate(bench, mapping, workload.QoS1x)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("  nominal: TCASE %.1f °C, no action needed (%d actions)\n", out.TCase, len(out.Actions))
+	fmt.Fprintf(w, "  nominal: TCASE %.1f °C, no action needed (%d actions)\n", out.TCase, len(out.Actions))
 
 	ctl2 := sched.NewController(sys)
 	ctl2.TCaseLimit = out.TCase - 2
 	out2, err := ctl2.Regulate(bench, mapping, workload.QoS1x)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("  with limit %.1f °C the controller acted %d times:\n", ctl2.TCaseLimit, len(out2.Actions))
+	fmt.Fprintf(w, "  with limit %.1f °C the controller acted %d times:\n", ctl2.TCaseLimit, len(out2.Actions))
 	for _, a := range out2.Actions {
 		switch a.Kind {
 		case "flow":
-			fmt.Printf("    valve → %.0f kg/h\n", a.FlowKgH)
+			fmt.Fprintf(w, "    valve → %.0f kg/h\n", a.FlowKgH)
 		case "dvfs":
-			fmt.Printf("    frequency → %.1f GHz\n", float64(a.Freq))
+			fmt.Fprintf(w, "    frequency → %.1f GHz\n", float64(a.Freq))
 		}
 	}
-	fmt.Printf("  final: TCASE %.1f °C at %.0f kg/h (emergency=%v)\n",
+	fmt.Fprintf(w, "  final: TCASE %.1f °C at %.0f kg/h (emergency=%v)\n",
 		out2.TCase, out2.Op.WaterFlowKgH, out2.Emergency)
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestRuntimeControlRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, experiments.Coarse); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"workload x264 @1x",
+		"transient warm-up",
+		"runtime regulation under a synthetic emergency:",
+		"final: TCASE",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -6,7 +6,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -16,24 +18,30 @@ import (
 )
 
 func main() {
-	bench, err := workload.ByName("fluidanimate")
-	if err != nil {
+	if err := run(os.Stdout, experiments.Coarse); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func run(w io.Writer, res experiments.Resolution) error {
+	bench, err := workload.ByName("fluidanimate")
+	if err != nil {
+		return err
+	}
 	trace := workload.SynthesizeTrace(bench, 2026)
-	fmt.Printf("trace for %s (%.0f s total):\n", bench.Name, trace.TotalDuration().Seconds())
+	fmt.Fprintf(w, "trace for %s (%.0f s total):\n", bench.Name, trace.TotalDuration().Seconds())
 	for _, p := range trace.Phases {
-		fmt.Printf("  %-10s %4.0fs  dyn×%.2f mem×%.2f\n",
+		fmt.Fprintf(w, "  %-10s %4.0fs  dyn×%.2f mem×%.2f\n",
 			p.Name, p.Duration.Seconds(), p.DynScale, p.MemScale)
 	}
 
-	sys, err := experiments.NewSystem(thermosyphon.DefaultDesign(), experiments.Coarse)
+	sys, err := experiments.NewSystem(thermosyphon.DefaultDesign(), res)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	mapping, err := core.Plan(bench, workload.QoS1x)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Run once at the design point, then once with a tightened limit to
@@ -41,7 +49,7 @@ func main() {
 	gov := sched.NewGovernor(sys)
 	nominal, err := gov.Run(trace, mapping, workload.QoS1x, thermosyphon.DefaultOperating())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	peak := 0.0
 	for _, s := range nominal.Samples {
@@ -49,19 +57,20 @@ func main() {
 			peak = s.TCaseC
 		}
 	}
-	fmt.Printf("\nnominal run: peak TCASE %.1f °C, %d actions\n", peak, len(nominal.Actions))
+	fmt.Fprintf(w, "\nnominal run: peak TCASE %.1f °C, %d actions\n", peak, len(nominal.Actions))
 
 	gov2 := sched.NewGovernor(sys)
 	gov2.TCaseLimit = peak - 1.5
 	governed, err := gov2.Run(trace, mapping, workload.QoS1x, thermosyphon.DefaultOperating())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("governed run with limit %.1f °C:\n", gov2.TCaseLimit)
-	fmt.Println("  t(s)  phase       die(°C)  tcase(°C)  flow(kg/h)  freq(GHz)  actions")
+	fmt.Fprintf(w, "governed run with limit %.1f °C:\n", gov2.TCaseLimit)
+	fmt.Fprintln(w, "  t(s)  phase       die(°C)  tcase(°C)  flow(kg/h)  freq(GHz)  actions")
 	for _, s := range governed.Samples {
-		fmt.Printf("  %4.0f  %-10s  %6.1f  %8.1f  %9.0f  %8.1f  %7d\n",
+		fmt.Fprintf(w, "  %4.0f  %-10s  %6.1f  %8.1f  %9.0f  %8.1f  %7d\n",
 			s.Time, s.Phase, s.DieMaxC, s.TCaseC, s.FlowKgH, float64(s.Freq), s.Actions)
 	}
-	fmt.Printf("total actions %d, emergencies %d\n", len(governed.Actions), governed.Emergencies)
+	fmt.Fprintf(w, "total actions %d, emergencies %d\n", len(governed.Actions), governed.Emergencies)
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestTraceGovernorRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, experiments.Coarse); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"trace for fluidanimate",
+		"nominal run: peak TCASE",
+		"governed run with limit",
+		"total actions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/floorplan"
 	"repro/internal/power"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -134,15 +135,31 @@ func planMulti(apps []AppSpec, sat satisfier) (MultiPlan, error) {
 		}
 	}
 
+	// Every shared frequency level is an independent selection problem, so
+	// the per-frequency search fans out across the sweep pool; the
+	// cheapest feasible level is then picked in input order, matching the
+	// serial scan's first-strictly-cheaper tie-breaking exactly.
+	type freqSel struct {
+		sel  []appChoice
+		cost float64
+		ok   bool
+	}
+	levels := power.Levels()
+	sels, err := sweep.Run(levels, func(f power.Frequency) (freqSel, error) {
+		sel, cost, ok := selectAt(apps, f, idle, sat)
+		return freqSel{sel: sel, cost: cost, ok: ok}, nil
+	})
+	if err != nil {
+		return MultiPlan{}, err
+	}
 	var (
 		best     []appChoice
 		bestFreq power.Frequency
 		bestCost = -1.0
 	)
-	for _, f := range power.Levels() {
-		sel, cost, ok := selectAt(apps, f, idle, sat)
-		if ok && (bestCost < 0 || cost < bestCost) {
-			best, bestFreq, bestCost = sel, f, cost
+	for i, s := range sels {
+		if s.ok && (bestCost < 0 || s.cost < bestCost) {
+			best, bestFreq, bestCost = s.sel, levels[i], s.cost
 		}
 	}
 	if bestCost < 0 {

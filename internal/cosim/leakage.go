@@ -3,6 +3,7 @@ package cosim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/power"
 	"repro/internal/thermal"
@@ -33,14 +34,22 @@ func (s *System) SolveSteadyLeakage(st power.PackageState, op thermosyphon.Opera
 		return nil, err
 	}
 	static, dynamic := s.Power.SplitBlockPowers(st)
+	// Iterate blocks in sorted order wherever floats accumulate: map order
+	// is random and float addition is not associative, so a fixed order is
+	// what keeps repeated solves bit-identical.
+	names := make([]string, 0, len(static))
+	for name := range static {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var baseStatic float64
-	for _, p := range static {
-		baseStatic += p
+	for _, name := range names {
+		baseStatic += static[name]
 	}
 
 	// Start from the reference-temperature power map.
 	bp := make(map[string]float64, len(static))
-	for name := range static {
+	for _, name := range names {
 		bp[name] = static[name] + dynamic[name]
 	}
 
@@ -60,7 +69,7 @@ func (s *System) SolveSteadyLeakage(st power.PackageState, op thermosyphon.Opera
 		}
 		blockT := make(map[string]float64, len(static))
 		var maxDelta, scaledStatic float64
-		for name := range static {
+		for _, name := range names {
 			frac := s.coverage.BlockFraction(name)
 			var t float64
 			for c, f := range frac {

@@ -4,7 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/chiller"
+	"repro/internal/core"
+	"repro/internal/cosim"
 	"repro/internal/linalg"
+	"repro/internal/sweep"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
@@ -29,7 +32,10 @@ type CoolingResult struct {
 // 7 kg/h water flow and 35 °C data-center ambient: solve the proposed stack
 // at 30 °C water, then find the water temperature at which the baseline
 // stack ([8]+[27]+[9]) reaches the same die hot spot, and compare cooling
-// powers via Eq. (1) and the chiller COP model.
+// powers via Eq. (1) and the chiller COP model. The two stacks are set up
+// and initially solved in parallel; the baseline bisection then reuses one
+// prebuilt system across every iteration instead of reassembling the
+// thermal operator per probe.
 func CoolingPowerStudy(res Resolution) (*CoolingResult, error) {
 	const (
 		qos      = workload.QoS2x
@@ -41,17 +47,30 @@ func CoolingPowerStudy(res Resolution) (*CoolingResult, error) {
 		return nil, err
 	}
 
-	solveAt := func(a Approach, waterC float64) (dieMax float64, waterOut float64, err error) {
+	// Build each approach's system and mapping once.
+	type setup struct {
+		sys *cosim.System
+		m   core.Mapping
+	}
+	setups, err := sweep.Run([]Approach{Proposed, SoACoskun}, func(a Approach) (setup, error) {
 		sys, err := NewSystem(a.design(), res)
 		if err != nil {
-			return 0, 0, err
+			return setup{}, err
 		}
 		m, err := a.plan(bench, qos)
 		if err != nil {
-			return 0, 0, err
+			return setup{}, err
 		}
+		return setup{sys: sys, m: m}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	prop, base := setups[0], setups[1]
+
+	solveAt := func(s setup, waterC float64) (dieMax float64, waterOut float64, err error) {
 		op := thermosyphon.Operating{WaterInC: waterC, WaterFlowKgH: flowKgH}
-		die, _, r, err := SolveMapping(sys, bench, m, op)
+		die, _, r, err := SolveMapping(s.sys, bench, s.m, op)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -59,7 +78,7 @@ func CoolingPowerStudy(res Resolution) (*CoolingResult, error) {
 	}
 
 	out := &CoolingResult{ProposedWaterC: 30}
-	propMax, propOut, err := solveAt(Proposed, 30)
+	propMax, propOut, err := solveAt(prop, 30)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +88,7 @@ func CoolingPowerStudy(res Resolution) (*CoolingResult, error) {
 	// Find the baseline water temperature that matches the hot spot.
 	var baseOut float64
 	target := func(waterC float64) float64 {
-		dieMax, wOut, err2 := solveAt(SoACoskun, waterC)
+		dieMax, wOut, err2 := solveAt(base, waterC)
 		if err2 != nil {
 			err = err2
 			return 0
@@ -81,9 +100,13 @@ func CoolingPowerStudy(res Resolution) (*CoolingResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Evaluate the final baseline point.
-	if _, _, err := solveAt(SoACoskun, waterC); err != nil {
+	// Evaluate the final baseline point: Bisect returns the interval
+	// midpoint without evaluating there, so this solve is what makes
+	// baseOut correspond to the returned waterC.
+	if _, wOut, err := solveAt(base, waterC); err != nil {
 		return nil, err
+	} else {
+		baseOut = wOut
 	}
 	out.BaselineWaterC = waterC
 	out.BaselineDeltaT = baseOut - waterC

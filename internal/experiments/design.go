@@ -3,10 +3,12 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/cosim"
 	"repro/internal/metrics"
 	"repro/internal/power"
 	"repro/internal/refrigerant"
 	"repro/internal/sched"
+	"repro/internal/sweep"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
@@ -22,34 +24,33 @@ type OrientationResult struct {
 // Fig5Orientation reproduces the §VI-A orientation study: all cores equally
 // loaded, comparing evaporator orientations. The paper's Design 1
 // (east-west channels) yields pkg 52.7/50.3 °C ∇0.33 versus Design 2
-// (north-south) 53.5/50.6 °C ∇0.43; die 73.2 vs 79.4 °C.
+// (north-south) 53.5/50.6 °C ∇0.43; die 73.2 vs 79.4 °C. The four designs
+// are independent full co-simulations, so they run through the sweep pool.
 func Fig5Orientation(res Resolution) ([]OrientationResult, error) {
 	bench, cfg := workload.WorstCase()
 	m := FullLoadMapping(cfg, power.POLL)
-	var out []OrientationResult
-	for _, o := range thermosyphon.Orientations() {
+	return sweep.Run(thermosyphon.Orientations(), func(o thermosyphon.Orientation) (OrientationResult, error) {
 		d := thermosyphon.DefaultDesign()
 		d.Orientation = o
 		sys, err := NewSystem(d, res)
 		if err != nil {
-			return nil, err
+			return OrientationResult{}, err
 		}
 		die, pkg, r, err := SolveMapping(sys, bench, m, thermosyphon.DefaultOperating())
 		if err != nil {
-			return nil, fmt.Errorf("orientation %v: %w", o, err)
+			return OrientationResult{}, fmt.Errorf("orientation %v: %w", o, err)
 		}
 		pkgMap, err := r.Field.LayerByName("spreader")
 		if err != nil {
-			return nil, err
+			return OrientationResult{}, err
 		}
-		out = append(out, OrientationResult{
+		return OrientationResult{
 			Orientation: o,
 			Die:         die,
 			Pkg:         pkg,
 			PkgMap:      append([]float64(nil), pkgMap...),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // DesignPoint is one refrigerant/filling-ratio candidate in the §VI-B
@@ -83,46 +84,70 @@ type WaterChoice struct {
 	TCaseC   float64
 }
 
+// designFills are the §VI-B filling-ratio candidates.
+var designFills = []float64{0.35, 0.45, 0.55, 0.65, 0.75}
+
+// waterFlows and waterTemps span the §VI-C operating-point scan, ordered
+// cheapest first: lowest flow outer, warmest water inner.
+var (
+	waterFlows = []float64{3, 5, 7, 9, 12}
+	waterTemps = []float64{45, 40, 35, 30, 25, 20}
+)
+
 // DesignSpaceStudy sweeps refrigerant × filling ratio at the worst-case
 // workload (§VI-B), then selects the cheapest water operating point that
-// holds TCASE_MAX (§VI-C).
+// holds TCASE_MAX (§VI-C). Both grids are independent solves and fan out
+// across the sweep pool; results and the selected points are identical to
+// the serial scan because the pool preserves input order.
 func DesignSpaceStudy(res Resolution) (*DesignSpaceResult, error) {
 	bench, cfg := workload.WorstCase()
 	m := FullLoadMapping(cfg, power.POLL)
 	var out DesignSpaceResult
+
+	// §VI-B: every (fluid, fill) pair is its own design, hence its own
+	// system; build it inside the evaluation.
+	grid := sweep.Cross(refrigerant.Candidates(), designFills)
+	points, err := sweep.Run(grid, func(p sweep.Pair[*refrigerant.Fluid, float64]) (DesignPoint, error) {
+		fl, fr := p.A, p.B
+		d := thermosyphon.DefaultDesign()
+		d.Fluid = fl
+		d.FillingRatio = fr
+		sys, err := NewSystem(d, res)
+		if err != nil {
+			return DesignPoint{}, err
+		}
+		die, _, r, err := SolveMapping(sys, bench, m, thermosyphon.DefaultOperating())
+		if err != nil {
+			return DesignPoint{}, fmt.Errorf("%s fill %.2f: %w", fl.Name(), fr, err)
+		}
+		pt := DesignPoint{
+			Fluid:        fl.Name(),
+			FillingRatio: fr,
+			DieMaxC:      die.MaxC,
+			TCaseC:       sys.TCase(r),
+			DryoutCells:  r.Syphon.DryoutCells,
+		}
+		pt.Feasible = pt.TCaseC < sched.TCaseMax
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Points = points
 	best := DesignPoint{DieMaxC: 1e9}
-	for _, fl := range refrigerant.Candidates() {
-		for _, fr := range []float64{0.35, 0.45, 0.55, 0.65, 0.75} {
-			d := thermosyphon.DefaultDesign()
-			d.Fluid = fl
-			d.FillingRatio = fr
-			sys, err := NewSystem(d, res)
-			if err != nil {
-				return nil, err
-			}
-			die, _, r, err := SolveMapping(sys, bench, m, thermosyphon.DefaultOperating())
-			if err != nil {
-				return nil, fmt.Errorf("%s fill %.2f: %w", fl.Name(), fr, err)
-			}
-			pt := DesignPoint{
-				Fluid:        fl.Name(),
-				FillingRatio: fr,
-				DieMaxC:      die.MaxC,
-				TCaseC:       sys.TCase(r),
-				DryoutCells:  r.Syphon.DryoutCells,
-			}
-			pt.Feasible = pt.TCaseC < sched.TCaseMax
-			out.Points = append(out.Points, pt)
-			if pt.Feasible && pt.DieMaxC < best.DieMaxC {
-				best = pt
-			}
+	for _, pt := range out.Points {
+		if pt.Feasible && pt.DieMaxC < best.DieMaxC {
+			best = pt
 		}
 	}
 	out.Best = best
 
-	// §VI-C: fix the best design; scan flow ascending and water
-	// temperature descending from a warm start, accepting the first
-	// combination that meets the constraint.
+	// §VI-C: fix the best design; scan the flow × water-temperature grid
+	// in cheapest-first order and accept the first combination that meets
+	// the constraint. sweep.First preserves the serial early exit — points
+	// past the accepted one are never required — while evaluating ahead
+	// in parallel; the design is shared, so each worker reuses one system
+	// across all points it claims.
 	d := thermosyphon.DefaultDesign()
 	fl, err := refrigerant.ByName(best.Fluid)
 	if err != nil {
@@ -130,22 +155,24 @@ func DesignSpaceStudy(res Resolution) (*DesignSpaceResult, error) {
 	}
 	d.Fluid = fl
 	d.FillingRatio = best.FillingRatio
-	sys, err := NewSystem(d, res)
+	ops := sweep.Cross(waterFlows, waterTemps)
+	i, tc, found, err := sweep.First(ops,
+		func() (*cosim.System, error) { return NewSystem(d, res) },
+		func(sys *cosim.System, p sweep.Pair[float64, float64]) (float64, error) {
+			op := thermosyphon.Operating{WaterInC: p.B, WaterFlowKgH: p.A}
+			_, _, r, err := SolveMapping(sys, bench, m, op)
+			if err != nil {
+				return 0, err
+			}
+			return sys.TCase(r), nil
+		},
+		func(tc float64) bool { return tc < sched.TCaseMax })
 	if err != nil {
 		return nil, err
 	}
-	for _, flow := range []float64{3, 5, 7, 9, 12} {
-		for _, tw := range []float64{45, 40, 35, 30, 25, 20} {
-			op := thermosyphon.Operating{WaterInC: tw, WaterFlowKgH: flow}
-			_, _, r, err := SolveMapping(sys, bench, m, op)
-			if err != nil {
-				return nil, err
-			}
-			if tc := sys.TCase(r); tc < sched.TCaseMax {
-				out.WaterSelection = WaterChoice{FlowKgH: flow, WaterInC: tw, TCaseC: tc}
-				return &out, nil
-			}
-		}
+	if !found {
+		return nil, fmt.Errorf("experiments: no feasible water operating point found")
 	}
-	return nil, fmt.Errorf("experiments: no feasible water operating point found")
+	out.WaterSelection = WaterChoice{FlowKgH: ops[i].A, WaterInC: ops[i].B, TCaseC: tc}
+	return &out, nil
 }

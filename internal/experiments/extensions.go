@@ -4,9 +4,11 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/cosim"
 	"repro/internal/metrics"
 	"repro/internal/power"
 	"repro/internal/sched"
+	"repro/internal/sweep"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
@@ -29,31 +31,40 @@ type OrientationMappingCell struct {
 // ("one hot core per channel") is orientation-relative, so the staggered
 // mapping's advantage should persist across orientations while the
 // clustered mapping's penalty should depend on whether the cluster shares
-// channels.
+// channels. The twelve cells run through the sweep pool; each worker
+// caches the per-orientation systems it builds, so no orientation is
+// assembled more than once per worker.
 func ExtOrientationMapping(res Resolution) ([]OrientationMappingCell, error) {
 	bench, err := workload.ByName("facesim")
 	if err != nil {
 		return nil, err
 	}
 	cfg := workload.Config{Cores: 4, Threads: 8, Freq: power.FMax}
-	var out []OrientationMappingCell
-	for _, o := range thermosyphon.Orientations() {
-		d := thermosyphon.DefaultDesign()
-		d.Orientation = o
-		sys, err := NewSystem(d, res)
-		if err != nil {
-			return nil, err
-		}
-		for _, sc := range Fig6Scenarios() {
+	cells := sweep.Cross(thermosyphon.Orientations(), Fig6Scenarios())
+	return sweep.RunState(cells,
+		func() (map[thermosyphon.Orientation]*cosim.System, error) {
+			return map[thermosyphon.Orientation]*cosim.System{}, nil
+		},
+		func(cache map[thermosyphon.Orientation]*cosim.System, p sweep.Pair[thermosyphon.Orientation, Fig6Scenario]) (OrientationMappingCell, error) {
+			o, sc := p.A, p.B
+			sys := cache[o]
+			if sys == nil {
+				d := thermosyphon.DefaultDesign()
+				d.Orientation = o
+				var err error
+				sys, err = NewSystem(d, res)
+				if err != nil {
+					return OrientationMappingCell{}, err
+				}
+				cache[o] = sys
+			}
 			m := core.Mapping{ActiveCores: sc.Active, IdleState: power.C1, Config: cfg}
 			die, _, _, err := SolveMapping(sys, bench, m, thermosyphon.DefaultOperating())
 			if err != nil {
-				return nil, fmt.Errorf("%v/%s: %w", o, sc.Name, err)
+				return OrientationMappingCell{}, fmt.Errorf("%v/%s: %w", o, sc.Name, err)
 			}
-			out = append(out, OrientationMappingCell{Orientation: o, Scenario: sc.Name, Die: die})
-		}
-	}
-	return out, nil
+			return OrientationMappingCell{Orientation: o, Scenario: sc.Name, Die: die}, nil
+		})
 }
 
 // RuntimeControlResult summarizes the §VII closed-loop experiment.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cosim"
 	"repro/internal/floorplan"
 	"repro/internal/metrics"
+	"repro/internal/sweep"
 	"repro/internal/thermosyphon"
 )
 
@@ -17,79 +18,95 @@ type ScalabilityCell struct {
 	DryoutPct float64 // fraction of evaporator cells past critical quality
 }
 
+// scaledSystem builds the generic die and custom co-simulation system for
+// one grid dimension of the scalability study.
+func scaledSystem(dims [2]int, res Resolution) (*cosim.System, floorplan.GridSpec, error) {
+	spec := floorplan.DefaultGridSpec(dims[0], dims[1])
+	fp, err := floorplan.Generic(spec)
+	if err != nil {
+		return nil, spec, err
+	}
+	pg := floorplan.GenericPackage(fp)
+	nx, ny := res.dims()
+	// Keep roughly square cells on the larger package.
+	if dims[1] > 2 {
+		nx = nx * 3 / 2
+	}
+	cfg := cosim.DefaultConfig()
+	cfg.Stack.NX, cfg.Stack.NY = nx, ny
+	cfg.Stack.Package = pg
+	sys, err := cosim.NewCustomSystem(fp, cfg)
+	return sys, spec, err
+}
+
 // ExtScalability exercises the mapping rule on a scaled 16-core die (the
 // §III note that the evaporator scales with the CPU dimension): half the
 // cores run a fixed per-core load, placed either with the generalized
 // row-exclusive stagger or clustered into adjacent columns. The staggered
-// placement should keep its advantage as the die grows.
+// placement should keep its advantage as the die grows. The four (die,
+// mapping) cells run through the sweep pool; each worker caches the custom
+// systems it builds per die dimension.
 func ExtScalability(res Resolution) ([]ScalabilityCell, error) {
-	var out []ScalabilityCell
-	for _, dims := range [][2]int{{4, 2}, {4, 4}} {
-		spec := floorplan.DefaultGridSpec(dims[0], dims[1])
-		fp, err := floorplan.Generic(spec)
-		if err != nil {
-			return nil, err
-		}
-		pg := floorplan.GenericPackage(fp)
-		nx, ny := res.dims()
-		// Keep roughly square cells on the larger package.
-		if dims[1] > 2 {
-			nx = nx * 3 / 2
-		}
-		cfg := cosim.DefaultConfig()
-		cfg.Stack.NX, cfg.Stack.NY = nx, ny
-		cfg.Stack.Package = pg
-		sys, err := cosim.NewCustomSystem(fp, cfg)
-		if err != nil {
-			return nil, err
-		}
-		n := dims[0] * dims[1]
-		active := n / 2
+	type cached struct {
+		sys  *cosim.System
+		spec floorplan.GridSpec
+	}
+	cells := sweep.Cross([][2]int{{4, 2}, {4, 4}}, []string{"staggered", "clustered"})
+	return sweep.RunState(cells,
+		func() (map[[2]int]*cached, error) { return map[[2]int]*cached{}, nil },
+		func(cache map[[2]int]*cached, p sweep.Pair[[2]int, string]) (ScalabilityCell, error) {
+			dims, name := p.A, p.B
+			c := cache[dims]
+			if c == nil {
+				sys, spec, err := scaledSystem(dims, res)
+				if err != nil {
+					return ScalabilityCell{}, err
+				}
+				c = &cached{sys: sys, spec: spec}
+				cache[dims] = c
+			}
+			n := dims[0] * dims[1]
+			active := n / 2
 
-		staggered := floorplan.GenericRowExclusiveOrder(spec)[:active]
-		clustered := make([]int, active)
-		for i := range clustered {
-			clustered[i] = i // column-major: fills adjacent east columns
-		}
-		for _, m := range []struct {
-			name  string
-			cores []int
-		}{
-			{"staggered", staggered},
-			{"clustered", clustered},
-		} {
+			var cores []int
+			if name == "staggered" {
+				cores = floorplan.GenericRowExclusiveOrder(c.spec)[:active]
+			} else {
+				cores = make([]int, active)
+				for i := range cores {
+					cores[i] = i // column-major: fills adjacent east columns
+				}
+			}
 			bp := map[string]float64{
 				"LLC":     2,
 				"MemCtrl": 6.3,
 				"Uncore":  7.7,
 			}
 			activeSet := map[int]bool{}
-			for _, c := range m.cores {
-				activeSet[c] = true
+			for _, core := range cores {
+				activeSet[core] = true
 			}
 			for i := 0; i < n; i++ {
-				name := fmt.Sprintf("Core%d", i+1)
+				blk := fmt.Sprintf("Core%d", i+1)
 				if activeSet[i] {
-					bp[name] = 7.5 // POLL baseline + heavy dynamic
+					bp[blk] = 7.5 // POLL baseline + heavy dynamic
 				} else {
-					bp[name] = 2.0 // C1-parked
+					bp[blk] = 2.0 // C1-parked
 				}
 			}
-			r, err := sys.SolveSteadyPower(bp, thermosyphon.DefaultOperating())
+			r, err := c.sys.SolveSteadyPower(bp, thermosyphon.DefaultOperating())
 			if err != nil {
-				return nil, fmt.Errorf("%dx%d/%s: %w", dims[0], dims[1], m.name, err)
+				return ScalabilityCell{}, fmt.Errorf("%dx%d/%s: %w", dims[0], dims[1], name, err)
 			}
-			die, err := sys.DieStats(r)
+			die, err := c.sys.DieStats(r)
 			if err != nil {
-				return nil, err
+				return ScalabilityCell{}, err
 			}
-			out = append(out, ScalabilityCell{
+			return ScalabilityCell{
 				Cores:     n,
-				Mapping:   m.name,
+				Mapping:   name,
 				Die:       die,
-				DryoutPct: float64(r.Syphon.DryoutCells) / float64(sys.Thermal.Cells()),
-			})
-		}
-	}
-	return out, nil
+				DryoutPct: float64(r.Syphon.DryoutCells) / float64(c.sys.Thermal.Cells()),
+			}, nil
+		})
 }

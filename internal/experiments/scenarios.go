@@ -5,9 +5,11 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/cosim"
 	"repro/internal/floorplan"
 	"repro/internal/metrics"
 	"repro/internal/power"
+	"repro/internal/sweep"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
@@ -48,12 +50,9 @@ type Fig6Result struct {
 // C1 idle states, reporting die hot spot, average, and maximum gradient.
 // The paper's headline ordering: with POLL the corner balancing (scenario
 // 2) wins; with C1 the staggered mapping (scenario 1) wins; the clustered
-// mapping (scenario 3) is always worst.
+// mapping (scenario 3) is always worst. All six cells share one design, so
+// each sweep worker builds a single system and reuses it.
 func Fig6MappingScenarios(res Resolution) ([]Fig6Result, error) {
-	sys, err := NewSystem(thermosyphon.DefaultDesign(), res)
-	if err != nil {
-		return nil, err
-	}
 	// A mid-roster benchmark at (4,8,fmax), per the paper's setup of four
 	// loaded cores.
 	bench, err := workload.ByName("facesim")
@@ -61,16 +60,16 @@ func Fig6MappingScenarios(res Resolution) ([]Fig6Result, error) {
 		return nil, err
 	}
 	cfg := workload.Config{Cores: 4, Threads: 8, Freq: power.FMax}
-	var out []Fig6Result
-	for _, idle := range []power.CState{power.POLL, power.C1} {
-		for _, sc := range Fig6Scenarios() {
+	cells := sweep.Cross([]power.CState{power.POLL, power.C1}, Fig6Scenarios())
+	return sweep.RunState(cells,
+		func() (*cosim.System, error) { return NewSystem(thermosyphon.DefaultDesign(), res) },
+		func(sys *cosim.System, p sweep.Pair[power.CState, Fig6Scenario]) (Fig6Result, error) {
+			idle, sc := p.A, p.B
 			m := core.Mapping{ActiveCores: sc.Active, IdleState: idle, Config: cfg}
 			die, _, _, err := SolveMapping(sys, bench, m, thermosyphon.DefaultOperating())
 			if err != nil {
-				return nil, fmt.Errorf("%s/%v: %w", sc.Name, idle, err)
+				return Fig6Result{}, fmt.Errorf("%s/%v: %w", sc.Name, idle, err)
 			}
-			out = append(out, Fig6Result{Scenario: sc.Name, Idle: idle, Die: die})
-		}
-	}
-	return out, nil
+			return Fig6Result{Scenario: sc.Name, Idle: idle, Die: die}, nil
+		})
 }

@@ -6,6 +6,8 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/cosim"
+	"repro/internal/metrics"
+	"repro/internal/sweep"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
@@ -88,37 +90,73 @@ type TableIIRow struct {
 }
 
 // TableIIPolicyComparison reproduces Table II over the given benchmarks
-// (nil = the full PARSEC roster) at the three QoS levels.
+// (nil = the full PARSEC roster) at the three QoS levels. Every (approach,
+// QoS, benchmark) cell is an independent plan + co-simulation, so the
+// full 117-solve grid fans out across the sweep pool; each worker lazily
+// builds and reuses one system per approach. The cells come back in input
+// order, so the per-row averages accumulate in exactly the serial order
+// and the rows are bit-identical to the sequential sweep.
 func TableIIPolicyComparison(res Resolution, benches []workload.Benchmark) ([]TableIIRow, error) {
 	if benches == nil {
 		benches = workload.All()
 	}
-	systems := make(map[Approach]*cosim.System, 3)
-	for _, a := range Approaches() {
-		sys, err := NewSystem(a.design(), res)
-		if err != nil {
-			return nil, err
-		}
-		systems[a] = sys
+	qosLevels := []workload.QoS{workload.QoS1x, workload.QoS2x, workload.QoS3x}
+	type cellKey struct {
+		a Approach
+		q workload.QoS
+		b workload.Benchmark
 	}
-	var rows []TableIIRow
+	type cellVal struct {
+		die, pkg metrics.MapStats
+		powerW   float64
+	}
+	var cells []cellKey
 	for _, a := range Approaches() {
-		for _, q := range []workload.QoS{workload.QoS1x, workload.QoS2x, workload.QoS3x} {
-			row := TableIIRow{Approach: a, QoS: q}
+		for _, q := range qosLevels {
 			for _, b := range benches {
-				m, err := a.plan(b, q)
+				cells = append(cells, cellKey{a: a, q: q, b: b})
+			}
+		}
+	}
+	vals, err := sweep.RunState(cells,
+		func() (map[Approach]*cosim.System, error) { return map[Approach]*cosim.System{}, nil },
+		func(systems map[Approach]*cosim.System, c cellKey) (cellVal, error) {
+			sys := systems[c.a]
+			if sys == nil {
+				var err error
+				sys, err = NewSystem(c.a.design(), res)
 				if err != nil {
-					return nil, fmt.Errorf("%v @%s %s: %w", a, q, b.Name, err)
+					return cellVal{}, err
 				}
-				die, pkg, r, err := SolveMapping(systems[a], b, m, thermosyphon.DefaultOperating())
-				if err != nil {
-					return nil, fmt.Errorf("%v @%s %s: %w", a, q, b.Name, err)
-				}
-				row.DieMaxC += die.MaxC
-				row.DieGradCPerMM += die.MaxGradCPerMM
-				row.PkgMaxC += pkg.MaxC
-				row.PkgGradCPerMM += pkg.MaxGradCPerMM
-				row.AvgPowerW += r.TotalPowerW
+				systems[c.a] = sys
+			}
+			m, err := c.a.plan(c.b, c.q)
+			if err != nil {
+				return cellVal{}, fmt.Errorf("%v @%s %s: %w", c.a, c.q, c.b.Name, err)
+			}
+			die, pkg, r, err := SolveMapping(sys, c.b, m, thermosyphon.DefaultOperating())
+			if err != nil {
+				return cellVal{}, fmt.Errorf("%v @%s %s: %w", c.a, c.q, c.b.Name, err)
+			}
+			return cellVal{die: die, pkg: pkg, powerW: r.TotalPowerW}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []TableIIRow
+	i := 0
+	for _, a := range Approaches() {
+		for _, q := range qosLevels {
+			row := TableIIRow{Approach: a, QoS: q}
+			for range benches {
+				v := vals[i]
+				i++
+				row.DieMaxC += v.die.MaxC
+				row.DieGradCPerMM += v.die.MaxGradCPerMM
+				row.PkgMaxC += v.pkg.MaxC
+				row.PkgGradCPerMM += v.pkg.MaxGradCPerMM
+				row.AvgPowerW += v.powerW
 				row.Benchmarks++
 			}
 			n := float64(row.Benchmarks)

@@ -92,17 +92,22 @@ func Rasterize(fp *Floorplan, grid Grid) *CoverageMap {
 // PowerMap distributes the given per-block powers (W) onto the grid,
 // returning per-cell power (W). Blocks absent from the map contribute
 // nothing. An error is reported for powers naming unknown blocks.
+// Accumulation runs in rasterization order, not map order: float addition
+// is not associative and Go randomizes map iteration, so summing in a
+// fixed order is what keeps repeated solves bit-identical.
 func (cm *CoverageMap) PowerMap(blockPower map[string]float64) ([]float64, error) {
-	out := make([]float64, cm.Grid.Cells())
-	for name, p := range blockPower {
-		f, ok := cm.frac[name]
-		if !ok {
+	for name := range blockPower {
+		if _, ok := cm.frac[name]; !ok {
 			return nil, fmt.Errorf("floorplan: power assigned to unknown block %q", name)
 		}
-		if p == 0 {
+	}
+	out := make([]float64, cm.Grid.Cells())
+	for _, name := range cm.blocks {
+		p, ok := blockPower[name]
+		if !ok || p == 0 {
 			continue
 		}
-		for i, fr := range f {
+		for i, fr := range cm.frac[name] {
 			if fr != 0 {
 				out[i] += p * fr
 			}

@@ -3,6 +3,7 @@ package power
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/floorplan"
 )
@@ -112,13 +113,25 @@ func (m *Model) BlockPowers(st PackageState) map[string]float64 {
 	return out
 }
 
-// TotalPower sums the package power for the state.
-func (m *Model) TotalPower(st PackageState) float64 {
+// SumBlockPowers totals a per-block power map in sorted block order so
+// repeated calls are bit-identical (map iteration order is random and
+// float addition is not associative).
+func SumBlockPowers(bp map[string]float64) float64 {
+	names := make([]string, 0, len(bp))
+	for n := range bp {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	var s float64
-	for _, p := range m.BlockPowers(st) {
-		s += p
+	for _, n := range names {
+		s += bp[n]
 	}
 	return s
+}
+
+// TotalPower sums the package power for the state.
+func (m *Model) TotalPower(st PackageState) float64 {
+	return SumBlockPowers(m.BlockPowers(st))
 }
 
 // Floorplan returns the floorplan the model is bound to.

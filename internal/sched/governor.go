@@ -94,10 +94,7 @@ func (g *Governor) Run(tr workload.Trace, m core.Mapping, q workload.QoS, op the
 		phase := tr.At(time.Duration(sim.Time() * float64(time.Second)))
 		st := phaseState(tr.Bench, mapping, phase)
 		bp := g.Sys.Power.BlockPowers(st)
-		var total float64
-		for _, p := range bp {
-			total += p
-		}
+		total := power.SumBlockPowers(bp)
 		// Integrate one control period.
 		for t := 0.0; t < g.Period-1e-9 && sim.Time() < horizon; t += g.Step {
 			if err := sim.Step(g.Step, bp); err != nil {

@@ -1,0 +1,290 @@
+// Package sweep is the parallel evaluation engine behind every
+// embarrassingly parallel study in this repository: the design-space
+// grids, the orientation and mapping scenario sweeps, the Table II policy
+// comparison and the per-frequency plan search are all independent
+// evaluations of a point list, so they fan out across a bounded worker
+// pool here instead of looping serially.
+//
+// The engine guarantees:
+//
+//   - Deterministic, input-ordered results: Run(points, eval)[i] is the
+//     result of eval(points[i]), regardless of worker count or scheduling.
+//   - Fail-fast error aggregation: once any evaluation fails no new points
+//     are started, and the error reported is the failing point with the
+//     lowest input index among those evaluated.
+//   - Per-worker reusable state: RunState gives each worker one state
+//     value (a solver, a system cache) built once and reused across all
+//     points that worker claims, so operators and scratch vectors are not
+//     rebuilt per point.
+//
+// The default worker count follows GOMAXPROCS; SetDefaultWorkers is the
+// process-wide override knob the command-line tools expose as -workers.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the process-wide override; 0 means "use
+// GOMAXPROCS at call time".
+var defaultWorkers atomic.Int64
+
+// DefaultWorkers returns the worker count used when no Workers option is
+// given: the last SetDefaultWorkers value, or GOMAXPROCS.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetDefaultWorkers overrides the process-wide default worker count.
+// Values <= 0 restore the GOMAXPROCS-following default.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Option configures one Run/RunState call.
+type Option func(*config)
+
+type config struct {
+	workers int
+}
+
+// Workers fixes the worker count for one call (<= 0 means the default).
+// One worker forces the fully serial path, which is also the baseline the
+// sweep benchmarks compare against.
+func Workers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// Run evaluates eval over every point concurrently and returns the
+// results in input order. Evaluations must be independent; eval may run
+// on any goroutine but never concurrently with itself on the same index.
+func Run[P, R any](points []P, eval func(P) (R, error), opts ...Option) ([]R, error) {
+	return RunState(points,
+		func() (struct{}, error) { return struct{}{}, nil },
+		func(_ struct{}, p P) (R, error) { return eval(p) },
+		opts...)
+}
+
+// RunState is Run with per-worker reusable state: newState runs once per
+// worker (on the worker's goroutine) and its value is passed to every
+// evaluation that worker performs. Use it to amortize expensive solver
+// construction — each worker owns its state, so eval needs no locking.
+func RunState[S, P, R any](points []P, newState func() (S, error), eval func(S, P) (R, error), opts ...Option) ([]R, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+
+	results := make([]R, len(points))
+	if len(points) == 0 {
+		return results, nil
+	}
+	if workers <= 1 {
+		st, err := newState()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: worker state: %w", err)
+		}
+		for i, p := range points {
+			r, err := eval(st, p)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: point %d: %w", i, err)
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		next     atomic.Int64 // next unclaimed point index
+		stop     atomic.Bool  // fail-fast: stop claiming new points
+		wg       sync.WaitGroup
+		pointErr = make([]error, len(points))
+		stateErr = make([]error, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st, err := newState()
+			if err != nil {
+				stateErr[w] = err
+				stop.Store(true)
+				return
+			}
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				r, err := eval(st, points[i])
+				if err != nil {
+					pointErr[i] = err
+					stop.Store(true)
+					return
+				}
+				results[i] = r
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Report the lowest-index failing point so the error is stable across
+	// schedules whenever a single point is at fault.
+	for i, err := range pointErr {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: point %d: %w", i, err)
+		}
+	}
+	for _, err := range stateErr {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: worker state: %w", err)
+		}
+	}
+	return results, nil
+}
+
+// First evaluates points across the worker pool in claim order and
+// returns the first point, in INPUT order, whose result satisfies accept —
+// the parallel equivalent of a serial scan with an early exit. Exact
+// serial semantics are preserved: evaluation errors at indices past the
+// accepted point are ignored (a serial scan would never have reached
+// them), while an error before it fails the search with the lowest-index
+// error. Workers stop claiming once no lower-index acceptance is possible,
+// so the overshoot past the accepted point is bounded by the pool size.
+// Returns found=false with no error when no point is accepted.
+func First[S, P, R any](points []P, newState func() (S, error), eval func(S, P) (R, error), accept func(R) bool, opts ...Option) (idx int, res R, found bool, err error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	var zero R
+	if len(points) == 0 {
+		return 0, zero, false, nil
+	}
+	if workers <= 1 {
+		st, err := newState()
+		if err != nil {
+			return 0, zero, false, fmt.Errorf("sweep: worker state: %w", err)
+		}
+		for i, p := range points {
+			r, err := eval(st, p)
+			if err != nil {
+				return 0, zero, false, fmt.Errorf("sweep: point %d: %w", i, err)
+			}
+			if accept(r) {
+				return i, r, true, nil
+			}
+		}
+		return 0, zero, false, nil
+	}
+
+	var (
+		next atomic.Int64
+		// bound is the lowest index at which a serial scan would stop —
+		// an acceptance or an error; len(points) means no terminator yet.
+		bound    atomic.Int64
+		stop     atomic.Bool // a worker-state constructor failed
+		wg       sync.WaitGroup
+		results  = make([]R, len(points))
+		pointErr = make([]error, len(points))
+		stateErr = make([]error, workers)
+	)
+	bound.Store(int64(len(points)))
+	lower := func(i int) {
+		for {
+			cur := bound.Load()
+			if int64(i) >= cur || bound.CompareAndSwap(cur, int64(i)) {
+				return
+			}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st, err := newState()
+			if err != nil {
+				stateErr[w] = err
+				stop.Store(true)
+				return
+			}
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				// Claims are monotonic, so every index below the final
+				// bound is claimed before any worker stops here.
+				if i >= len(points) || int64(i) > bound.Load() {
+					return
+				}
+				r, err := eval(st, points[i])
+				if err != nil {
+					pointErr[i] = err
+					lower(i)
+					continue
+				}
+				if accept(r) {
+					results[i] = r
+					lower(i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range stateErr {
+		if err != nil {
+			return 0, zero, false, fmt.Errorf("sweep: worker state: %w", err)
+		}
+	}
+	// Every index below the final bound was evaluated and neither accepted
+	// nor errored, so the terminator at the bound is exactly where the
+	// serial scan would have stopped.
+	b := int(bound.Load())
+	if b >= len(points) {
+		return 0, zero, false, nil
+	}
+	if pointErr[b] != nil {
+		return 0, zero, false, fmt.Errorf("sweep: point %d: %w", b, pointErr[b])
+	}
+	return b, results[b], true, nil
+}
+
+// Pair couples two sweep axes into one point.
+type Pair[A, B any] struct {
+	A A
+	B B
+}
+
+// Cross returns the cross product of two axes in row-major order: the A
+// axis is the outer loop, matching the nested-loop order the serial
+// studies used.
+func Cross[A, B any](as []A, bs []B) []Pair[A, B] {
+	out := make([]Pair[A, B], 0, len(as)*len(bs))
+	for _, a := range as {
+		for _, b := range bs {
+			out = append(out, Pair[A, B]{A: a, B: b})
+		}
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunOrdered(t *testing.T) {
+	points := make([]int, 100)
+	for i := range points {
+		points[i] = i
+	}
+	for _, workers := range []int{1, 2, 3, 8, 64, 200} {
+		got, err := Run(points, func(p int) (int, error) { return p * p, nil }, Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(points) {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i, r := range got {
+			if r != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	points := make([]float64, 257)
+	for i := range points {
+		points[i] = float64(i) * 0.37
+	}
+	eval := func(p float64) (float64, error) { return p*p + 1/(p+1), nil }
+	serial, err := Run(points, eval, Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(points, eval, Workers(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte-identical, not merely approximately equal.
+	if fmt.Sprintf("%v", serial) != fmt.Sprintf("%v", parallel) {
+		t.Fatal("parallel results differ from serial")
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	got, err := Run(nil, func(p int) (int, error) { return p, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty run: %v, %v", got, err)
+	}
+	got, err = Run([]int{41}, func(p int) (int, error) { return p + 1, nil }, Workers(16))
+	if err != nil || len(got) != 1 || got[0] != 42 {
+		t.Fatalf("single run: %v, %v", got, err)
+	}
+}
+
+func TestRunFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	points := make([]int, 500)
+	for i := range points {
+		points[i] = i
+	}
+	var evals atomic.Int64
+	_, err := Run(points, func(p int) (int, error) {
+		evals.Add(1)
+		if p == 3 {
+			return 0, boom
+		}
+		return p, nil
+	}, Workers(4))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "point 3") {
+		t.Fatalf("err = %v, want point index 3", err)
+	}
+	if n := evals.Load(); n >= int64(len(points)) {
+		t.Fatalf("fail-fast did not stop the sweep: %d evaluations", n)
+	}
+}
+
+func TestRunSerialErrorIndex(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run([]int{0, 1, 2}, func(p int) (int, error) {
+		if p > 0 {
+			return 0, boom
+		}
+		return p, nil
+	}, Workers(1))
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "point 1") {
+		t.Fatalf("err = %v, want point 1", err)
+	}
+}
+
+func TestRunStateReuse(t *testing.T) {
+	var built atomic.Int64
+	points := make([]int, 64)
+	const workers = 4
+	got, err := RunState(points,
+		func() (*int, error) {
+			built.Add(1)
+			return new(int), nil
+		},
+		func(st *int, _ int) (int, error) {
+			*st++ // worker-private: must never race
+			return *st, nil
+		},
+		Workers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := built.Load(); n > workers || n < 1 {
+		t.Fatalf("built %d states for %d workers", n, workers)
+	}
+	var total int
+	for _, g := range got {
+		total += g
+	}
+	// Each worker's state counts 1..k for the k points it claimed; the
+	// per-worker sums of 1..k always total at least len(points).
+	if total < len(points) {
+		t.Fatalf("state reuse accounting broken: total %d", total)
+	}
+}
+
+func TestRunStateConstructorError(t *testing.T) {
+	boom := errors.New("no state")
+	_, err := RunState([]int{1, 2, 3},
+		func() (int, error) { return 0, boom },
+		func(int, int) (int, error) { return 0, nil },
+		Workers(2))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want state error", err)
+	}
+	_, err = RunState([]int{1, 2, 3},
+		func() (int, error) { return 0, boom },
+		func(int, int) (int, error) { return 0, nil },
+		Workers(1))
+	if !errors.Is(err, boom) {
+		t.Fatalf("serial err = %v, want state error", err)
+	}
+}
+
+func noState() (struct{}, error) { return struct{}{}, nil }
+
+func TestFirstFindsLowestAccepted(t *testing.T) {
+	points := make([]int, 100)
+	for i := range points {
+		points[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, 32} {
+		idx, res, found, err := First(points, noState,
+			func(_ struct{}, p int) (int, error) { return p * 10, nil },
+			func(r int) bool { return r >= 370 }, // first true at index 37
+			Workers(workers))
+		if err != nil || !found {
+			t.Fatalf("workers=%d: found=%v err=%v", workers, found, err)
+		}
+		if idx != 37 || res != 370 {
+			t.Fatalf("workers=%d: got (%d, %d), want (37, 370)", workers, idx, res)
+		}
+	}
+}
+
+func TestFirstNotFound(t *testing.T) {
+	points := []int{1, 2, 3}
+	_, _, found, err := First(points, noState,
+		func(_ struct{}, p int) (int, error) { return p, nil },
+		func(int) bool { return false },
+		Workers(2))
+	if err != nil || found {
+		t.Fatalf("found=%v err=%v, want not found", found, err)
+	}
+}
+
+func TestFirstErrorBeforeAcceptWins(t *testing.T) {
+	boom := errors.New("boom")
+	points := make([]int, 50)
+	for i := range points {
+		points[i] = i
+	}
+	for _, workers := range []int{1, 4} {
+		// Error at index 5, acceptance only at index 20: the serial scan
+		// stops at the error, so the search must fail.
+		_, _, _, err := First(points, noState,
+			func(_ struct{}, p int) (int, error) {
+				if p == 5 {
+					return 0, boom
+				}
+				return p, nil
+			},
+			func(r int) bool { return r == 20 },
+			Workers(workers))
+		if !errors.Is(err, boom) || !strings.Contains(err.Error(), "point 5") {
+			t.Fatalf("workers=%d: err = %v, want point 5", workers, err)
+		}
+	}
+}
+
+func TestFirstErrorAfterAcceptIgnored(t *testing.T) {
+	boom := errors.New("boom")
+	points := make([]int, 50)
+	for i := range points {
+		points[i] = i
+	}
+	for _, workers := range []int{1, 4} {
+		// Acceptance at index 3, error at index 30: the serial scan exits
+		// at 3 and never reaches 30, so the parallel search must too.
+		idx, _, found, err := First(points, noState,
+			func(_ struct{}, p int) (int, error) {
+				if p == 30 {
+					return 0, boom
+				}
+				return p, nil
+			},
+			func(r int) bool { return r == 3 },
+			Workers(workers))
+		if err != nil || !found || idx != 3 {
+			t.Fatalf("workers=%d: idx=%d found=%v err=%v, want (3, true, nil)", workers, idx, found, err)
+		}
+	}
+}
+
+func TestFirstBoundedOvershoot(t *testing.T) {
+	points := make([]int, 1000)
+	for i := range points {
+		points[i] = i
+	}
+	const workers = 4
+	var evals atomic.Int64
+	idx, _, found, err := First(points, noState,
+		func(_ struct{}, p int) (int, error) {
+			evals.Add(1)
+			return p, nil
+		},
+		func(r int) bool { return r >= 2 },
+		Workers(workers))
+	if err != nil || !found || idx != 2 {
+		t.Fatalf("idx=%d found=%v err=%v", idx, found, err)
+	}
+	// Workers stop claiming once the bound is set. The exact overshoot
+	// depends on scheduling (claims issued while the accepting eval is in
+	// flight), so only assert the scan clearly did not run to completion.
+	if n := evals.Load(); n >= int64(len(points))/2 {
+		t.Fatalf("early exit did not bound the scan: %d of %d evaluations", n, len(points))
+	}
+}
+
+func TestFirstEmpty(t *testing.T) {
+	_, _, found, err := First(nil, noState,
+		func(_ struct{}, p int) (int, error) { return p, nil },
+		func(int) bool { return true })
+	if err != nil || found {
+		t.Fatalf("found=%v err=%v on empty input", found, err)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetDefaultWorkers(3)
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("override %d, want 3", got)
+	}
+	SetDefaultWorkers(-5)
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("reset %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestCrossOrder(t *testing.T) {
+	got := Cross([]string{"a", "b"}, []int{1, 2, 3})
+	want := []Pair[string, int]{
+		{"a", 1}, {"a", 2}, {"a", 3},
+		{"b", 1}, {"b", 2}, {"b", 3},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// BenchmarkSweepEngineOverhead measures the engine's per-point dispatch
+// cost with a trivial evaluation, serial vs pooled.
+func BenchmarkSweepEngineOverhead(b *testing.B) {
+	points := make([]int, 1024)
+	eval := func(p int) (int, error) { return p + 1, nil }
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(points, eval, Workers(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(points, eval, Workers(runtime.GOMAXPROCS(0))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

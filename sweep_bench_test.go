@@ -1,0 +1,162 @@
+// Serial-vs-parallel benchmarks and determinism proofs for the sweep
+// engine on the real paper workloads:
+//
+//	go test -bench=Sweep -benchmem
+//
+// compares the §VI-B/C design-space grid and the Fig. 6 scenario sweep
+// evaluated by one worker against the full pool. The tests assert that
+// the parallel sweeps return byte-identical results to the serial ones;
+// run them with -race to also prove the pool is data-race free.
+package repro_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+// withWorkers runs f under a process-wide sweep worker override and
+// restores the GOMAXPROCS-following default afterwards.
+func withWorkers(n int, f func()) {
+	sweep.SetDefaultWorkers(n)
+	defer sweep.SetDefaultWorkers(0)
+	f()
+}
+
+// poolWorkers is the worker count the parallel benchmarks and the
+// determinism tests use: the full machine, but at least 4 so the
+// concurrent paths (and -race interleavings) are exercised even on small
+// runners.
+func poolWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+func TestSweepDesignSpaceDeterministic(t *testing.T) {
+	var serial, parallel *experiments.DesignSpaceResult
+	var err error
+	withWorkers(1, func() { serial, err = experiments.DesignSpaceStudy(experiments.Coarse) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWorkers(poolWorkers(), func() { parallel, err = experiments.DesignSpaceStudy(experiments.Coarse) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprintf("%+v", parallel), fmt.Sprintf("%+v", serial); got != want {
+		t.Fatalf("parallel design-space result differs from serial:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestSweepFig6Deterministic(t *testing.T) {
+	var serial, parallel []experiments.Fig6Result
+	var err error
+	withWorkers(1, func() { serial, err = experiments.Fig6MappingScenarios(experiments.Coarse) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWorkers(poolWorkers(), func() { parallel, err = experiments.Fig6MappingScenarios(experiments.Coarse) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprintf("%+v", parallel), fmt.Sprintf("%+v", serial); got != want {
+		t.Fatalf("parallel Fig6 result differs from serial:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestSweepTableIIDeterministic(t *testing.T) {
+	subset := tableIISubset(t)
+	var serial, parallel []experiments.TableIIRow
+	var err error
+	withWorkers(1, func() { serial, err = experiments.TableIIPolicyComparison(experiments.Coarse, subset) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWorkers(poolWorkers(), func() { parallel, err = experiments.TableIIPolicyComparison(experiments.Coarse, subset) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The averages must be bit-identical, not approximately equal: the
+	// engine returns cells in input order, so the float accumulation
+	// order matches the serial sweep exactly.
+	if got, want := fmt.Sprintf("%+v", parallel), fmt.Sprintf("%+v", serial); got != want {
+		t.Fatalf("parallel Table II rows differ from serial:\n got %s\nwant %s", got, want)
+	}
+}
+
+// BenchmarkSweepDesignSpaceSerial is the single-worker baseline for the
+// §VI-B/C design-space grid (50 independent co-simulations).
+func BenchmarkSweepDesignSpaceSerial(b *testing.B) {
+	withWorkers(1, func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.DesignSpaceStudy(experiments.Coarse); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSweepDesignSpaceParallel runs the same grid across the worker
+// pool; on a multi-core runner it should beat the serial baseline by at
+// least the factor of available cores (modulo the final partial batch).
+func BenchmarkSweepDesignSpaceParallel(b *testing.B) {
+	withWorkers(poolWorkers(), func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.DesignSpaceStudy(experiments.Coarse); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSweepFig5Serial / Parallel cover the orientation study, whose
+// four points each build their own system.
+func BenchmarkSweepFig5Serial(b *testing.B) {
+	withWorkers(1, func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Fig5Orientation(experiments.Coarse); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSweepFig5Parallel(b *testing.B) {
+	withWorkers(poolWorkers(), func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Fig5Orientation(experiments.Coarse); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSweepTableIISerial / Parallel cover the policy-comparison grid
+// on the three-benchmark subset (27 plan+solve cells).
+func BenchmarkSweepTableIISerial(b *testing.B) {
+	subset := tableIISubset(b)
+	withWorkers(1, func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.TableIIPolicyComparison(experiments.Coarse, subset); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSweepTableIIParallel(b *testing.B) {
+	subset := tableIISubset(b)
+	withWorkers(poolWorkers(), func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.TableIIPolicyComparison(experiments.Coarse, subset); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
