@@ -19,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/rack"
 	"repro/internal/render"
+	"repro/internal/sweep"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
@@ -28,7 +29,9 @@ func main() {
 	qosFlag := flag.Float64("qos", 2, "QoS degradation limit for every app")
 	resFlag := flag.String("res", "coarse", "thermal resolution: coarse|medium|full")
 	waterC := flag.Float64("water", 30, "shared loop water temperature (°C)")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+	sweep.SetDefaultWorkers(*workers)
 	if err := run(*blades, workload.QoS(*qosFlag), *resFlag, *waterC); err != nil {
 		fmt.Fprintln(os.Stderr, "rackplan:", err)
 		os.Exit(1)
@@ -59,11 +62,14 @@ func run(blades int, qos workload.QoS, resFlag string, waterC float64) error {
 	}
 	fmt.Printf("%d apps over %d blades, imbalance %.1f W\n\n", len(apps), blades, rack.Imbalance(assignments))
 
-	// 2. Joint-plan and simulate each blade.
+	// 2. Joint-plan and simulate each blade. The blades share one design
+	// and are solved in a fixed serial order, so one warm-started solve
+	// session carries each blade's converged field into the next solve.
 	sys, err := experiments.NewSystem(thermosyphon.DefaultDesign(), res)
 	if err != nil {
 		return err
 	}
+	ses := sys.NewSession()
 	op := thermosyphon.Operating{WaterInC: waterC, WaterFlowKgH: 7}
 	var (
 		rows      [][]string
@@ -101,7 +107,7 @@ func run(blades int, qos workload.QoS, resFlag string, waterC float64) error {
 			}
 		}
 		st := core.PackageStateMulti(plan)
-		result, err := sys.SolveSteady(st, op)
+		result, err := ses.SolveSteady(st, op)
 		if err != nil {
 			return fmt.Errorf("blade %d: %w", a.CPU, err)
 		}

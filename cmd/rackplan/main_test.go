@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -48,5 +49,23 @@ func TestRackplanRuns(t *testing.T) {
 func TestRackplanBadResolution(t *testing.T) {
 	if err := run(4, workload.QoS2x, "nope", 30); err == nil {
 		t.Fatal("expected error for unknown resolution")
+	}
+}
+
+// TestRackplanWorkersFlag exercises the -workers override the command
+// exposes: a serial run and a pooled run must print byte-identical
+// reports (the sweep engine's determinism contract).
+func TestRackplanWorkersFlag(t *testing.T) {
+	withWorkers := func(n int) string {
+		sweep.SetDefaultWorkers(n)
+		defer sweep.SetDefaultWorkers(0)
+		return captureStdout(t, func() error {
+			return run(2, workload.QoS2x, "coarse", 30)
+		})
+	}
+	serial := withWorkers(1)
+	pooled := withWorkers(4)
+	if serial != pooled {
+		t.Fatalf("worker count changed the report:\nserial:\n%s\npooled:\n%s", serial, pooled)
 	}
 }

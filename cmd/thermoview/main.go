@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/render"
+	"repro/internal/sweep"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
@@ -27,7 +28,12 @@ func main() {
 	policy := flag.String("policy", "proposed", "policy stack: proposed|coskun|sabry")
 	resFlag := flag.String("res", "medium", "thermal resolution: coarse|medium|full")
 	format := flag.String("format", "ascii", "map output: ascii|csv|pgm|none")
+	// thermoview's single solve never fans out today; the flag exists for
+	// CLI parity with the other tools and takes effect the moment any
+	// library path it calls adopts the sweep pool.
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+	sweep.SetDefaultWorkers(*workers)
 
 	if err := run(*benchName, workload.QoS(*qosFlag), *policy, *resFlag, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "thermoview:", err)

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -50,6 +51,26 @@ func TestThermoviewBaselineCSV(t *testing.T) {
 	}
 	if !strings.Contains(out, ",") {
 		t.Fatal("no CSV map emitted")
+	}
+}
+
+// TestThermoviewWorkersFlag exercises the -workers override: the rendered
+// map must be byte-identical whatever the worker count. thermoview's
+// single solve is serial today, so this is a parity guard — it starts
+// pulling real weight as soon as any library path under run() adopts the
+// sweep pool.
+func TestThermoviewWorkersFlag(t *testing.T) {
+	withWorkers := func(n int) string {
+		sweep.SetDefaultWorkers(n)
+		defer sweep.SetDefaultWorkers(0)
+		return captureStdout(t, func() error {
+			return run("x264", workload.QoS2x, "proposed", "coarse", "csv")
+		})
+	}
+	serial := withWorkers(1)
+	pooled := withWorkers(4)
+	if serial != pooled {
+		t.Fatalf("worker count changed the output:\nserial:\n%s\npooled:\n%s", serial, pooled)
 	}
 }
 

@@ -8,7 +8,6 @@ package cosim
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/floorplan"
 	"repro/internal/metrics"
@@ -126,70 +125,20 @@ func (s *System) SolveSteady(st power.PackageState, op thermosyphon.Operating) (
 }
 
 // SolveSteadyPower is SolveSteady for an explicit per-block power map
-// (watts), as used by the design-space sweeps.
+// (watts), as used by the design-space sweeps. It is a compatibility
+// wrapper over a throwaway non-carrying Session: results are bit-identical
+// to a cold solve, and the workspace is still reused across the fixed
+// point's inner solves. Hot loops should hold a Session instead.
 func (s *System) SolveSteadyPower(blockPower map[string]float64, op thermosyphon.Operating) (*Result, error) {
-	pCells, err := s.coverage.PowerMap(blockPower)
+	res, err := s.NewSession(CarryWarmStart(false)).SolveSteadyPower(blockPower, op)
 	if err != nil {
 		return nil, err
 	}
-	var total float64
-	for _, p := range pCells {
-		total += p
-	}
-	grid := s.Thermal.Grid()
-
-	// Initial heat-flux guess: the die power projected straight up.
-	q := append([]float64(nil), pCells...)
-
-	var (
-		res   Result
-		prev  float64 = math.Inf(1)
-		field *thermal.Field
-	)
-	const maxOuter = 60
-	for it := 0; it < maxOuter; it++ {
-		syph, err := s.Design.Evaporate(grid, q, op)
-		if err != nil {
-			return nil, fmt.Errorf("cosim: iteration %d: %w", it, err)
-		}
-		bc := thermal.TopBoundary{H: syph.H, TFluid: syph.TFluid}
-		field, err = s.Thermal.SteadySolveFrom(field, map[int][]float64{0: pCells}, bc)
-		if err != nil {
-			return nil, fmt.Errorf("cosim: iteration %d: %w", it, err)
-		}
-		qNew := field.TopHeatPerCell(bc)
-		// Damped update and convergence on the flux change.
-		var delta float64
-		for i := range q {
-			d := math.Abs(qNew[i] - q[i])
-			if d > delta {
-				delta = d
-			}
-			q[i] = 0.4*q[i] + 0.6*qNew[i]
-		}
-		res = Result{
-			Field:       field,
-			Syphon:      syph,
-			BlockPower:  blockPower,
-			TotalPowerW: total,
-			Iterations:  it + 1,
-			BC:          bc,
-		}
-		// Converge when the largest per-cell flux change falls below 1 %
-		// of the largest cell flux — temperature errors are then far below
-		// the 0.1 °C the experiments care about.
-		var qMax float64
-		for _, w := range qNew {
-			if w > qMax {
-				qMax = w
-			}
-		}
-		if delta < 1e-2*qMax+1e-6 || math.Abs(delta-prev) < 1e-9 {
-			return &res, nil
-		}
-		prev = delta
-	}
-	return &res, nil
+	// Detach the result from the throwaway session: a session returns a
+	// pointer into itself, which would otherwise keep the whole solver
+	// workspace reachable for as long as the caller holds the result.
+	cp := *res
+	return &cp, nil
 }
 
 // PowerCells rasterizes a per-block power map onto the thermal grid's die

@@ -25,8 +25,18 @@ type LeakageResult struct {
 // SolveSteadyLeakage computes the coupled steady state with
 // temperature-dependent leakage: the static share of each block's power is
 // scaled by the block's own mean die temperature, iterated to a fixed
-// point. It requires the Xeon power model.
+// point. It requires the Xeon power model. Compatibility wrapper over a
+// throwaway non-carrying Session — see Session.SolveSteadyLeakage.
 func (s *System) SolveSteadyLeakage(st power.PackageState, op thermosyphon.Operating, leak power.LeakageModel) (*LeakageResult, error) {
+	return s.NewSession(CarryWarmStart(false)).SolveSteadyLeakage(st, op, leak)
+}
+
+// SolveSteadyLeakage is the session form of System.SolveSteadyLeakage: the
+// inner power↔temperature iterations reuse the session workspace, and with
+// the warm-start carry each re-solve starts from the previous converged
+// field, so the leakage fixed point costs little more than one solve.
+func (ses *Session) SolveSteadyLeakage(st power.PackageState, op thermosyphon.Operating, leak power.LeakageModel) (*LeakageResult, error) {
+	s := ses.sys
 	if s.Power == nil {
 		return nil, fmt.Errorf("cosim: system has no power model")
 	}
@@ -59,7 +69,7 @@ func (s *System) SolveSteadyLeakage(st power.PackageState, op thermosyphon.Opera
 	)
 	const maxIter = 25
 	for it := 0; it < maxIter; it++ {
-		res, err := s.SolveSteadyPower(bp, op)
+		res, err := ses.SolveSteadyPower(bp, op)
 		if err != nil {
 			return nil, err
 		}

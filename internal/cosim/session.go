@@ -1,0 +1,174 @@
+package cosim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/power"
+	"repro/internal/thermal"
+	"repro/internal/thermosyphon"
+)
+
+// Session is a reusable solve context bound to one System: it owns a
+// thermal.Workspace plus every scratch buffer the coupled fixed point
+// needs (flux vectors, the rasterized power map, the thermosyphon state),
+// so repeated solves allocate nothing after warm-up. On top of buffer
+// reuse it carries the previous converged temperature field and heat-flux
+// boundary as the warm start for the next solve: nearby sweep points and
+// consecutive governor/bisection steps are near-identical systems, so the
+// outer coupling loop and the CG iterations inside it collapse to a few
+// cheap refinement passes.
+//
+// Warm starting changes iteration counts, not the converged answer beyond
+// the solver tolerances; when a caller needs solves that are bit-identical
+// to the fresh System.SolveSteady* path (the byte-determinism contract of
+// the sweep studies), disable the carry with CarryWarmStart(false) — the
+// session then still reuses all buffers but seeds every solve exactly like
+// a cold one.
+//
+// Results returned by a session alias session-owned buffers (Field,
+// Syphon, BC): they are valid until the next solve on the same session.
+// A session is NOT safe for concurrent use; give each goroutine its own.
+type Session struct {
+	sys       *System
+	ws        *thermal.Workspace
+	carry     bool
+	warm      bool
+	transient bool // a TransientSim owns the workspace's B-side buffers
+
+	res        Result
+	syph       *thermosyphon.State
+	pCells     []float64
+	q, qNew    []float64
+	layerPower map[int][]float64
+	bp         map[string]float64
+}
+
+// SessionOption configures a Session at construction.
+type SessionOption func(*Session)
+
+// CarryWarmStart toggles the cross-solve warm start (default on). With it
+// off, every solve is seeded exactly like a fresh System.SolveSteady* call
+// and produces bit-identical results — buffer reuse is kept either way.
+func CarryWarmStart(on bool) SessionOption {
+	return func(s *Session) { s.carry = on }
+}
+
+// NewSession returns a reusable solve session for the system.
+func (s *System) NewSession(opts ...SessionOption) *Session {
+	ses := &Session{
+		sys:        s,
+		ws:         s.Thermal.NewWorkspace(),
+		carry:      true,
+		layerPower: make(map[int][]float64, 1),
+	}
+	for _, o := range opts {
+		o(ses)
+	}
+	return ses
+}
+
+// System returns the system the session solves.
+func (ses *Session) System() *System { return ses.sys }
+
+// Reset drops the carried warm-start state; the next solve starts cold.
+func (ses *Session) Reset() { ses.warm = false }
+
+// SolveSteady is System.SolveSteady on the session: coupled steady state
+// for a CPU package state, warm-started from the previous solve when the
+// carry is enabled.
+func (ses *Session) SolveSteady(st power.PackageState, op thermosyphon.Operating) (*Result, error) {
+	if ses.sys.Power == nil {
+		return nil, fmt.Errorf("cosim: system has no power model; use SolveSteadyPower")
+	}
+	ses.bp = ses.sys.Power.BlockPowersInto(ses.bp, st)
+	return ses.SolveSteadyPower(ses.bp, op)
+}
+
+// SolveSteadyPower computes the coupled steady state for an explicit
+// per-block power map (watts). This is the hot path of every sweep: after
+// the first call on a session it performs zero heap allocations (asserted
+// by the AllocsPerRun regression tests), and with the warm-start carry the
+// previous converged field and flux distribution seed the fixed point.
+func (ses *Session) SolveSteadyPower(blockPower map[string]float64, op thermosyphon.Operating) (*Result, error) {
+	s := ses.sys
+	pCells, err := s.coverage.PowerMapInto(ses.pCells, blockPower)
+	if err != nil {
+		return nil, err
+	}
+	ses.pCells = pCells
+	var total float64
+	for _, p := range pCells {
+		total += p
+	}
+	grid := s.Thermal.Grid()
+	ses.layerPower[0] = pCells
+
+	// Initial heat-flux guess: the previous converged flux when warm, else
+	// the die power projected straight up.
+	warm := ses.carry && ses.warm
+	if cap(ses.q) < len(pCells) {
+		ses.q = make([]float64, len(pCells))
+		warm = false
+	}
+	ses.q = ses.q[:len(pCells)]
+	if !warm {
+		copy(ses.q, pCells)
+	}
+	q := ses.q
+
+	field := ses.ws.FieldA()
+	var init *thermal.Field
+	if warm {
+		init = field // previous converged temperatures
+	}
+	prev := math.Inf(1)
+	const maxOuter = 60
+	for it := 0; it < maxOuter; it++ {
+		syph, err := s.Design.EvaporateInto(ses.syph, grid, q, op)
+		if err != nil {
+			return nil, fmt.Errorf("cosim: iteration %d: %w", it, err)
+		}
+		ses.syph = syph
+		bc := thermal.TopBoundary{H: syph.H, TFluid: syph.TFluid}
+		if err := ses.ws.SteadySolveInto(field, init, ses.layerPower, bc); err != nil {
+			return nil, fmt.Errorf("cosim: iteration %d: %w", it, err)
+		}
+		init = field
+		ses.qNew = field.TopHeatPerCellInto(ses.qNew, bc)
+		qNew := ses.qNew
+		// Damped update and convergence on the flux change.
+		var delta float64
+		for i := range q {
+			d := math.Abs(qNew[i] - q[i])
+			if d > delta {
+				delta = d
+			}
+			q[i] = 0.4*q[i] + 0.6*qNew[i]
+		}
+		ses.res = Result{
+			Field:       field,
+			Syphon:      syph,
+			BlockPower:  blockPower,
+			TotalPowerW: total,
+			Iterations:  it + 1,
+			BC:          bc,
+		}
+		// Converge when the largest per-cell flux change falls below 1 %
+		// of the largest cell flux — temperature errors are then far below
+		// the 0.1 °C the experiments care about.
+		var qMax float64
+		for _, w := range qNew {
+			if w > qMax {
+				qMax = w
+			}
+		}
+		if delta < 1e-2*qMax+1e-6 || math.Abs(delta-prev) < 1e-9 {
+			ses.warm = true
+			return &ses.res, nil
+		}
+		prev = delta
+	}
+	ses.warm = true
+	return &ses.res, nil
+}

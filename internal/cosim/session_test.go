@@ -1,0 +1,283 @@
+package cosim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/thermosyphon"
+)
+
+// TestSessionMatchesFreshWithoutCarry: a non-carrying session must return
+// bit-identical results to the fresh System path, solve after solve —
+// that equivalence is what lets the sweep studies adopt sessions without
+// touching the byte-determinism contract.
+func TestSessionMatchesFreshWithoutCarry(t *testing.T) {
+	sys, err := NewSystem(coarseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := sys.NewSession(CarryWarmStart(false))
+	op := thermosyphon.DefaultOperating()
+	for _, f := range []float64{2.2, 1.2, 3.0} {
+		st := fullLoadState(f)
+		fresh, err := sys.SolveSteady(st, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ses.SolveSteady(st, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh.Iterations != got.Iterations || fresh.TotalPowerW != got.TotalPowerW {
+			t.Fatalf("freq %.1f: iterations/power differ: %d/%.6f vs %d/%.6f",
+				f, fresh.Iterations, fresh.TotalPowerW, got.Iterations, got.TotalPowerW)
+		}
+		for i := range fresh.Field.T {
+			if fresh.Field.T[i] != got.Field.T[i] {
+				t.Fatalf("freq %.1f: field differs at cell %d: %v vs %v",
+					f, i, fresh.Field.T[i], got.Field.T[i])
+			}
+		}
+		for i := range fresh.Syphon.H {
+			if fresh.Syphon.H[i] != got.Syphon.H[i] {
+				t.Fatalf("freq %.1f: HTC differs at cell %d", f, i)
+			}
+		}
+	}
+}
+
+// TestSessionWarmStartConverges: with the carry enabled the session must
+// reach the same converged answer (within solver tolerance) in fewer or
+// equal coupling iterations when re-solving a nearby point.
+func TestSessionWarmStartConverges(t *testing.T) {
+	sys, err := NewSystem(coarseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := thermosyphon.DefaultOperating()
+	st := fullLoadState(2.2)
+	fresh, err := sys.SolveSteady(st, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshDie, _ := sys.DieStats(fresh)
+	coldIters := fresh.Iterations
+
+	ses := sys.NewSession()
+	if _, err := ses.SolveSteady(st, op); err != nil {
+		t.Fatal(err)
+	}
+	// Re-solve the identical point warm: must converge at least as fast
+	// and land on the same temperatures within coupling tolerance.
+	warm, err := ses.SolveSteady(st, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iterations > coldIters {
+		t.Fatalf("warm re-solve took %d iterations, cold took %d", warm.Iterations, coldIters)
+	}
+	warmDie, _ := sys.DieStats(warm)
+	if d := math.Abs(warmDie.MaxC - freshDie.MaxC); d > 0.1 {
+		t.Fatalf("warm re-solve drifted %.3f °C from the cold solve", d)
+	}
+
+	// A nearby operating point (one valve step) must also stay consistent
+	// with its cold solve.
+	op2 := op
+	op2.WaterFlowKgH += 1
+	coldNear, err := sys.SolveSteady(st, op2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldNearDie, _ := sys.DieStats(coldNear)
+	warmNear, err := ses.SolveSteady(st, op2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmNearDie, _ := sys.DieStats(warmNear)
+	if d := math.Abs(warmNearDie.MaxC - coldNearDie.MaxC); d > 0.1 {
+		t.Fatalf("warm nearby solve drifted %.3f °C from cold (%.3f vs %.3f)",
+			d, warmNearDie.MaxC, coldNearDie.MaxC)
+	}
+	if warmNear.Iterations > coldNear.Iterations {
+		t.Fatalf("warm nearby solve took %d iterations, cold took %d",
+			warmNear.Iterations, coldNear.Iterations)
+	}
+}
+
+// TestSessionReset: after Reset the next solve is cold and bit-identical
+// to the fresh path even on a carrying session.
+func TestSessionReset(t *testing.T) {
+	sys, err := NewSystem(coarseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := thermosyphon.DefaultOperating()
+	st := fullLoadState(2.0)
+	fresh, err := sys.SolveSteady(st, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := sys.NewSession()
+	if _, err := ses.SolveSteady(st, op); err != nil {
+		t.Fatal(err)
+	}
+	ses.Reset()
+	got, err := ses.SolveSteady(st, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iterations != fresh.Iterations {
+		t.Fatalf("post-Reset solve not cold: %d vs %d iterations", got.Iterations, fresh.Iterations)
+	}
+	for i := range fresh.Field.T {
+		if fresh.Field.T[i] != got.Field.T[i] {
+			t.Fatalf("post-Reset field differs at cell %d", i)
+		}
+	}
+}
+
+// TestSessionLeakageMatchesFresh: the session leakage solver without carry
+// must reproduce the fresh SolveSteadyLeakage bit for bit.
+func TestSessionLeakageMatchesFresh(t *testing.T) {
+	sys, err := NewSystem(coarseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := thermosyphon.DefaultOperating()
+	st := fullLoadState(2.2)
+	leak := power.DefaultLeakage()
+	leak.RefC = 40
+	fresh, err := sys.SolveSteadyLeakage(st, op, leak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := sys.NewSession(CarryWarmStart(false))
+	got, err := ses.SolveSteadyLeakage(st, op, leak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.LeakageIterations != got.LeakageIterations || fresh.LeakageExtraW != got.LeakageExtraW {
+		t.Fatalf("leakage summary differs: %d/%.6f vs %d/%.6f",
+			fresh.LeakageIterations, fresh.LeakageExtraW, got.LeakageIterations, got.LeakageExtraW)
+	}
+	for name, temp := range fresh.BlockTempC {
+		if got.BlockTempC[name] != temp {
+			t.Fatalf("block %s temperature differs", name)
+		}
+	}
+}
+
+// TestSessionSteadySolveAllocs is the cosim half of the allocation gate:
+// after warm-up, a full coupled steady solve on a session — power
+// rasterization, evaporator march, thermal CG, flux extraction — must not
+// touch the heap at all.
+func TestSessionSteadySolveAllocs(t *testing.T) {
+	sys, err := NewSystem(coarseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := sys.NewSession()
+	op := thermosyphon.DefaultOperating()
+	st := fullLoadState(2.2)
+	bp := sys.Power.BlockPowers(st)
+	if _, err := ses.SolveSteadyPower(bp, op); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := ses.SolveSteadyPower(bp, op); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("session steady solve allocated %.0f times per run, want 0", allocs)
+	}
+}
+
+// TestSessionTransientStepAllocs: a workspace-backed transient step is
+// heap-free after warm-up too.
+func TestSessionTransientStepAllocs(t *testing.T) {
+	sys, err := NewSystem(coarseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewTransient(sys, thermosyphon.DefaultOperating(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := sys.Power.BlockPowers(fullLoadState(2.2))
+	for i := 0; i < 3; i++ { // warm-up
+		if err := sim.Step(0.25, bp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := sim.Step(0.25, bp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("transient step allocated %.0f times per run, want 0", allocs)
+	}
+}
+
+// TestSessionTransientSharesWorkspace: one session can host steady solves
+// and a transient run side by side without cross-talk.
+func TestSessionTransientSharesWorkspace(t *testing.T) {
+	sys, err := NewSystem(coarseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := thermosyphon.DefaultOperating()
+	st := fullLoadState(2.2)
+	ses := sys.NewSession()
+	sim, err := ses.Transient(op, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := sys.Power.BlockPowers(st)
+	steady, err := ses.SolveSteady(st, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steadyMax, _ := sys.DieStats(steady)
+	for i := 0; i < 80; i++ {
+		if err := sim.Step(0.25, bp); err != nil {
+			t.Fatal(err)
+		}
+		// Interleave a steady solve to prove the buffers are disjoint.
+		if i == 40 {
+			if _, err := ses.SolveSteady(st, op); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	simMax, err := sim.DieMax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(simMax - steadyMax.MaxC); d > 3 {
+		t.Fatalf("transient (%.1f) and steady (%.1f) diverged sharing a session", simMax, steadyMax.MaxC)
+	}
+}
+
+// TestSessionSingleTransient: a second transient sim on one session would
+// share (and corrupt) the first sim's buffers, so it must be refused.
+func TestSessionSingleTransient(t *testing.T) {
+	sys, err := NewSystem(coarseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := sys.NewSession()
+	if _, err := ses.Transient(thermosyphon.DefaultOperating(), 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses.Transient(thermosyphon.DefaultOperating(), 50); err == nil {
+		t.Fatal("second transient on one session must error")
+	}
+	// A fresh session is the documented way to run another sim.
+	if _, err := sys.NewSession().Transient(thermosyphon.DefaultOperating(), 50); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,13 +11,25 @@ import (
 // boundary re-coupled every step: the evaporator state is quasi-static
 // with respect to the chip's thermal time constants (the refrigerant loop
 // settles in well under the RC network's seconds-scale transients).
+//
+// The simulation is workspace-backed: the temperature field, the operator
+// diagonal, the RHS, the CG scratch, the boundary, and the thermosyphon
+// state all live in per-simulation buffers, so a step performs no heap
+// allocations after the first. Field() and Syphon() alias those buffers
+// and are overwritten by the next Step.
 type TransientSim struct {
-	sys   *System
-	op    thermosyphon.Operating
-	field *thermal.Field
-	bc    thermal.TopBoundary
-	syph  *thermosyphon.State
-	time  float64
+	sys    *System
+	ws     *thermal.Workspace
+	op     thermosyphon.Operating
+	field  *thermal.Field
+	bc     thermal.TopBoundary
+	syph   *thermosyphon.State
+	target *thermosyphon.State // loop-inertia scratch
+	time   float64
+
+	pCells     []float64
+	qBuf       []float64
+	layerPower map[int][]float64
 
 	// LoopTau is the natural-circulation startup time constant (s): the
 	// actual mass flow relaxes toward the quasi-static balance with this
@@ -29,34 +41,53 @@ type TransientSim struct {
 // NewTransient starts a transient simulation from a uniform initial
 // temperature at the given cooling operating point.
 func NewTransient(sys *System, op thermosyphon.Operating, initialC float64) (*TransientSim, error) {
+	return sys.NewSession().Transient(op, initialC)
+}
+
+// Transient starts a transient simulation on the session's workspace: the
+// sim uses the workspace's second field buffer, so steady solves and a
+// transient run can share one session without clobbering each other. A
+// session hosts at most one transient sim — its field, boundary, and
+// scratch buffers live in the shared workspace, so a second sim would
+// silently corrupt the first; start it on its own session instead.
+func (ses *Session) Transient(op thermosyphon.Operating, initialC float64) (*TransientSim, error) {
 	if err := op.Validate(); err != nil {
 		return nil, err
 	}
-	ts := &TransientSim{
-		sys:   sys,
-		op:    op,
-		field: sys.Thermal.UniformField(initialC),
+	if ses.transient {
+		return nil, fmt.Errorf("cosim: session already hosts a transient simulation; use a new session")
 	}
+	sys := ses.sys
+	ts := &TransientSim{
+		sys:        sys,
+		ws:         ses.ws,
+		op:         op,
+		field:      ses.ws.FieldB(),
+		layerPower: make(map[int][]float64, 1),
+	}
+	ts.field.T.Fill(initialC)
 	// Bootstrap the boundary with a near-idle thermosyphon state.
 	syph, err := sys.Design.Evaporate(sys.Thermal.Grid(), make([]float64, sys.Thermal.Cells()), op)
 	if err != nil {
 		return nil, err
 	}
 	ts.syph = syph
-	ts.bc = thermal.TopBoundary{
-		H:      append([]float64(nil), syph.H...),
-		TFluid: append([]float64(nil), syph.TFluid...),
-	}
+	ts.bc = ses.ws.Boundary()
+	copy(ts.bc.H, syph.H)
+	copy(ts.bc.TFluid, syph.TFluid)
+	ses.transient = true
 	return ts, nil
 }
 
 // Time returns the elapsed simulated seconds.
 func (ts *TransientSim) Time() float64 { return ts.time }
 
-// Field returns the current temperature field.
+// Field returns the current temperature field. The field is updated in
+// place by Step; Clone it to keep a snapshot.
 func (ts *TransientSim) Field() *thermal.Field { return ts.field }
 
-// Syphon returns the thermosyphon state of the last step.
+// Syphon returns the thermosyphon state of the last step, valid until the
+// next Step.
 func (ts *TransientSim) Syphon() *thermosyphon.State { return ts.syph }
 
 // SetOperating changes the cooling operating point (e.g. the controller
@@ -79,14 +110,16 @@ func (ts *TransientSim) Step(dt float64, blockPower map[string]float64) error {
 	if dt <= 0 {
 		return fmt.Errorf("cosim: non-positive step %g", dt)
 	}
-	pCells, err := ts.sys.coverage.PowerMap(blockPower)
+	pCells, err := ts.sys.coverage.PowerMapInto(ts.pCells, blockPower)
 	if err != nil {
 		return err
 	}
+	ts.pCells = pCells
 	// Quasi-static thermosyphon update from the flux the current field
 	// pushes through the top boundary (floor at the injected power so a
 	// cold start still circulates).
-	q := ts.field.TopHeatPerCell(ts.bc)
+	ts.qBuf = ts.field.TopHeatPerCellInto(ts.qBuf, ts.bc)
+	q := ts.qBuf
 	var qTot float64
 	for _, w := range q {
 		qTot += w
@@ -99,18 +132,19 @@ func (ts *TransientSim) Step(dt float64, blockPower map[string]float64) error {
 	if ts.LoopTau > 0 {
 		// Loop inertia: find the quasi-static flow target, relax the
 		// actual flow toward it, and evaluate the evaporator there.
-		target, err := ts.sys.Design.Evaporate(ts.sys.Thermal.Grid(), q, ts.op)
+		target, err := ts.sys.Design.EvaporateInto(ts.target, ts.sys.Thermal.Grid(), q, ts.op)
 		if err != nil {
 			return err
 		}
+		ts.target = target
 		if ts.mdot <= 0 {
 			ts.mdot = 0.1 * target.Loop.MassFlowKgS // cold start: barely moving
 		}
 		alpha := dt / (ts.LoopTau + dt)
 		ts.mdot += alpha * (target.Loop.MassFlowKgS - ts.mdot)
-		syph, err2 = ts.sys.Design.EvaporateAt(ts.sys.Thermal.Grid(), q, ts.op, ts.mdot)
+		syph, err2 = ts.sys.Design.EvaporateAtInto(ts.syph, ts.sys.Thermal.Grid(), q, ts.op, ts.mdot)
 	} else {
-		syph, err2 = ts.sys.Design.Evaporate(ts.sys.Thermal.Grid(), q, ts.op)
+		syph, err2 = ts.sys.Design.EvaporateInto(ts.syph, ts.sys.Thermal.Grid(), q, ts.op)
 	}
 	if err2 != nil {
 		return err2
@@ -120,22 +154,14 @@ func (ts *TransientSim) Step(dt float64, blockPower map[string]float64) error {
 	// small limit cycle near steady state (flux → quality → HTC → flux);
 	// blending successive boundaries removes it without changing the
 	// converged point.
-	if len(ts.bc.H) == ts.sys.Thermal.Cells() {
-		for i := range syph.H {
-			ts.bc.H[i] = 0.5*ts.bc.H[i] + 0.5*syph.H[i]
-			ts.bc.TFluid[i] = 0.5*ts.bc.TFluid[i] + 0.5*syph.TFluid[i]
-		}
-	} else {
-		ts.bc = thermal.TopBoundary{
-			H:      append([]float64(nil), syph.H...),
-			TFluid: append([]float64(nil), syph.TFluid...),
-		}
+	for i := range ts.syph.H {
+		ts.bc.H[i] = 0.5*ts.bc.H[i] + 0.5*ts.syph.H[i]
+		ts.bc.TFluid[i] = 0.5*ts.bc.TFluid[i] + 0.5*ts.syph.TFluid[i]
 	}
-	next, err := ts.sys.Thermal.StepTransient(ts.field, dt, map[int][]float64{0: pCells}, ts.bc)
-	if err != nil {
+	ts.layerPower[0] = pCells
+	if err := ts.ws.StepTransientInto(ts.field, ts.field, dt, ts.layerPower, ts.bc); err != nil {
 		return err
 	}
-	ts.field = next
 	ts.time += dt
 	return nil
 }

@@ -33,9 +33,11 @@ type CoolingResult struct {
 // at 30 °C water, then find the water temperature at which the baseline
 // stack ([8]+[27]+[9]) reaches the same die hot spot, and compare cooling
 // powers via Eq. (1) and the chiller COP model. The two stacks are set up
-// and initially solved in parallel; the baseline bisection then reuses one
-// prebuilt system across every iteration instead of reassembling the
-// thermal operator per probe.
+// in parallel; the solves then run on per-stack warm-started sessions —
+// the bisection probes differ only in water temperature, so every probe
+// after the first starts from the previous converged field and costs a
+// few refinement iterations instead of a cold solve. The probe sequence
+// is serial and fixed, so the warm starts are deterministic.
 func CoolingPowerStudy(res Resolution) (*CoolingResult, error) {
 	const (
 		qos      = workload.QoS2x
@@ -47,9 +49,10 @@ func CoolingPowerStudy(res Resolution) (*CoolingResult, error) {
 		return nil, err
 	}
 
-	// Build each approach's system and mapping once.
+	// Build each approach's system and mapping once; each gets its own
+	// warm-started session for the serial solve sequence below.
 	type setup struct {
-		sys *cosim.System
+		ses *cosim.Session
 		m   core.Mapping
 	}
 	setups, err := sweep.Run([]Approach{Proposed, SoACoskun}, func(a Approach) (setup, error) {
@@ -61,7 +64,7 @@ func CoolingPowerStudy(res Resolution) (*CoolingResult, error) {
 		if err != nil {
 			return setup{}, err
 		}
-		return setup{sys: sys, m: m}, nil
+		return setup{ses: sys.NewSession(), m: m}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -70,7 +73,7 @@ func CoolingPowerStudy(res Resolution) (*CoolingResult, error) {
 
 	solveAt := func(s setup, waterC float64) (dieMax float64, waterOut float64, err error) {
 		op := thermosyphon.Operating{WaterInC: waterC, WaterFlowKgH: flowKgH}
-		die, _, r, err := SolveMapping(s.sys, bench, s.m, op)
+		die, _, r, err := SolveMappingSession(s.ses, bench, s.m, op)
 		if err != nil {
 			return 0, 0, err
 		}

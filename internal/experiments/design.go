@@ -105,18 +105,21 @@ func DesignSpaceStudy(res Resolution) (*DesignSpaceResult, error) {
 	var out DesignSpaceResult
 
 	// §VI-B: every (fluid, fill) pair is its own design, hence its own
-	// system; build it inside the evaluation.
+	// system; build it inside the evaluation. Even a single-point session
+	// pays for itself here: the coupled fixed point re-solves the thermal
+	// stack a dozen times, and the session reuses one workspace for all of
+	// those inner solves.
 	grid := sweep.Cross(refrigerant.Candidates(), designFills)
 	points, err := sweep.Run(grid, func(p sweep.Pair[*refrigerant.Fluid, float64]) (DesignPoint, error) {
 		fl, fr := p.A, p.B
 		d := thermosyphon.DefaultDesign()
 		d.Fluid = fl
 		d.FillingRatio = fr
-		sys, err := NewSystem(d, res)
+		ses, err := NewSweepSession(d, res)
 		if err != nil {
 			return DesignPoint{}, err
 		}
-		die, _, r, err := SolveMapping(sys, bench, m, thermosyphon.DefaultOperating())
+		die, _, r, err := SolveMappingSession(ses, bench, m, thermosyphon.DefaultOperating())
 		if err != nil {
 			return DesignPoint{}, fmt.Errorf("%s fill %.2f: %w", fl.Name(), fr, err)
 		}
@@ -124,7 +127,7 @@ func DesignSpaceStudy(res Resolution) (*DesignSpaceResult, error) {
 			Fluid:        fl.Name(),
 			FillingRatio: fr,
 			DieMaxC:      die.MaxC,
-			TCaseC:       sys.TCase(r),
+			TCaseC:       ses.System().TCase(r),
 			DryoutCells:  r.Syphon.DryoutCells,
 		}
 		pt.Feasible = pt.TCaseC < sched.TCaseMax
@@ -146,8 +149,8 @@ func DesignSpaceStudy(res Resolution) (*DesignSpaceResult, error) {
 	// in cheapest-first order and accept the first combination that meets
 	// the constraint. sweep.First preserves the serial early exit — points
 	// past the accepted one are never required — while evaluating ahead
-	// in parallel; the design is shared, so each worker reuses one system
-	// across all points it claims.
+	// in parallel; the design is shared, so each worker reuses one solve
+	// session (system + workspace) across all points it claims.
 	d := thermosyphon.DefaultDesign()
 	fl, err := refrigerant.ByName(best.Fluid)
 	if err != nil {
@@ -157,14 +160,14 @@ func DesignSpaceStudy(res Resolution) (*DesignSpaceResult, error) {
 	d.FillingRatio = best.FillingRatio
 	ops := sweep.Cross(waterFlows, waterTemps)
 	i, tc, found, err := sweep.First(ops,
-		func() (*cosim.System, error) { return NewSystem(d, res) },
-		func(sys *cosim.System, p sweep.Pair[float64, float64]) (float64, error) {
+		func() (*cosim.Session, error) { return NewSweepSession(d, res) },
+		func(ses *cosim.Session, p sweep.Pair[float64, float64]) (float64, error) {
 			op := thermosyphon.Operating{WaterInC: p.B, WaterFlowKgH: p.A}
-			_, _, r, err := SolveMapping(sys, bench, m, op)
+			_, _, r, err := SolveMappingSession(ses, bench, m, op)
 			if err != nil {
 				return 0, err
 			}
-			return sys.TCase(r), nil
+			return ses.System().TCase(r), nil
 		},
 		func(tc float64) bool { return tc < sched.TCaseMax })
 	if err != nil {

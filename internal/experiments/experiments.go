@@ -90,3 +90,36 @@ func SolveMapping(sys *cosim.System, b workload.Benchmark, m core.Mapping, op th
 	pkg, err = sys.PackageStats(res)
 	return
 }
+
+// SolveMappingSession is SolveMapping on a reusable solve session — the
+// form every pooled study uses so each sweep worker amortizes its solver
+// workspace across all the points it claims. The returned result aliases
+// session buffers and is valid until the session's next solve.
+func SolveMappingSession(ses *cosim.Session, b workload.Benchmark, m core.Mapping, op thermosyphon.Operating) (die, pkg metrics.MapStats, res *cosim.Result, err error) {
+	st := core.PackageState(b, m)
+	res, err = ses.SolveSteady(st, op)
+	if err != nil {
+		return
+	}
+	sys := ses.System()
+	die, err = sys.DieStats(res)
+	if err != nil {
+		return
+	}
+	pkg, err = sys.PackageStats(res)
+	return
+}
+
+// NewSweepSession builds a system and wraps it in a session with the
+// cross-solve warm start disabled: pooled sweeps claim points in a
+// schedule-dependent order, so carrying state across points would make a
+// parallel run differ from the serial one. A non-carrying session keeps
+// the byte-identical determinism contract while still reusing every solve
+// buffer the worker owns.
+func NewSweepSession(design thermosyphon.Design, res Resolution) (*cosim.Session, error) {
+	sys, err := NewSystem(design, res)
+	if err != nil {
+		return nil, err
+	}
+	return sys.NewSession(cosim.CarryWarmStart(false)), nil
+}

@@ -32,8 +32,8 @@ type OrientationMappingCell struct {
 // mapping's advantage should persist across orientations while the
 // clustered mapping's penalty should depend on whether the cluster shares
 // channels. The twelve cells run through the sweep pool; each worker
-// caches the per-orientation systems it builds, so no orientation is
-// assembled more than once per worker.
+// caches the per-orientation solve sessions it builds, so no orientation's
+// system or workspace is assembled more than once per worker.
 func ExtOrientationMapping(res Resolution) ([]OrientationMappingCell, error) {
 	bench, err := workload.ByName("facesim")
 	if err != nil {
@@ -42,24 +42,24 @@ func ExtOrientationMapping(res Resolution) ([]OrientationMappingCell, error) {
 	cfg := workload.Config{Cores: 4, Threads: 8, Freq: power.FMax}
 	cells := sweep.Cross(thermosyphon.Orientations(), Fig6Scenarios())
 	return sweep.RunState(cells,
-		func() (map[thermosyphon.Orientation]*cosim.System, error) {
-			return map[thermosyphon.Orientation]*cosim.System{}, nil
+		func() (map[thermosyphon.Orientation]*cosim.Session, error) {
+			return map[thermosyphon.Orientation]*cosim.Session{}, nil
 		},
-		func(cache map[thermosyphon.Orientation]*cosim.System, p sweep.Pair[thermosyphon.Orientation, Fig6Scenario]) (OrientationMappingCell, error) {
+		func(cache map[thermosyphon.Orientation]*cosim.Session, p sweep.Pair[thermosyphon.Orientation, Fig6Scenario]) (OrientationMappingCell, error) {
 			o, sc := p.A, p.B
-			sys := cache[o]
-			if sys == nil {
+			ses := cache[o]
+			if ses == nil {
 				d := thermosyphon.DefaultDesign()
 				d.Orientation = o
 				var err error
-				sys, err = NewSystem(d, res)
+				ses, err = NewSweepSession(d, res)
 				if err != nil {
 					return OrientationMappingCell{}, err
 				}
-				cache[o] = sys
+				cache[o] = ses
 			}
 			m := core.Mapping{ActiveCores: sc.Active, IdleState: power.C1, Config: cfg}
-			die, _, _, err := SolveMapping(sys, bench, m, thermosyphon.DefaultOperating())
+			die, _, _, err := SolveMappingSession(ses, bench, m, thermosyphon.DefaultOperating())
 			if err != nil {
 				return OrientationMappingCell{}, fmt.Errorf("%v/%s: %w", o, sc.Name, err)
 			}

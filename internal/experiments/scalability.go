@@ -45,10 +45,11 @@ func scaledSystem(dims [2]int, res Resolution) (*cosim.System, floorplan.GridSpe
 // row-exclusive stagger or clustered into adjacent columns. The staggered
 // placement should keep its advantage as the die grows. The four (die,
 // mapping) cells run through the sweep pool; each worker caches the custom
-// systems it builds per die dimension.
+// systems (wrapped in non-carrying solve sessions) it builds per die
+// dimension.
 func ExtScalability(res Resolution) ([]ScalabilityCell, error) {
 	type cached struct {
-		sys  *cosim.System
+		ses  *cosim.Session
 		spec floorplan.GridSpec
 	}
 	cells := sweep.Cross([][2]int{{4, 2}, {4, 4}}, []string{"staggered", "clustered"})
@@ -62,7 +63,7 @@ func ExtScalability(res Resolution) ([]ScalabilityCell, error) {
 				if err != nil {
 					return ScalabilityCell{}, err
 				}
-				c = &cached{sys: sys, spec: spec}
+				c = &cached{ses: sys.NewSession(cosim.CarryWarmStart(false)), spec: spec}
 				cache[dims] = c
 			}
 			n := dims[0] * dims[1]
@@ -94,11 +95,12 @@ func ExtScalability(res Resolution) ([]ScalabilityCell, error) {
 					bp[blk] = 2.0 // C1-parked
 				}
 			}
-			r, err := c.sys.SolveSteadyPower(bp, thermosyphon.DefaultOperating())
+			r, err := c.ses.SolveSteadyPower(bp, thermosyphon.DefaultOperating())
 			if err != nil {
 				return ScalabilityCell{}, fmt.Errorf("%dx%d/%s: %w", dims[0], dims[1], name, err)
 			}
-			die, err := c.sys.DieStats(r)
+			sys := c.ses.System()
+			die, err := sys.DieStats(r)
 			if err != nil {
 				return ScalabilityCell{}, err
 			}
@@ -106,7 +108,7 @@ func ExtScalability(res Resolution) ([]ScalabilityCell, error) {
 				Cores:     n,
 				Mapping:   name,
 				Die:       die,
-				DryoutPct: float64(r.Syphon.DryoutCells) / float64(c.sys.Thermal.Cells()),
+				DryoutPct: float64(r.Syphon.DryoutCells) / float64(sys.Thermal.Cells()),
 			}, nil
 		})
 }

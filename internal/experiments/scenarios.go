@@ -51,7 +51,8 @@ type Fig6Result struct {
 // The paper's headline ordering: with POLL the corner balancing (scenario
 // 2) wins; with C1 the staggered mapping (scenario 1) wins; the clustered
 // mapping (scenario 3) is always worst. All six cells share one design, so
-// each sweep worker builds a single system and reuses it.
+// each sweep worker builds a single solve session and reuses its system
+// and workspace across every cell it claims.
 func Fig6MappingScenarios(res Resolution) ([]Fig6Result, error) {
 	// A mid-roster benchmark at (4,8,fmax), per the paper's setup of four
 	// loaded cores.
@@ -62,11 +63,11 @@ func Fig6MappingScenarios(res Resolution) ([]Fig6Result, error) {
 	cfg := workload.Config{Cores: 4, Threads: 8, Freq: power.FMax}
 	cells := sweep.Cross([]power.CState{power.POLL, power.C1}, Fig6Scenarios())
 	return sweep.RunState(cells,
-		func() (*cosim.System, error) { return NewSystem(thermosyphon.DefaultDesign(), res) },
-		func(sys *cosim.System, p sweep.Pair[power.CState, Fig6Scenario]) (Fig6Result, error) {
+		func() (*cosim.Session, error) { return NewSweepSession(thermosyphon.DefaultDesign(), res) },
+		func(ses *cosim.Session, p sweep.Pair[power.CState, Fig6Scenario]) (Fig6Result, error) {
 			idle, sc := p.A, p.B
 			m := core.Mapping{ActiveCores: sc.Active, IdleState: idle, Config: cfg}
-			die, _, _, err := SolveMapping(sys, bench, m, thermosyphon.DefaultOperating())
+			die, _, _, err := SolveMappingSession(ses, bench, m, thermosyphon.DefaultOperating())
 			if err != nil {
 				return Fig6Result{}, fmt.Errorf("%s/%v: %w", sc.Name, idle, err)
 			}

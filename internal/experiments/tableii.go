@@ -93,9 +93,11 @@ type TableIIRow struct {
 // (nil = the full PARSEC roster) at the three QoS levels. Every (approach,
 // QoS, benchmark) cell is an independent plan + co-simulation, so the
 // full 117-solve grid fans out across the sweep pool; each worker lazily
-// builds and reuses one system per approach. The cells come back in input
-// order, so the per-row averages accumulate in exactly the serial order
-// and the rows are bit-identical to the sequential sweep.
+// builds and reuses one solve session per approach, amortizing the system
+// and the solver workspace over all the cells it claims. The cells come
+// back in input order, so the per-row averages accumulate in exactly the
+// serial order and the rows are bit-identical to the sequential sweep
+// (the sessions do not carry warm starts across cells for that reason).
 func TableIIPolicyComparison(res Resolution, benches []workload.Benchmark) ([]TableIIRow, error) {
 	if benches == nil {
 		benches = workload.All()
@@ -119,22 +121,22 @@ func TableIIPolicyComparison(res Resolution, benches []workload.Benchmark) ([]Ta
 		}
 	}
 	vals, err := sweep.RunState(cells,
-		func() (map[Approach]*cosim.System, error) { return map[Approach]*cosim.System{}, nil },
-		func(systems map[Approach]*cosim.System, c cellKey) (cellVal, error) {
-			sys := systems[c.a]
-			if sys == nil {
+		func() (map[Approach]*cosim.Session, error) { return map[Approach]*cosim.Session{}, nil },
+		func(sessions map[Approach]*cosim.Session, c cellKey) (cellVal, error) {
+			ses := sessions[c.a]
+			if ses == nil {
 				var err error
-				sys, err = NewSystem(c.a.design(), res)
+				ses, err = NewSweepSession(c.a.design(), res)
 				if err != nil {
 					return cellVal{}, err
 				}
-				systems[c.a] = sys
+				sessions[c.a] = ses
 			}
 			m, err := c.a.plan(c.b, c.q)
 			if err != nil {
 				return cellVal{}, fmt.Errorf("%v @%s %s: %w", c.a, c.q, c.b.Name, err)
 			}
-			die, pkg, r, err := SolveMapping(sys, c.b, m, thermosyphon.DefaultOperating())
+			die, pkg, r, err := SolveMappingSession(ses, c.b, m, thermosyphon.DefaultOperating())
 			if err != nil {
 				return cellVal{}, fmt.Errorf("%v @%s %s: %w", c.a, c.q, c.b.Name, err)
 			}

@@ -96,12 +96,27 @@ func Rasterize(fp *Floorplan, grid Grid) *CoverageMap {
 // is not associative and Go randomizes map iteration, so summing in a
 // fixed order is what keeps repeated solves bit-identical.
 func (cm *CoverageMap) PowerMap(blockPower map[string]float64) ([]float64, error) {
+	return cm.PowerMapInto(nil, blockPower)
+}
+
+// PowerMapInto is PowerMap writing into a caller-owned buffer, grown as
+// needed and returned — the allocation-free variant solve sessions use.
+// The buffer is fully overwritten; accumulation order is identical to
+// PowerMap, so the results are bit-identical.
+func (cm *CoverageMap) PowerMapInto(dst []float64, blockPower map[string]float64) ([]float64, error) {
 	for name := range blockPower {
 		if _, ok := cm.frac[name]; !ok {
 			return nil, fmt.Errorf("floorplan: power assigned to unknown block %q", name)
 		}
 	}
-	out := make([]float64, cm.Grid.Cells())
+	cells := cm.Grid.Cells()
+	if cap(dst) < cells {
+		dst = make([]float64, cells)
+	}
+	out := dst[:cells]
+	for i := range out {
+		out[i] = 0
+	}
 	for _, name := range cm.blocks {
 		p, ok := blockPower[name]
 		if !ok || p == 0 {

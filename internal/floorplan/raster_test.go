@@ -154,3 +154,39 @@ func TestRasterizeConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPowerMapIntoMatchesPowerMap: the buffer-reusing variant must return
+// bit-identical cell powers and actually recycle the buffer.
+func TestPowerMapIntoMatchesPowerMap(t *testing.T) {
+	fp := BroadwellEP()
+	cm := Rasterize(fp, NewGrid(10, 10, fp.Width, fp.Height))
+	bp := map[string]float64{"Core1": 7.5, "Core5": 3.25, "LLC": 2, "MemCtrl": 6.3}
+	fresh, err := cm.PowerMap(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, cm.Grid.Cells())
+	for i := range buf {
+		buf[i] = 999 // dirty: every cell must be overwritten
+	}
+	got, err := cm.PowerMapInto(buf, bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[0] {
+		t.Fatal("PowerMapInto did not reuse the buffer")
+	}
+	for i := range fresh {
+		if fresh[i] != got[i] {
+			t.Fatalf("cell %d differs: %v vs %v", i, fresh[i], got[i])
+		}
+	}
+	if _, err := cm.PowerMapInto(buf, map[string]float64{"bogus": 1}); err == nil {
+		t.Fatal("unknown block must error")
+	}
+	// Too-small buffers are grown, not faulted.
+	grown, err := cm.PowerMapInto(make([]float64, 3), bp)
+	if err != nil || len(grown) != cm.Grid.Cells() {
+		t.Fatalf("grow failed: len %d err %v", len(grown), err)
+	}
+}

@@ -41,10 +41,46 @@ type CGResult struct {
 	Residual   float64 // final relative residual
 }
 
+// CGWorkspace holds the scratch vectors one conjugate-gradient solve
+// needs. A zero value is ready to use: the buffers are grown on first use
+// and reused afterwards, so repeated solves of the same size perform no
+// allocations. A workspace is not safe for concurrent use.
+type CGWorkspace struct {
+	r, z, p, ap Vector
+}
+
+// NewCGWorkspace returns a workspace pre-sized for operators of dimension n.
+func NewCGWorkspace(n int) *CGWorkspace {
+	ws := &CGWorkspace{}
+	ws.grow(n)
+	return ws
+}
+
+// grow resizes every scratch vector to length n, reusing capacity.
+func (ws *CGWorkspace) grow(n int) {
+	resize := func(v Vector) Vector {
+		if cap(v) < n {
+			return make(Vector, n)
+		}
+		return v[:n]
+	}
+	ws.r = resize(ws.r)
+	ws.z = resize(ws.z)
+	ws.p = resize(ws.p)
+	ws.ap = resize(ws.ap)
+}
+
 // CG solves A·x = b for a symmetric positive-definite operator using the
 // (optionally Jacobi-preconditioned) conjugate-gradient method. x is used
 // as the initial guess and is updated in place.
 func CG(a Operator, b, x Vector, opt CGOptions) (CGResult, error) {
+	return CGWith(a, b, x, opt, &CGWorkspace{})
+}
+
+// CGWith is CG with caller-owned scratch: all intermediate vectors live in
+// ws, so a reused workspace makes the solve allocation-free. The result is
+// bit-identical to CG — the workspace only changes where the scratch lives.
+func CGWith(a Operator, b, x Vector, opt CGOptions, ws *CGWorkspace) (CGResult, error) {
 	n := a.Size()
 	if opt.Tol <= 0 {
 		opt.Tol = 1e-9
@@ -58,22 +94,18 @@ func CG(a Operator, b, x Vector, opt CGOptions) (CGResult, error) {
 		return CGResult{Iterations: 0, Residual: 0}, nil
 	}
 
-	r := make(Vector, n)
+	ws.grow(n)
+	r, z, p, ap := ws.r, ws.z, ws.p, ws.ap
 	a.Apply(x, r)
 	for i := range r {
 		r[i] = b[i] - r[i]
 	}
-	z := make(Vector, n)
-	applyPrecond := func() {
-		if opt.Precond != nil {
-			opt.Precond.Apply(r, z)
-		} else {
-			copy(z, r)
-		}
+	if opt.Precond != nil {
+		opt.Precond.Apply(r, z)
+	} else {
+		copy(z, r)
 	}
-	applyPrecond()
-	p := z.Clone()
-	ap := make(Vector, n)
+	copy(p, z)
 	rz := r.Dot(z)
 
 	var res CGResult
@@ -93,7 +125,11 @@ func CG(a Operator, b, x Vector, opt CGOptions) (CGResult, error) {
 		alpha := rz / pap
 		x.AXPY(alpha, p)
 		r.AXPY(-alpha, ap)
-		applyPrecond()
+		if opt.Precond != nil {
+			opt.Precond.Apply(r, z)
+		} else {
+			copy(z, r)
+		}
 		rzNew := r.Dot(z)
 		beta := rzNew / rz
 		rz = rzNew
@@ -128,7 +164,9 @@ type StencilSweeper interface {
 }
 
 // SOR solves A·x = b by successive over-relaxation for operators that
-// provide sweeps. x is the initial guess, updated in place.
+// provide sweeps. x is the initial guess, updated in place. The sweeps
+// work entirely inside x, so the solve needs no scratch workspace and is
+// allocation-free by construction.
 func SOR(a StencilSweeper, b, x Vector, opt SOROptions) (CGResult, error) {
 	if opt.Omega <= 0 || opt.Omega >= 2 {
 		opt.Omega = 1.6

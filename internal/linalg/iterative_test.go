@@ -301,3 +301,76 @@ func TestTableMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCGWithMatchesCG: the workspace-backed solver must be bit-identical
+// to the allocating one — the workspace only changes where scratch lives.
+func TestCGWithMatchesCG(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(7))
+	want := make(Vector, n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	op := laplace1D{n: n}
+	b := poissonRHS(n, want)
+
+	x1 := make(Vector, n)
+	res1, err1 := CG(op, b, x1, CGOptions{Tol: 1e-12})
+	x2 := make(Vector, n)
+	ws := NewCGWorkspace(n)
+	res2, err2 := CGWith(op, b, x2, CGOptions{Tol: 1e-12}, ws)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errors: %v vs %v", err1, err2)
+	}
+	if res1 != res2 {
+		t.Fatalf("results differ: %+v vs %+v", res1, res2)
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("solution differs at %d: %v vs %v", i, x1[i], x2[i])
+		}
+	}
+	// Reusing the workspace (dirty scratch) must not change the answer.
+	x3 := make(Vector, n)
+	res3, err := CGWith(op, b, x3, CGOptions{Tol: 1e-12}, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3 != res1 {
+		t.Fatalf("reused workspace changed the result: %+v vs %+v", res3, res1)
+	}
+	for i := range x1 {
+		if x1[i] != x3[i] {
+			t.Fatalf("reused-workspace solution differs at %d", i)
+		}
+	}
+}
+
+// TestCGWithZeroAllocs: after warm-up, a workspace-backed CG solve must
+// not touch the heap.
+func TestCGWithZeroAllocs(t *testing.T) {
+	const n = 128
+	rng := rand.New(rand.NewSource(11))
+	want := make(Vector, n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	op := laplace1D{n: n}
+	b := poissonRHS(n, want)
+	x := make(Vector, n)
+	ws := NewCGWorkspace(n)
+	inv := make(Vector, n)
+	inv.Fill(0.5)
+	pre := DiagonalPreconditioner{InvDiag: inv}
+	opts := CGOptions{Tol: 1e-10, Precond: &pre}
+	solve := func() {
+		x.Fill(0)
+		if _, err := CGWith(op, b, x, opts, ws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solve() // warm-up
+	if allocs := testing.AllocsPerRun(20, solve); allocs != 0 {
+		t.Fatalf("CGWith allocated %.1f times per solve, want 0", allocs)
+	}
+}

@@ -100,7 +100,17 @@ func CorePower(load CoreLoad, f Frequency) float64 {
 // BlockPowers maps the package state onto per-block powers in watts.
 // Reserved (fused-off) blocks draw nothing.
 func (m *Model) BlockPowers(st PackageState) map[string]float64 {
-	out := make(map[string]float64, floorplan.NumCores+3)
+	return m.BlockPowersInto(nil, st)
+}
+
+// BlockPowersInto is BlockPowers reusing a caller-owned map (allocated
+// when nil and returned). The key set is identical on every call, so a
+// recycled map is overwritten completely and the call allocates nothing —
+// the variant cosim solve sessions use.
+func (m *Model) BlockPowersInto(out map[string]float64, st PackageState) map[string]float64 {
+	if out == nil {
+		out = make(map[string]float64, floorplan.NumCores+3)
+	}
 	for i := 0; i < floorplan.NumCores; i++ {
 		out[floorplan.CoreName(i)] = CorePower(st.Cores[i], st.Freq)
 	}

@@ -202,3 +202,36 @@ func TestLevels(t *testing.T) {
 		t.Fatalf("Levels = %v", ls)
 	}
 }
+
+// TestBlockPowersIntoReusesMap: the map-recycling variant must overwrite
+// every key and match BlockPowers exactly.
+func TestBlockPowersIntoReusesMap(t *testing.T) {
+	m, err := NewModel(floorplan.BroadwellEP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := PackageState{Freq: FMax, UncoreFreq: UncoreFreqMax, LLC: 0.8}
+	for i := range st.Cores {
+		st.Cores[i] = CoreLoad{Active: true, DynWatts: 5}
+	}
+	fresh := m.BlockPowers(st)
+	buf := make(map[string]float64)
+	got := m.BlockPowersInto(buf, st)
+	if len(got) != len(fresh) {
+		t.Fatalf("key sets differ: %d vs %d", len(got), len(fresh))
+	}
+	for k, v := range fresh {
+		if got[k] != v {
+			t.Fatalf("%s differs: %v vs %v", k, got[k], v)
+		}
+	}
+	// Recycle with a different state: stale values must be overwritten.
+	st.Cores[0] = CoreLoad{Idle: C6}
+	fresh2 := m.BlockPowers(st)
+	got2 := m.BlockPowersInto(buf, st)
+	for k, v := range fresh2 {
+		if got2[k] != v {
+			t.Fatalf("recycled %s differs: %v vs %v", k, got2[k], v)
+		}
+	}
+}

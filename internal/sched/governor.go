@@ -80,7 +80,10 @@ func (g *Governor) Run(tr workload.Trace, m core.Mapping, q workload.QoS, op the
 	if g.TCaseLimit <= 0 {
 		g.TCaseLimit = TCaseMax
 	}
-	sim, err := cosim.NewTransient(g.Sys, op, 30)
+	// The governed trace run is one long serial sequence of transient
+	// steps: a dedicated session gives it a workspace so every step (and
+	// every phase change the trace throws at it) is allocation-free.
+	sim, err := g.Sys.NewSession().Transient(op, 30)
 	if err != nil {
 		return nil, err
 	}
@@ -89,11 +92,12 @@ func (g *Governor) Run(tr workload.Trace, m core.Mapping, q workload.QoS, op the
 	horizon := tr.TotalDuration().Seconds()
 	baseFlow := op.WaterFlowKgH
 	coolPeriods := 0
+	var bp map[string]float64 // recycled across control periods
 
 	for sim.Time() < horizon {
 		phase := tr.At(time.Duration(sim.Time() * float64(time.Second)))
 		st := phaseState(tr.Bench, mapping, phase)
-		bp := g.Sys.Power.BlockPowers(st)
+		bp = g.Sys.Power.BlockPowersInto(bp, st)
 		total := power.SumBlockPowers(bp)
 		// Integrate one control period.
 		for t := 0.0; t < g.Period-1e-9 && sim.Time() < horizon; t += g.Step {

@@ -77,13 +77,21 @@ func (c *Controller) Regulate(b workload.Benchmark, m core.Mapping, q workload.Q
 	mapping := m
 	out := &Outcome{Op: op, Mapping: mapping}
 
+	// One warm-started session for the whole control loop: consecutive
+	// valve/DVFS probes differ by one actuator step, so each re-solve
+	// starts from the previous converged field and costs a few refinement
+	// iterations instead of a cold solve.
+	ses := c.Sys.NewSession()
 	solve := func() error {
 		st := core.PackageState(b, mapping)
-		res, err := c.Sys.SolveSteady(st, op)
+		res, err := ses.SolveSteady(st, op)
 		if err != nil {
 			return err
 		}
-		out.Result = res
+		// Copy the result header so the returned Outcome does not pin the
+		// session (and its solver workspace) via an interior pointer.
+		cp := *res
+		out.Result = &cp
 		out.TCase = c.Sys.TCase(res)
 		out.Op = op
 		out.Mapping = mapping

@@ -107,15 +107,27 @@ func (f *Field) TotalHeatToTop(bc TopBoundary) float64 {
 // TopHeatPerCell returns the per-cell heat flow (W) leaving through the top
 // boundary, which the thermosyphon's channel-marching model consumes.
 func (f *Field) TopHeatPerCell(bc TopBoundary) []float64 {
+	return f.TopHeatPerCellInto(nil, bc)
+}
+
+// TopHeatPerCellInto is TopHeatPerCell writing into a caller-owned buffer,
+// grown as needed and returned — the allocation-free variant solve
+// sessions use. Every element is overwritten.
+func (f *Field) TopHeatPerCellInto(dst []float64, bc TopBoundary) []float64 {
 	m := f.model
 	top := (m.nl - 1) * m.cells
-	q := make([]float64, m.cells)
+	if cap(dst) < m.cells {
+		dst = make([]float64, m.cells)
+	}
+	dst = dst[:m.cells]
 	for c := 0; c < m.cells; c++ {
 		if g := m.topG(bc, c); g != 0 {
-			q[c] = g * (f.T[top+c] - bc.TFluid[c])
+			dst[c] = g * (f.T[top+c] - bc.TFluid[c])
+		} else {
+			dst[c] = 0
 		}
 	}
-	return q
+	return dst
 }
 
 // TotalHeatToBottom integrates heat leaving through the board-side path (W).

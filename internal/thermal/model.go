@@ -264,10 +264,12 @@ func (op *operator) SweepSOR(b, x linalg.Vector, omega float64) float64 {
 	return maxDelta
 }
 
-// buildOperator assembles the diagonal for the given boundary and optional
-// capacitive term (capOverDt > 0 for transient steps).
-func (m *Model) buildOperator(bc TopBoundary, capOverDt float64) *operator {
-	op := &operator{m: m, diag: make(linalg.Vector, m.n), invDiag: make(linalg.Vector, m.n)}
+// fillOperator (re)assembles the diagonal for the given boundary and
+// optional capacitive term (capOverDt > 0 for transient steps) into an
+// operator whose vectors are already sized — the allocation-free core that
+// both buildOperator and Workspace share. Every element is overwritten, so
+// a reused operator carries no state between solves.
+func (m *Model) fillOperator(op *operator, bc TopBoundary, capOverDt float64) {
 	nx, cells := m.nx, m.cells
 	for l := 0; l < m.nl; l++ {
 		base := l * cells
@@ -305,6 +307,13 @@ func (m *Model) buildOperator(bc TopBoundary, capOverDt float64) *operator {
 			op.invDiag[i] = 1 / d
 		}
 	}
+}
+
+// buildOperator allocates a fresh operator for the given boundary and
+// optional capacitive term.
+func (m *Model) buildOperator(bc TopBoundary, capOverDt float64) *operator {
+	op := &operator{m: m, diag: make(linalg.Vector, m.n), invDiag: make(linalg.Vector, m.n)}
+	m.fillOperator(op, bc, capOverDt)
 	return op
 }
 
@@ -312,15 +321,25 @@ func (m *Model) buildOperator(bc TopBoundary, capOverDt float64) *operator {
 // powerByLayer maps layer index → per-cell watts (nil entries allowed).
 func (m *Model) rhs(powerByLayer map[int][]float64, bc TopBoundary) (linalg.Vector, error) {
 	b := make(linalg.Vector, m.n)
+	if err := m.rhsInto(b, powerByLayer, bc); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// rhsInto assembles the right-hand side into a caller-owned vector of
+// length n, overwriting it completely.
+func (m *Model) rhsInto(b linalg.Vector, powerByLayer map[int][]float64, bc TopBoundary) error {
+	b.Fill(0)
 	for l, p := range powerByLayer {
 		if p == nil {
 			continue
 		}
 		if l < 0 || l >= m.nl {
-			return nil, fmt.Errorf("thermal: power assigned to invalid layer %d", l)
+			return fmt.Errorf("thermal: power assigned to invalid layer %d", l)
 		}
 		if len(p) != m.cells {
-			return nil, fmt.Errorf("thermal: layer %d power has %d cells, want %d", l, len(p), m.cells)
+			return fmt.Errorf("thermal: layer %d power has %d cells, want %d", l, len(p), m.cells)
 		}
 		base := l * m.cells
 		for c, w := range p {
@@ -336,7 +355,7 @@ func (m *Model) rhs(powerByLayer map[int][]float64, bc TopBoundary) (linalg.Vect
 			b[top+c] += g * bc.TFluid[c]
 		}
 	}
-	return b, nil
+	return nil
 }
 
 func (m *Model) checkBC(bc TopBoundary) error {
@@ -354,70 +373,38 @@ func (m *Model) SteadySolve(powerByLayer map[int][]float64, bc TopBoundary) (*Fi
 
 // SteadySolveFrom is SteadySolve warm-started from a previous field, which
 // makes the outer thermosyphon coupling loop cheap: successive solves
-// differ only slightly, so CG converges in a few iterations.
+// differ only slightly, so CG converges in a few iterations. It is a thin
+// compatibility wrapper over Workspace.SteadySolveInto that builds a
+// throwaway workspace; hot loops should hold a Workspace (or a
+// cosim.Session) instead and reuse it across solves.
 func (m *Model) SteadySolveFrom(init *Field, powerByLayer map[int][]float64, bc TopBoundary) (*Field, error) {
-	if err := m.checkBC(bc); err != nil {
+	f := m.NewField()
+	if err := m.NewWorkspace().SteadySolveInto(f, init, powerByLayer, bc); err != nil {
 		return nil, err
 	}
-	op := m.buildOperator(bc, 0)
-	b, err := m.rhs(powerByLayer, bc)
-	if err != nil {
-		return nil, err
-	}
-	var t linalg.Vector
-	if init != nil && len(init.T) == m.n {
-		t = init.T.Clone()
-	} else {
-		t = make(linalg.Vector, m.n)
-		t.Fill(m.Env.AmbientC)
-	}
-	_, err = linalg.CG(op, b, t, linalg.CGOptions{
-		Tol:     1e-10,
-		MaxIter: 40 * m.n,
-		Precond: &linalg.DiagonalPreconditioner{InvDiag: op.invDiag},
-	})
-	if err != nil {
-		return nil, fmt.Errorf("thermal: steady solve: %w", err)
-	}
-	return &Field{model: m, T: t}, nil
+	return f, nil
 }
 
 // StepTransient advances the field by dt seconds with backward Euler under
-// the given power and boundary, returning the new field.
+// the given power and boundary, returning the new field. Like
+// SteadySolveFrom it wraps the workspace path with per-call scratch.
 func (m *Model) StepTransient(prev *Field, dt float64, powerByLayer map[int][]float64, bc TopBoundary) (*Field, error) {
-	if dt <= 0 {
-		return nil, fmt.Errorf("thermal: non-positive dt %g", dt)
-	}
-	if err := m.checkBC(bc); err != nil {
+	f := m.NewField()
+	if err := m.NewWorkspace().StepTransientInto(f, prev, dt, powerByLayer, bc); err != nil {
 		return nil, err
 	}
-	if prev == nil || len(prev.T) != m.n {
-		return nil, fmt.Errorf("thermal: transient step needs a field of size %d", m.n)
-	}
-	op := m.buildOperator(bc, 1/dt)
-	b, err := m.rhs(powerByLayer, bc)
-	if err != nil {
-		return nil, err
-	}
-	for i := range b {
-		b[i] += m.capAll[i] / dt * prev.T[i]
-	}
-	t := prev.T.Clone()
-	_, err = linalg.CG(op, b, t, linalg.CGOptions{
-		Tol:     1e-9,
-		MaxIter: 40 * m.n,
-		Precond: &linalg.DiagonalPreconditioner{InvDiag: op.invDiag},
-	})
-	if err != nil {
-		return nil, fmt.Errorf("thermal: transient step: %w", err)
-	}
-	return &Field{model: m, T: t}, nil
+	return f, nil
+}
+
+// NewField returns a zero-temperature field sized for the model.
+func (m *Model) NewField() *Field {
+	return &Field{model: m, T: make(linalg.Vector, m.n)}
 }
 
 // UniformField returns a field at a constant temperature, for transient
 // initial conditions.
 func (m *Model) UniformField(tC float64) *Field {
-	t := make(linalg.Vector, m.n)
-	t.Fill(tC)
-	return &Field{model: m, T: t}
+	f := m.NewField()
+	f.T.Fill(tC)
+	return f
 }

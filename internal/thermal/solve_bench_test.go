@@ -1,0 +1,93 @@
+package thermal
+
+// Solve-family micro-benchmarks comparing the allocating wrappers against
+// the workspace path:
+//
+//	go test ./internal/thermal -bench=Solve -benchmem
+//
+// The "fresh" variants rebuild the operator, RHS, CG scratch, and field
+// per call (the pre-session behavior); "workspace" reuses one Workspace
+// cold-started per solve; "workspace-warm" additionally seeds each solve
+// from the previous converged field — the session steady-state.
+
+import (
+	"testing"
+)
+
+func benchModel(b *testing.B) (*Model, map[int][]float64, TopBoundary) {
+	b.Helper()
+	m, err := NewModel(NewXeonStack(DefaultXeonStackConfig()), DefaultEnvironment())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, m.Cells())
+	for i := range p {
+		p[i] = 0.05 + 0.002*float64(i%13)
+	}
+	return m, map[int][]float64{0: p}, UniformTop(m.Cells(), 6000, 32)
+}
+
+func BenchmarkSteadySolve(b *testing.B) {
+	m, power, bc := benchModel(b)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.SteadySolve(power, bc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workspace", func(b *testing.B) {
+		w := m.NewWorkspace()
+		f := w.FieldA()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.SteadySolveInto(f, nil, power, bc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workspace-warm", func(b *testing.B) {
+		w := m.NewWorkspace()
+		f := w.FieldA()
+		if err := w.SteadySolveInto(f, nil, power, bc); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.SteadySolveInto(f, f, power, bc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkTransientSolveStep(b *testing.B) {
+	m, power, bc := benchModel(b)
+	b.Run("fresh", func(b *testing.B) {
+		f := m.UniformField(30)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			next, err := m.StepTransient(f, 0.25, power, bc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f = next
+		}
+	})
+	b.Run("workspace", func(b *testing.B) {
+		w := m.NewWorkspace()
+		f := w.FieldA()
+		f.T.Fill(30)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.StepTransientInto(f, f, 0.25, power, bc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package thermal
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Workspace owns every per-solve buffer a Model needs — the operator
+// diagonal and its inverse, the right-hand side, the CG scratch vectors, a
+// reusable top-boundary buffer, and two field buffers — so that repeated
+// solves on the same model perform no allocations. The buffers are fully
+// overwritten by each solve; a reused workspace carries no numerical state
+// between calls (warm starting is the caller's choice via the init/prev
+// field arguments), which is what keeps the workspace path bit-identical
+// to the allocating SteadySolveFrom/StepTransient wrappers.
+//
+// A workspace is bound to one model and is NOT safe for concurrent use;
+// give each goroutine (e.g. each sweep worker) its own.
+type Workspace struct {
+	m   *Model
+	op  operator
+	pre linalg.DiagonalPreconditioner
+	rhs linalg.Vector
+	cg  linalg.CGWorkspace
+
+	bc   TopBoundary
+	a, b *Field
+}
+
+// NewWorkspace returns a workspace sized for the model. The field,
+// boundary, and CG buffers are allocated lazily on first use, so a
+// workspace built only to run one solve costs no more than the old
+// per-call path did.
+func (m *Model) NewWorkspace() *Workspace {
+	w := &Workspace{m: m}
+	w.op = operator{m: m, diag: make(linalg.Vector, m.n), invDiag: make(linalg.Vector, m.n)}
+	w.pre = linalg.DiagonalPreconditioner{InvDiag: w.op.invDiag}
+	w.rhs = make(linalg.Vector, m.n)
+	return w
+}
+
+// Model returns the model the workspace solves on.
+func (w *Workspace) Model() *Model { return w.m }
+
+// FieldA returns the workspace's first reusable field buffer, allocating
+// it on first use. The buffer is owned by the workspace: it stays valid
+// across solves, which is exactly what lets a session keep the previous
+// converged field as the next solve's warm start.
+func (w *Workspace) FieldA() *Field {
+	if w.a == nil {
+		w.a = w.m.NewField()
+	}
+	return w.a
+}
+
+// FieldB returns the second reusable field buffer (e.g. for a transient
+// simulation sharing the workspace with steady solves).
+func (w *Workspace) FieldB() *Field {
+	if w.b == nil {
+		w.b = w.m.NewField()
+	}
+	return w.b
+}
+
+// Boundary returns a reusable top-boundary buffer sized to the grid
+// (allocated on first use). Callers fill H/TFluid in place — e.g. the
+// damped boundary a transient co-simulation carries between steps.
+func (w *Workspace) Boundary() TopBoundary {
+	if len(w.bc.H) != w.m.cells {
+		w.bc = TopBoundary{H: make([]float64, w.m.cells), TFluid: make([]float64, w.m.cells)}
+	}
+	return w.bc
+}
+
+// checkDst validates a solve destination.
+func (w *Workspace) checkDst(dst *Field) error {
+	if dst == nil || dst.model != w.m || len(dst.T) != w.m.n {
+		return fmt.Errorf("thermal: solve destination is not a field of this model (size %d)", w.m.n)
+	}
+	return nil
+}
+
+// SteadySolveInto computes the steady-state field into dst, reusing the
+// workspace buffers: no allocations after the buffers exist. init, when
+// non-nil and correctly sized, seeds the CG iteration (dst == init is
+// allowed and skips the copy); otherwise the solve starts from ambient.
+func (w *Workspace) SteadySolveInto(dst, init *Field, powerByLayer map[int][]float64, bc TopBoundary) error {
+	m := w.m
+	if err := w.checkDst(dst); err != nil {
+		return err
+	}
+	if err := m.checkBC(bc); err != nil {
+		return err
+	}
+	m.fillOperator(&w.op, bc, 0)
+	if err := m.rhsInto(w.rhs, powerByLayer, bc); err != nil {
+		return err
+	}
+	if init != nil && len(init.T) == m.n {
+		if dst != init {
+			copy(dst.T, init.T)
+		}
+	} else {
+		dst.T.Fill(m.Env.AmbientC)
+	}
+	_, err := linalg.CGWith(&w.op, w.rhs, dst.T, linalg.CGOptions{
+		Tol:     1e-10,
+		MaxIter: 40 * m.n,
+		Precond: &w.pre,
+	}, &w.cg)
+	if err != nil {
+		return fmt.Errorf("thermal: steady solve: %w", err)
+	}
+	return nil
+}
+
+// StepTransientInto advances prev by dt seconds with backward Euler into
+// dst, reusing the workspace buffers. dst == prev is allowed: the step
+// then updates the field in place (the previous temperatures are consumed
+// by the right-hand side before CG mutates the iterate).
+func (w *Workspace) StepTransientInto(dst, prev *Field, dt float64, powerByLayer map[int][]float64, bc TopBoundary) error {
+	m := w.m
+	if dt <= 0 {
+		return fmt.Errorf("thermal: non-positive dt %g", dt)
+	}
+	if err := m.checkBC(bc); err != nil {
+		return err
+	}
+	if prev == nil || len(prev.T) != m.n {
+		return fmt.Errorf("thermal: transient step needs a field of size %d", m.n)
+	}
+	if err := w.checkDst(dst); err != nil {
+		return err
+	}
+	m.fillOperator(&w.op, bc, 1/dt)
+	if err := m.rhsInto(w.rhs, powerByLayer, bc); err != nil {
+		return err
+	}
+	for i := range w.rhs {
+		w.rhs[i] += m.capAll[i] / dt * prev.T[i]
+	}
+	if dst != prev {
+		copy(dst.T, prev.T)
+	}
+	_, err := linalg.CGWith(&w.op, w.rhs, dst.T, linalg.CGOptions{
+		Tol:     1e-9,
+		MaxIter: 40 * m.n,
+		Precond: &w.pre,
+	}, &w.cg)
+	if err != nil {
+		return fmt.Errorf("thermal: transient step: %w", err)
+	}
+	return nil
+}

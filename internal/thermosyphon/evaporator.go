@@ -82,26 +82,57 @@ func channelCount(o Orientation, grid floorplan.Grid) int {
 	return grid.NX
 }
 
+// channelSpan describes one channel's marching order without materializing
+// it: cell indices are start, start+stride, … (n cells). It visits exactly
+// the cells channelPath lists, in the same order, allocation-free.
+func channelSpan(o Orientation, grid floorplan.Grid, channel int) (start, stride, n int) {
+	switch o {
+	case InletWest:
+		return grid.Index(0, channel), 1, grid.NX
+	case InletEast:
+		return grid.Index(grid.NX-1, channel), -1, grid.NX
+	case InletNorth:
+		return grid.Index(channel, 0), grid.NX, grid.NY
+	default: // InletSouth
+		return grid.Index(channel, grid.NY-1), -grid.NX, grid.NY
+	}
+}
+
 // Evaporate solves the thermosyphon for the given per-cell absorbed heat
 // (W per grid cell, as extracted from the thermal model's top boundary):
 // condenser sets the saturation temperature, the gravity loop sets the mass
 // flow, and a 1-D quality march along every channel yields the local HTC
 // and fluid temperature fields.
 func (d *Design) Evaporate(grid floorplan.Grid, cellHeat []float64, op Operating) (*State, error) {
-	return d.evaporate(grid, cellHeat, op, 0)
+	return d.evaporate(nil, grid, cellHeat, op, 0)
+}
+
+// EvaporateInto is Evaporate reusing a caller-owned state: st's H and
+// TFluid buffers are recycled when correctly sized (st may be nil or
+// mis-sized, in which case fresh buffers are made) and every output field
+// is overwritten, so repeated calls on one state are allocation-free apart
+// from the loop-balance bisection closure. The returned state is st when
+// it was reusable. Values are bit-identical to Evaporate.
+func (d *Design) EvaporateInto(st *State, grid floorplan.Grid, cellHeat []float64, op Operating) (*State, error) {
+	return d.evaporate(st, grid, cellHeat, op, 0)
 }
 
 // EvaporateAt is Evaporate with the refrigerant mass flow pinned to
 // mdotKgS instead of the quasi-static loop balance — used by transient
 // simulations that model the loop's startup inertia.
 func (d *Design) EvaporateAt(grid floorplan.Grid, cellHeat []float64, op Operating, mdotKgS float64) (*State, error) {
+	return d.EvaporateAtInto(nil, grid, cellHeat, op, mdotKgS)
+}
+
+// EvaporateAtInto is EvaporateAt with state reuse, like EvaporateInto.
+func (d *Design) EvaporateAtInto(st *State, grid floorplan.Grid, cellHeat []float64, op Operating, mdotKgS float64) (*State, error) {
 	if mdotKgS <= 0 {
 		return nil, fmt.Errorf("thermosyphon: non-positive pinned mass flow %g", mdotKgS)
 	}
-	return d.evaporate(grid, cellHeat, op, mdotKgS)
+	return d.evaporate(st, grid, cellHeat, op, mdotKgS)
 }
 
-func (d *Design) evaporate(grid floorplan.Grid, cellHeat []float64, op Operating, mdotPin float64) (*State, error) {
+func (d *Design) evaporate(st *State, grid floorplan.Grid, cellHeat []float64, op Operating, mdotPin float64) (*State, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -133,13 +164,19 @@ func (d *Design) evaporate(grid floorplan.Grid, cellHeat []float64, op Operating
 		loop.ExitQuality = d.exitQuality(q, mdotPin, cond.TsatC)
 	}
 
-	st := &State{
-		Condenser:  cond,
-		Loop:       loop,
-		H:          make([]float64, grid.Cells()),
-		TFluid:     make([]float64, grid.Cells()),
-		TotalHeatW: q,
+	if st == nil || len(st.H) != grid.Cells() || len(st.TFluid) != grid.Cells() {
+		st = &State{
+			H:      make([]float64, grid.Cells()),
+			TFluid: make([]float64, grid.Cells()),
+		}
 	}
+	// Every H/TFluid cell is overwritten by the march below; reset the
+	// accumulated scalars so a reused state starts clean.
+	st.Condenser = cond
+	st.Loop = loop
+	st.TotalHeatW = q
+	st.MaxQuality = 0
+	st.DryoutCells = 0
 	nCh := channelCount(d.Orientation, grid)
 	mCh := loop.MassFlowKgS / float64(nCh)
 	hfg := d.Fluid.Hfg(cond.TsatC)
@@ -147,10 +184,10 @@ func (d *Design) evaporate(grid floorplan.Grid, cellHeat []float64, op Operating
 	xc := d.CritQuality()
 
 	for ch := 0; ch < nCh; ch++ {
-		path := channelPath(d.Orientation, grid, ch)
-		n := len(path)
+		start, stride, n := channelSpan(d.Orientation, grid, ch)
 		x := 0.0
-		for pos, c := range path {
+		for pos := 0; pos < n; pos++ {
+			c := start + pos*stride
 			w := math.Max(cellHeat[c], 0)
 			xMid := x + 0.5*w/(mCh*hfg)
 			xMid = linalg.Clamp(xMid, 0, 0.99)

@@ -366,3 +366,65 @@ func TestSolveProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEvaporateIntoMatchesEvaporate: the state-reusing variant must return
+// bit-identical fields for every orientation, and must actually recycle
+// the buffers it is given.
+func TestEvaporateIntoMatchesEvaporate(t *testing.T) {
+	grid := floorplan.NewGrid(10, 8, 0.02, 0.016)
+	q := make([]float64, grid.Cells())
+	for i := range q {
+		q[i] = 0.3 + 0.05*float64(i%5)
+	}
+	op := DefaultOperating()
+	for _, o := range Orientations() {
+		d := DefaultDesign()
+		d.Orientation = o
+		fresh, err := d.Evaporate(grid, q, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First call allocates; second call must reuse st's buffers.
+		st, err := d.EvaporateInto(nil, grid, q, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevH := &st.H[0]
+		st2, err := d.EvaporateInto(st, grid, q, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st2 != st || &st2.H[0] != prevH {
+			t.Fatalf("%v: EvaporateInto did not reuse the state", o)
+		}
+		if st2.TotalHeatW != fresh.TotalHeatW || st2.MaxQuality != fresh.MaxQuality ||
+			st2.DryoutCells != fresh.DryoutCells || st2.Loop != fresh.Loop || st2.Condenser != fresh.Condenser {
+			t.Fatalf("%v: summary differs: %+v vs %+v", o, st2, fresh)
+		}
+		for i := range fresh.H {
+			if st2.H[i] != fresh.H[i] || st2.TFluid[i] != fresh.TFluid[i] {
+				t.Fatalf("%v: cell %d differs", o, i)
+			}
+		}
+	}
+}
+
+// TestChannelSpanMatchesPath: the allocation-free span iteration must
+// visit exactly the cells channelPath lists, in order.
+func TestChannelSpanMatchesPath(t *testing.T) {
+	grid := floorplan.NewGrid(7, 5, 0.02, 0.016)
+	for _, o := range Orientations() {
+		for ch := 0; ch < channelCount(o, grid); ch++ {
+			path := channelPath(o, grid, ch)
+			start, stride, n := channelSpan(o, grid, ch)
+			if n != len(path) {
+				t.Fatalf("%v ch %d: span length %d vs path %d", o, ch, n, len(path))
+			}
+			for pos, c := range path {
+				if got := start + pos*stride; got != c {
+					t.Fatalf("%v ch %d pos %d: span %d vs path %d", o, ch, pos, got, c)
+				}
+			}
+		}
+	}
+}
