@@ -23,6 +23,7 @@ import (
 	"repro/internal/render"
 	"repro/internal/report"
 	"repro/internal/sweep"
+	"repro/internal/thermal"
 	"repro/internal/workload"
 )
 
@@ -30,15 +31,21 @@ import (
 var outDir string
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2|fig3|tablei|fig5|fig6|tableii|fig7|cooling|design|all")
+	exp := flag.String("exp", "all", "experiment: fig2|fig3|tablei|fig5|fig6|tableii|fig7|cooling|design|scaling|all")
 	resFlag := flag.String("res", "medium", "thermal resolution: coarse|medium|full")
 	maps := flag.Bool("maps", false, "print ASCII thermal maps where available")
 	out := flag.String("outdir", "", "directory for SVG/CSV artifacts (optional)")
 	reportPath := flag.String("report", "", "write a full markdown reproduction report to this file and exit")
+	solverFlag := flag.String("solver", "cg", "thermal linear solver for every experiment: cg|mgpcg|mg")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	sweep.SetDefaultWorkers(*workers)
+	solver, err := thermal.ParseSolver(*solverFlag)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.SetDefaultSolver(solver)
 	res, err := parseRes(*resFlag)
 	if err != nil {
 		fatal(err)
@@ -70,8 +77,9 @@ func main() {
 		"fig7":    runFig7,
 		"cooling": runCooling,
 		"design":  runDesign,
+		"scaling": runScaling,
 	}
-	order := []string{"fig2", "fig3", "tablei", "fig5", "fig6", "tableii", "fig7", "cooling", "design"}
+	order := []string{"fig2", "fig3", "tablei", "fig5", "fig6", "tableii", "fig7", "cooling", "design", "scaling"}
 	if *exp != "all" {
 		if _, ok := runners[*exp]; !ok {
 			fatal(fmt.Errorf("unknown experiment %q", *exp))
@@ -282,6 +290,38 @@ func runCooling(res experiments.Resolution, _ bool) error {
 			{"[8]+[27]+[9]", f1(r.BaselineWaterC), f2(r.BaselineDeltaT), f1(r.BaselineBudget.Eq1PowerW), f1(r.BaselineBudget.ChillerPowerW)},
 			{"reduction", "", "", fmt.Sprintf("%.1f%%", r.ReductionEq1*100), fmt.Sprintf("%.1f%%", r.ReductionChiller*100)},
 		})
+}
+
+// scalingSizes picks the grid-resolution ladder for the solver-scaling
+// extension: modest at coarse/medium so the Jacobi-CG reference stays
+// affordable, up to the 256×256 rack-scale grids at -res full.
+func scalingSizes(res experiments.Resolution) []int {
+	switch res {
+	case experiments.Coarse:
+		return []int{16, 32, 64}
+	case experiments.Medium:
+		return []int{32, 64, 128}
+	default:
+		return []int{64, 128, 256}
+	}
+}
+
+func runScaling(res experiments.Resolution, _ bool) error {
+	cells, err := experiments.ExtResolutionScaling(scalingSizes(res), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("extension — solver scaling with grid resolution (full-load steady solve per size)")
+	var table [][]string
+	for _, c := range cells {
+		table = append(table, []string{
+			fmt.Sprintf("%d×%d", c.NX, c.NY), strconv.Itoa(c.Unknowns), c.Solver,
+			f1(c.DieMaxC), strconv.Itoa(c.OuterIters), strconv.Itoa(c.LinIters),
+			strconv.Itoa(c.Applies), fmt.Sprintf("%.1f", c.WallMS),
+		})
+	}
+	return render.Table(os.Stdout,
+		[]string{"grid", "unknowns", "solver", "die θmax", "outer", "lin iters", "applies", "wall ms"}, table)
 }
 
 func runDesign(res experiments.Resolution, _ bool) error {

@@ -16,10 +16,12 @@ import (
 
 	"repro/internal/chiller"
 	"repro/internal/core"
+	"repro/internal/cosim"
 	"repro/internal/experiments"
 	"repro/internal/rack"
 	"repro/internal/render"
 	"repro/internal/sweep"
+	"repro/internal/thermal"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
@@ -29,16 +31,17 @@ func main() {
 	qosFlag := flag.Float64("qos", 2, "QoS degradation limit for every app")
 	resFlag := flag.String("res", "coarse", "thermal resolution: coarse|medium|full")
 	waterC := flag.Float64("water", 30, "shared loop water temperature (°C)")
+	solverFlag := flag.String("solver", "cg", "thermal linear solver: cg|mgpcg|mg (mgpcg pays off on fine grids)")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 	sweep.SetDefaultWorkers(*workers)
-	if err := run(*blades, workload.QoS(*qosFlag), *resFlag, *waterC); err != nil {
+	if err := run(*blades, workload.QoS(*qosFlag), *resFlag, *waterC, *solverFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "rackplan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(blades int, qos workload.QoS, resFlag string, waterC float64) error {
+func run(blades int, qos workload.QoS, resFlag string, waterC float64, solverFlag string) error {
 	var res experiments.Resolution
 	switch resFlag {
 	case "coarse":
@@ -49,6 +52,10 @@ func run(blades int, qos workload.QoS, resFlag string, waterC float64) error {
 		res = experiments.Full
 	default:
 		return fmt.Errorf("unknown resolution %q", resFlag)
+	}
+	solver, err := thermal.ParseSolver(solverFlag)
+	if err != nil {
+		return err
 	}
 
 	// 1. Allocate the PARSEC mix across blades (LPT balancing).
@@ -69,7 +76,7 @@ func run(blades int, qos workload.QoS, resFlag string, waterC float64) error {
 	if err != nil {
 		return err
 	}
-	ses := sys.NewSession()
+	ses := sys.NewSession(cosim.WithSolver(solver))
 	op := thermosyphon.Operating{WaterInC: waterC, WaterFlowKgH: 7}
 	var (
 		rows      [][]string

@@ -33,7 +33,7 @@ func captureStdout(t *testing.T, f func() error) string {
 
 func TestRackplanRuns(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run(4, workload.QoS2x, "coarse", 30)
+		return run(4, workload.QoS2x, "coarse", 30, "cg")
 	})
 	for _, want := range []string{
 		"13 apps over 4 blades",
@@ -47,8 +47,11 @@ func TestRackplanRuns(t *testing.T) {
 }
 
 func TestRackplanBadResolution(t *testing.T) {
-	if err := run(4, workload.QoS2x, "nope", 30); err == nil {
+	if err := run(4, workload.QoS2x, "nope", 30, "cg"); err == nil {
 		t.Fatal("expected error for unknown resolution")
+	}
+	if err := run(4, workload.QoS2x, "coarse", 30, "nope"); err == nil {
+		t.Fatal("expected error for unknown solver")
 	}
 }
 
@@ -56,11 +59,22 @@ func TestRackplanBadResolution(t *testing.T) {
 // exposes: a serial run and a pooled run must print byte-identical
 // reports (the sweep engine's determinism contract).
 func TestRackplanWorkersFlag(t *testing.T) {
+	testRackplanWorkersFlag(t, "cg")
+}
+
+// TestRackplanWorkersFlagMGPCG repeats the serial-vs-pooled byte-equality
+// check with the multigrid-preconditioned solver selected: a fixed solver
+// choice must keep the determinism contract.
+func TestRackplanWorkersFlagMGPCG(t *testing.T) {
+	testRackplanWorkersFlag(t, "mgpcg")
+}
+
+func testRackplanWorkersFlag(t *testing.T, solver string) {
 	withWorkers := func(n int) string {
 		sweep.SetDefaultWorkers(n)
 		defer sweep.SetDefaultWorkers(0)
 		return captureStdout(t, func() error {
-			return run(2, workload.QoS2x, "coarse", 30)
+			return run(2, workload.QoS2x, "coarse", 30, solver)
 		})
 	}
 	serial := withWorkers(1)

@@ -15,9 +15,11 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/cosim"
 	"repro/internal/experiments"
 	"repro/internal/render"
 	"repro/internal/sweep"
+	"repro/internal/thermal"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
@@ -28,6 +30,7 @@ func main() {
 	policy := flag.String("policy", "proposed", "policy stack: proposed|coskun|sabry")
 	resFlag := flag.String("res", "medium", "thermal resolution: coarse|medium|full")
 	format := flag.String("format", "ascii", "map output: ascii|csv|pgm|none")
+	solverFlag := flag.String("solver", "cg", "thermal linear solver: cg|mgpcg|mg (mgpcg pays off on fine grids)")
 	// thermoview's single solve never fans out today; the flag exists for
 	// CLI parity with the other tools and takes effect the moment any
 	// library path it calls adopts the sweep pool.
@@ -35,13 +38,13 @@ func main() {
 	flag.Parse()
 	sweep.SetDefaultWorkers(*workers)
 
-	if err := run(*benchName, workload.QoS(*qosFlag), *policy, *resFlag, *format); err != nil {
+	if err := run(*benchName, workload.QoS(*qosFlag), *policy, *resFlag, *format, *solverFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "thermoview:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName string, qos workload.QoS, policy, resFlag, format string) error {
+func run(benchName string, qos workload.QoS, policy, resFlag, format, solverFlag string) error {
 	bench, err := workload.ByName(benchName)
 	if err != nil {
 		return err
@@ -56,6 +59,10 @@ func run(benchName string, qos workload.QoS, policy, resFlag, format string) err
 		res = experiments.Full
 	default:
 		return fmt.Errorf("unknown resolution %q", resFlag)
+	}
+	solver, err := thermal.ParseSolver(solverFlag)
+	if err != nil {
+		return err
 	}
 
 	design := thermosyphon.DefaultDesign()
@@ -88,7 +95,10 @@ func run(benchName string, qos workload.QoS, policy, resFlag, format string) err
 	if err != nil {
 		return err
 	}
-	die, pkg, result, err := experiments.SolveMapping(sys, bench, mapping, thermosyphon.DefaultOperating())
+	// A session (rather than the fresh-solve path) is what lets the
+	// solver selection reach the thermal workspace.
+	ses := sys.NewSession(cosim.WithSolver(solver), cosim.CarryWarmStart(false))
+	die, pkg, result, err := experiments.SolveMappingSession(ses, bench, mapping, thermosyphon.DefaultOperating())
 	if err != nil {
 		return err
 	}

@@ -33,7 +33,7 @@ func captureStdout(t *testing.T, f func() error) string {
 
 func TestThermoviewProposed(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("x264", workload.QoS2x, "proposed", "coarse", "none")
+		return run("x264", workload.QoS2x, "proposed", "coarse", "none", "cg")
 	})
 	for _, want := range []string{"x264 @2x via proposed", "die: θmax", "pkg: θmax", "Tsat"} {
 		if !strings.Contains(out, want) {
@@ -44,7 +44,7 @@ func TestThermoviewProposed(t *testing.T) {
 
 func TestThermoviewBaselineCSV(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("canneal", workload.QoS3x, "coskun", "coarse", "csv")
+		return run("canneal", workload.QoS3x, "coskun", "coarse", "csv", "cg")
 	})
 	if !strings.Contains(out, "canneal @3x via coskun") {
 		t.Fatalf("missing header:\n%s", out)
@@ -60,11 +60,21 @@ func TestThermoviewBaselineCSV(t *testing.T) {
 // pulling real weight as soon as any library path under run() adopts the
 // sweep pool.
 func TestThermoviewWorkersFlag(t *testing.T) {
+	testThermoviewWorkersFlag(t, "cg")
+}
+
+// TestThermoviewWorkersFlagMGPCG repeats the parity guard with the
+// multigrid solver selected via -solver.
+func TestThermoviewWorkersFlagMGPCG(t *testing.T) {
+	testThermoviewWorkersFlag(t, "mgpcg")
+}
+
+func testThermoviewWorkersFlag(t *testing.T, solver string) {
 	withWorkers := func(n int) string {
 		sweep.SetDefaultWorkers(n)
 		defer sweep.SetDefaultWorkers(0)
 		return captureStdout(t, func() error {
-			return run("x264", workload.QoS2x, "proposed", "coarse", "csv")
+			return run("x264", workload.QoS2x, "proposed", "coarse", "csv", solver)
 		})
 	}
 	serial := withWorkers(1)
@@ -75,14 +85,15 @@ func TestThermoviewWorkersFlag(t *testing.T) {
 }
 
 func TestThermoviewErrors(t *testing.T) {
-	cases := []struct{ bench, policy, res, format string }{
-		{"nope", "proposed", "coarse", "none"},
-		{"x264", "nope", "coarse", "none"},
-		{"x264", "proposed", "nope", "none"},
-		{"x264", "proposed", "coarse", "nope"},
+	cases := []struct{ bench, policy, res, format, solver string }{
+		{"nope", "proposed", "coarse", "none", "cg"},
+		{"x264", "nope", "coarse", "none", "cg"},
+		{"x264", "proposed", "nope", "none", "cg"},
+		{"x264", "proposed", "coarse", "nope", "cg"},
+		{"x264", "proposed", "coarse", "none", "nope"},
 	}
 	for _, c := range cases {
-		if err := run(c.bench, workload.QoS2x, c.policy, c.res, c.format); err == nil {
+		if err := run(c.bench, workload.QoS2x, c.policy, c.res, c.format, c.solver); err == nil {
 			t.Fatalf("expected error for %+v", c)
 		}
 	}

@@ -54,6 +54,20 @@ func CarryWarmStart(on bool) SessionOption {
 	return func(s *Session) { s.carry = on }
 }
 
+// WithSolver selects the linear solver for every thermal solve the
+// session performs (default thermal.SolverCG). A fixed selection keeps
+// solves deterministic — serial and pooled sweeps using the same solver
+// stay byte-identical — so the choice is purely a performance knob:
+// thermal.SolverMGPCG turns fine grids (128×128 and up) from hundreds of
+// CG iterations into a couple dozen.
+func WithSolver(s thermal.Solver) SessionOption {
+	return func(ses *Session) { ses.ws.SetSolver(s) }
+}
+
+// SolverStats returns the cumulative linear-solver effort (solves,
+// iterations, operator applications) this session has spent.
+func (ses *Session) SolverStats() thermal.SolveStats { return ses.ws.Stats() }
+
 // NewSession returns a reusable solve session for the system.
 func (s *System) NewSession(opts ...SessionOption) *Session {
 	ses := &Session{

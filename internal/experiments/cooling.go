@@ -64,7 +64,7 @@ func CoolingPowerStudy(res Resolution) (*CoolingResult, error) {
 		if err != nil {
 			return setup{}, err
 		}
-		return setup{ses: sys.NewSession(), m: m}, nil
+		return setup{ses: sys.NewSession(sessionOptions()...), m: m}, nil
 	})
 	if err != nil {
 		return nil, err

@@ -8,14 +8,37 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/cosim"
 	"repro/internal/metrics"
 	"repro/internal/power"
+	"repro/internal/thermal"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
+
+// defaultSolver is the process-wide thermal solver selection, following
+// the same pattern as sweep.SetDefaultWorkers: the command-line tools
+// expose it as -solver, and every experiment picks it up through the
+// session constructors below without any per-experiment plumbing. The
+// zero value is thermal.SolverCG.
+var defaultSolver atomic.Int64
+
+// DefaultSolver returns the solver every experiment session uses.
+func DefaultSolver() thermal.Solver { return thermal.Solver(defaultSolver.Load()) }
+
+// SetDefaultSolver overrides the process-wide solver selection. A fixed
+// selection keeps the pooled sweeps byte-identical to serial runs; the
+// knob only trades solver work for the same answers.
+func SetDefaultSolver(s thermal.Solver) { defaultSolver.Store(int64(s)) }
+
+// sessionOptions returns the solver-selection option set applied to every
+// session the experiments create, prepended to any caller extras.
+func sessionOptions(extra ...cosim.SessionOption) []cosim.SessionOption {
+	return append([]cosim.SessionOption{cosim.WithSolver(DefaultSolver())}, extra...)
+}
 
 // Resolution selects the thermal grid density. Figures use Full; the bulk
 // policy sweeps use Medium; unit tests and benchmarks use Coarse.
@@ -115,11 +138,14 @@ func SolveMappingSession(ses *cosim.Session, b workload.Benchmark, m core.Mappin
 // schedule-dependent order, so carrying state across points would make a
 // parallel run differ from the serial one. A non-carrying session keeps
 // the byte-identical determinism contract while still reusing every solve
-// buffer the worker owns.
-func NewSweepSession(design thermosyphon.Design, res Resolution) (*cosim.Session, error) {
+// buffer the worker owns. The session solves with the process-wide
+// DefaultSolver; extra options are applied on top.
+func NewSweepSession(design thermosyphon.Design, res Resolution, extra ...cosim.SessionOption) (*cosim.Session, error) {
 	sys, err := NewSystem(design, res)
 	if err != nil {
 		return nil, err
 	}
-	return sys.NewSession(cosim.CarryWarmStart(false)), nil
+	opts := sessionOptions(extra...)
+	opts = append(opts, cosim.CarryWarmStart(false))
+	return sys.NewSession(opts...), nil
 }

@@ -2,12 +2,16 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cosim"
 	"repro/internal/floorplan"
 	"repro/internal/metrics"
+	"repro/internal/power"
 	"repro/internal/sweep"
+	"repro/internal/thermal"
 	"repro/internal/thermosyphon"
+	"repro/internal/workload"
 )
 
 // ScalabilityCell is one (die, mapping) cell of the scalability extension.
@@ -39,6 +43,74 @@ func scaledSystem(dims [2]int, res Resolution) (*cosim.System, floorplan.GridSpe
 	return sys, spec, err
 }
 
+// ResolutionCell is one (grid size, solver) point of the
+// resolution-scaling extension: the worst-case full-load steady solve at
+// an nx×ny per-layer grid, with the linear-solver effort it took.
+type ResolutionCell struct {
+	NX, NY   int
+	Unknowns int // total cells across the stack's layers
+	Solver   string
+	// DieMaxC pins the physics: every solver must land on the same field.
+	DieMaxC float64
+	// OuterIters is the coupled thermal↔thermosyphon fixed-point count.
+	OuterIters int
+	// LinIters and Applies total the linear iterations (CG iterations or
+	// V-cycles) and operator applications over the whole coupled solve.
+	LinIters int
+	Applies  int
+	// WallMS is the wall-clock solve time. Informational: unlike the
+	// other fields it naturally varies run to run and is not part of any
+	// determinism contract.
+	WallMS float64
+}
+
+// ExtResolutionScaling sweeps the per-layer grid resolution of the
+// standard blade — not the blade count — and solves the same worst-case
+// full-load steady state at every size with each requested solver. It is
+// the experiment behind the O(n) claim: Jacobi-CG's applies grow with
+// grid dimension while MG-PCG's stay flat, so by 256×256 the multigrid
+// path wins by well over an order of magnitude in operator work.
+// Passing nil selects the default sizes {32, 64, 96, 128} and solvers
+// {cg, mgpcg}.
+func ExtResolutionScaling(sizes []int, solvers []thermal.Solver) ([]ResolutionCell, error) {
+	if len(sizes) == 0 {
+		sizes = []int{32, 64, 96, 128}
+	}
+	if len(solvers) == 0 {
+		solvers = []thermal.Solver{thermal.SolverCG, thermal.SolverMGPCG}
+	}
+	bench, cfgW := workload.WorstCase()
+	mapping := FullLoadMapping(cfgW, power.POLL)
+	points := sweep.Cross(sizes, solvers)
+	return sweep.Run(points, func(p sweep.Pair[int, thermal.Solver]) (ResolutionCell, error) {
+		n, solver := p.A, p.B
+		cfg := cosim.DefaultConfig()
+		cfg.Stack.NX, cfg.Stack.NY = n, n
+		sys, err := cosim.NewSystem(cfg)
+		if err != nil {
+			return ResolutionCell{}, fmt.Errorf("%dx%d: %w", n, n, err)
+		}
+		ses := sys.NewSession(cosim.WithSolver(solver), cosim.CarryWarmStart(false))
+		start := time.Now()
+		die, _, r, err := SolveMappingSession(ses, bench, mapping, thermosyphon.DefaultOperating())
+		if err != nil {
+			return ResolutionCell{}, fmt.Errorf("%dx%d/%v: %w", n, n, solver, err)
+		}
+		wall := time.Since(start)
+		stats := ses.SolverStats()
+		return ResolutionCell{
+			NX: n, NY: n,
+			Unknowns:   sys.Thermal.Cells() * sys.Thermal.Layers(),
+			Solver:     solver.String(),
+			DieMaxC:    die.MaxC,
+			OuterIters: r.Iterations,
+			LinIters:   stats.Iterations,
+			Applies:    stats.Applies,
+			WallMS:     float64(wall.Microseconds()) / 1e3,
+		}, nil
+	})
+}
+
 // ExtScalability exercises the mapping rule on a scaled 16-core die (the
 // §III note that the evaporator scales with the CPU dimension): half the
 // cores run a fixed per-core load, placed either with the generalized
@@ -63,7 +135,7 @@ func ExtScalability(res Resolution) ([]ScalabilityCell, error) {
 				if err != nil {
 					return ScalabilityCell{}, err
 				}
-				c = &cached{ses: sys.NewSession(cosim.CarryWarmStart(false)), spec: spec}
+				c = &cached{ses: sys.NewSession(sessionOptions(cosim.CarryWarmStart(false))...), spec: spec}
 				cache[dims] = c
 			}
 			n := dims[0] * dims[1]

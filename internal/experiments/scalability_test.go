@@ -1,6 +1,58 @@
 package experiments
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/thermal"
+)
+
+func TestExtResolutionScaling(t *testing.T) {
+	sizes := []int{16, 24}
+	cells, err := ExtResolutionScaling(sizes, []thermal.Solver{thermal.SolverCG, thermal.SolverMGPCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 { // two sizes × two solvers
+		t.Fatalf("got %d cells", len(cells))
+	}
+	get := func(n int, solver string) ResolutionCell {
+		for _, c := range cells {
+			if c.NX == n && c.Solver == solver {
+				return c
+			}
+		}
+		t.Fatalf("missing %d/%s", n, solver)
+		return ResolutionCell{}
+	}
+	for _, n := range sizes {
+		cg, mg := get(n, "cg"), get(n, "mgpcg")
+		// Same physics whatever the solver: the coupled fixed point must
+		// land on the same die temperature to solver tolerance.
+		if d := cg.DieMaxC - mg.DieMaxC; d > 0.01 || d < -0.01 {
+			t.Fatalf("%d×%d: cg die %.4f vs mgpcg die %.4f", n, n, cg.DieMaxC, mg.DieMaxC)
+		}
+		if cg.DieMaxC < 35 || cg.DieMaxC > 110 {
+			t.Fatalf("%d×%d: die max %.1f implausible", n, n, cg.DieMaxC)
+		}
+		for _, c := range []ResolutionCell{cg, mg} {
+			if c.Unknowns != n*n*5 || c.OuterIters <= 0 || c.LinIters <= 0 || c.Applies <= 0 {
+				t.Fatalf("%d×%d/%s: implausible accounting %+v", n, n, c.Solver, c)
+			}
+		}
+	}
+	// The O(n) signature: Jacobi-CG's per-solve work grows with grid
+	// dimension, MG-PCG's stays near-flat, so the advantage must widen as
+	// the grid refines.
+	ratio := func(n int) float64 {
+		return float64(get(n, "cg").Applies) / float64(get(n, "mgpcg").Applies)
+	}
+	if ratio(24) <= 1 {
+		t.Fatalf("MG-PCG not ahead at 24×24: ratio %.2f", ratio(24))
+	}
+	if ratio(24) < ratio(16)*0.8 {
+		t.Fatalf("solver advantage shrinks with resolution: %.2f at 16 vs %.2f at 24", ratio(16), ratio(24))
+	}
+}
 
 func TestExtScalability(t *testing.T) {
 	cells, err := ExtScalability(Coarse)

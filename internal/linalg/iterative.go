@@ -13,6 +13,30 @@ type Operator interface {
 	Size() int
 }
 
+// Preconditioner approximates z = M⁻¹·r for a matrix M ≈ A. For use
+// inside CG the approximation must be symmetric positive definite and a
+// fixed linear map (no convergence-dependent iteration counts), otherwise
+// the Krylov recurrence loses its orthogonality guarantees.
+// Implementations must not retain r or z.
+type Preconditioner interface {
+	// Apply computes z = M⁻¹ · r. len(r) == len(z).
+	Apply(r, z Vector)
+}
+
+// CostedPreconditioner is optionally implemented by preconditioners whose
+// Apply performs operator-equivalent work on the solver's grid (a
+// multigrid V-cycle's smoothing sweeps and residual, for instance). CG
+// adds ApplyCost to CGResult.Applies for every preconditioner
+// application, which keeps Applies an honest cross-solver work measure
+// instead of hiding the preconditioner's dominant cost. Lightweight
+// preconditioners (a diagonal scale) need not implement it.
+type CostedPreconditioner interface {
+	Preconditioner
+	// ApplyCost returns the fine-grid operator-application equivalents
+	// one Apply costs.
+	ApplyCost() int
+}
+
 // DiagonalPreconditioner applies z = D^-1·r for a diagonal D.
 type DiagonalPreconditioner struct {
 	InvDiag Vector
@@ -31,14 +55,24 @@ type CGOptions struct {
 	Tol float64
 	// MaxIter caps CG iterations. Default 10·n.
 	MaxIter int
-	// Precond, if non-nil, is applied as a left preconditioner.
-	Precond *DiagonalPreconditioner
+	// Precond, if non-nil, is applied as a left preconditioner. It must
+	// be SPD; *DiagonalPreconditioner and *Multigrid both qualify.
+	Precond Preconditioner
 }
 
 // CGResult reports convergence statistics.
 type CGResult struct {
 	Iterations int
 	Residual   float64 // final relative residual
+	// Applies counts fine-grid operator applications, including the
+	// operator-equivalent work a CostedPreconditioner reports — the
+	// resolution-independent work unit that lets benchmarks compare
+	// solvers by effort rather than wall time. Plain CG charges one
+	// initial residual plus one per iteration; MG-PCG additionally
+	// charges each V-cycle's smoothing sweeps and residual, and MGSolve
+	// charges the same per cycle (coarser-level work is a
+	// geometric-series fraction (~⅓) on top and is not itemized).
+	Applies int
 }
 
 // CGWorkspace holds the scratch vectors one conjugate-gradient solve
@@ -94,29 +128,37 @@ func CGWith(a Operator, b, x Vector, opt CGOptions, ws *CGWorkspace) (CGResult, 
 		return CGResult{Iterations: 0, Residual: 0}, nil
 	}
 
+	precondCost := 0
+	if cp, ok := opt.Precond.(CostedPreconditioner); ok {
+		precondCost = cp.ApplyCost()
+	}
 	ws.grow(n)
 	r, z, p, ap := ws.r, ws.z, ws.p, ws.ap
 	a.Apply(x, r)
 	for i := range r {
 		r[i] = b[i] - r[i]
 	}
+	res := CGResult{Applies: 1}
+	// The residual norm is computed exactly once per residual state: here
+	// for the initial guess, then once after each update inside the loop —
+	// the convergence check rides on the norm the update just produced
+	// instead of recomputing it at the top of the next iteration.
+	res.Residual = r.Norm2() / bNorm
+	if res.Residual < opt.Tol {
+		return res, nil
+	}
 	if opt.Precond != nil {
 		opt.Precond.Apply(r, z)
+		res.Applies += precondCost
 	} else {
 		copy(z, r)
 	}
 	copy(p, z)
 	rz := r.Dot(z)
 
-	var res CGResult
 	for k := 0; k < opt.MaxIter; k++ {
-		res.Iterations = k
-		rel := r.Norm2() / bNorm
-		res.Residual = rel
-		if rel < opt.Tol {
-			return res, nil
-		}
 		a.Apply(p, ap)
+		res.Applies++
 		pap := p.Dot(ap)
 		if pap <= 0 || math.IsNaN(pap) {
 			// Operator is not SPD along p; bail out with the current iterate.
@@ -125,8 +167,14 @@ func CGWith(a Operator, b, x Vector, opt CGOptions, ws *CGWorkspace) (CGResult, 
 		alpha := rz / pap
 		x.AXPY(alpha, p)
 		r.AXPY(-alpha, ap)
+		res.Iterations = k + 1
+		res.Residual = r.Norm2() / bNorm
+		if res.Residual < opt.Tol {
+			return res, nil
+		}
 		if opt.Precond != nil {
 			opt.Precond.Apply(r, z)
+			res.Applies += precondCost
 		} else {
 			copy(z, r)
 		}
@@ -136,10 +184,6 @@ func CGWith(a Operator, b, x Vector, opt CGOptions, ws *CGWorkspace) (CGResult, 
 		for i := range p {
 			p[i] = z[i] + beta*p[i]
 		}
-	}
-	res.Residual = r.Norm2() / bNorm
-	if res.Residual < opt.Tol {
-		return res, nil
 	}
 	return res, ErrNotConverged
 }
@@ -184,6 +228,7 @@ func SOR(a StencilSweeper, b, x Vector, opt SOROptions) (CGResult, error) {
 	var res CGResult
 	for k := 0; k < opt.MaxIter; k++ {
 		res.Iterations = k + 1
+		res.Applies = res.Iterations // one sweep costs one operator pass
 		delta := a.SweepSOR(b, x, opt.Omega)
 		res.Residual = delta / scale
 		if res.Residual < opt.Tol {
@@ -206,7 +251,9 @@ func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (root flo
 		return hi, true
 	}
 	if flo*fhi > 0 {
-		if math.Abs(flo) < math.Abs(fhi) {
+		// No sign change: report the endpoint closest to a root (smallest
+		// |f|, lo on ties) so callers still get the best available guess.
+		if math.Abs(flo) <= math.Abs(fhi) {
 			return lo, false
 		}
 		return hi, false
@@ -218,11 +265,10 @@ func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (root flo
 			return mid, true
 		}
 		if flo*fm < 0 {
-			hi, fhi = mid, fm
+			hi = mid
 		} else {
 			lo, flo = mid, fm
 		}
 	}
-	_ = fhi
 	return 0.5 * (lo + hi), true
 }

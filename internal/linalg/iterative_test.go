@@ -199,19 +199,124 @@ func TestCGMatchesLUOnRandomSPD(t *testing.T) {
 }
 
 func TestBisect(t *testing.T) {
-	root, ok := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12, 200)
-	if !ok || !almostEqual(root, math.Sqrt2, 1e-9) {
-		t.Fatalf("Bisect sqrt2 = %v ok=%v", root, ok)
+	cases := []struct {
+		name     string
+		f        func(float64) float64
+		lo, hi   float64
+		want     float64
+		wantOK   bool
+		tol      float64 // comparison tolerance on the root (0 = exact)
+		maxIter  int
+		interval float64 // bisection interval tolerance
+	}{
+		{
+			name: "bracketed sqrt2",
+			f:    func(x float64) float64 { return x*x - 2 },
+			lo:   0, hi: 2, want: math.Sqrt2, wantOK: true, tol: 1e-9,
+			maxIter: 200, interval: 1e-12,
+		},
+		{
+			name: "root at lo endpoint",
+			f:    func(x float64) float64 { return x },
+			lo:   0, hi: 1, want: 0, wantOK: true,
+			maxIter: 50, interval: 1e-9,
+		},
+		{
+			name: "root at hi endpoint",
+			f:    func(x float64) float64 { return x - 1 },
+			lo:   0, hi: 1, want: 1, wantOK: true,
+			maxIter: 50, interval: 1e-9,
+		},
+		{
+			name: "no bracket, lo closer",
+			f:    func(x float64) float64 { return x + 10 },
+			lo:   0, hi: 1, want: 0, wantOK: false,
+			maxIter: 50, interval: 1e-9,
+		},
+		{
+			name: "no bracket, hi closer",
+			f:    func(x float64) float64 { return 10 - x },
+			lo:   0, hi: 1, want: 1, wantOK: false,
+			maxIter: 50, interval: 1e-9,
+		},
+		{
+			name: "no bracket, tie prefers lo",
+			f:    func(x float64) float64 { return x*x + 1 }, // |f(-1)| == |f(1)| == 2
+			lo:   -1, hi: 1, want: -1, wantOK: false,
+			maxIter: 50, interval: 1e-9,
+		},
+		{
+			name: "negative-slope bracket",
+			f:    func(x float64) float64 { return 1 - x*x },
+			lo:   0, hi: 3, want: 1, wantOK: true, tol: 1e-8,
+			maxIter: 100, interval: 1e-10,
+		},
+		{
+			name: "iteration budget exhausted mid-bracket",
+			f:    func(x float64) float64 { return x - 0.7 },
+			lo:   0, hi: 1, want: 0.7, wantOK: true, tol: 0.3,
+			maxIter: 2, interval: 1e-12,
+		},
 	}
-	// No bracket: should return endpoint with smaller |f| and ok=false.
-	r, ok := Bisect(func(x float64) float64 { return x + 10 }, 0, 1, 1e-9, 50)
-	if ok || r != 0 {
-		t.Fatalf("unbracketed Bisect = %v ok=%v, want 0,false", r, ok)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, ok := Bisect(c.f, c.lo, c.hi, c.interval, c.maxIter)
+			if ok != c.wantOK {
+				t.Fatalf("ok = %v, want %v", ok, c.wantOK)
+			}
+			if c.tol == 0 {
+				if got != c.want {
+					t.Fatalf("root = %v, want exactly %v", got, c.want)
+				}
+			} else if !almostEqual(got, c.want, c.tol) {
+				t.Fatalf("root = %v, want %v ± %g", got, c.want, c.tol)
+			}
+		})
 	}
-	// Exact root at an endpoint.
-	r, ok = Bisect(func(x float64) float64 { return x }, 0, 1, 1e-9, 50)
-	if !ok || r != 0 {
-		t.Fatalf("endpoint root = %v ok=%v", r, ok)
+}
+
+// countingOperator wraps an Operator and counts Apply invocations, to pin
+// down the CG work accounting.
+type countingOperator struct {
+	Operator
+	applies int
+}
+
+func (c *countingOperator) Apply(x, y Vector) {
+	c.applies++
+	c.Operator.Apply(x, y)
+}
+
+// TestCGAppliesAccounting: CGResult.Applies must equal the true number of
+// operator applications — one initial residual plus one per iteration —
+// and the hoisted convergence check must not add extra applies.
+func TestCGAppliesAccounting(t *testing.T) {
+	n := 150
+	want := make(Vector, n)
+	for i := range want {
+		want[i] = math.Sin(float64(i) * 0.21)
+	}
+	op := &countingOperator{Operator: laplace1D{n}}
+	b := poissonRHS(n, want)
+	x := make(Vector, n)
+	res, err := CG(op, b, x, CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applies != op.applies {
+		t.Fatalf("reported %d applies, operator saw %d", res.Applies, op.applies)
+	}
+	if res.Applies != res.Iterations+1 {
+		t.Fatalf("applies = %d, want iterations+1 = %d", res.Applies, res.Iterations+1)
+	}
+	// A converged initial guess must cost exactly the initial residual.
+	op.applies = 0
+	res, err = CG(op, b, x, CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 0 || res.Applies != 1 || op.applies != 1 {
+		t.Fatalf("warm-started solve: %+v with %d operator applies, want 0 iterations / 1 apply", res, op.applies)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cosim"
 	"repro/internal/power"
+	"repro/internal/thermal"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
@@ -31,6 +32,9 @@ type Governor struct {
 	ReleaseHysteresisC float64
 	// ReleasePeriods is the required consecutive-cool period count.
 	ReleasePeriods int
+	// Solver selects the thermal linear solver for the governed
+	// transient session (zero value: Jacobi-CG).
+	Solver thermal.Solver
 }
 
 // NewGovernor returns a governor with a 1 s control period and 0.25 s
@@ -83,7 +87,7 @@ func (g *Governor) Run(tr workload.Trace, m core.Mapping, q workload.QoS, op the
 	// The governed trace run is one long serial sequence of transient
 	// steps: a dedicated session gives it a workspace so every step (and
 	// every phase change the trace throws at it) is allocation-free.
-	sim, err := g.Sys.NewSession().Transient(op, 30)
+	sim, err := g.Sys.NewSession(cosim.WithSolver(g.Solver)).Transient(op, 30)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cosim"
 	"repro/internal/power"
+	"repro/internal/thermal"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
@@ -31,6 +32,10 @@ type Controller struct {
 	FlowMaxKgH float64
 	// TCaseLimit is the emergency threshold (defaults to TCaseMax).
 	TCaseLimit float64
+	// Solver selects the thermal linear solver for the control loop's
+	// session (zero value: Jacobi-CG; thermal.SolverMGPCG pays off on
+	// fine grids).
+	Solver thermal.Solver
 }
 
 // NewController returns a controller at the paper's design operating point
@@ -81,7 +86,7 @@ func (c *Controller) Regulate(b workload.Benchmark, m core.Mapping, q workload.Q
 	// valve/DVFS probes differ by one actuator step, so each re-solve
 	// starts from the previous converged field and costs a few refinement
 	// iterations instead of a cold solve.
-	ses := c.Sys.NewSession()
+	ses := c.Sys.NewSession(cosim.WithSolver(c.Solver))
 	solve := func() error {
 		st := core.PackageState(b, mapping)
 		res, err := ses.SolveSteady(st, op)

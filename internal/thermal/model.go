@@ -2,7 +2,6 @@ package thermal
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/floorplan"
 	"repro/internal/linalg"
@@ -181,95 +180,26 @@ func (m *Model) topG(bc TopBoundary, c int) float64 {
 	return m.topHalf[c] * gConv / (m.topHalf[c] + gConv)
 }
 
-// operator implements linalg.Operator / StencilSweeper for A·T where A is
-// the steady conduction matrix plus boundary and (optionally) capacitive
-// diagonal terms.
-type operator struct {
-	m       *Model
-	diag    linalg.Vector // full diagonal including boundary (+ C/dt)
-	invDiag linalg.Vector
-}
-
-func (op *operator) Size() int { return op.m.n }
-
-func (op *operator) Apply(x, y linalg.Vector) {
-	m := op.m
-	nx, cells := m.nx, m.cells
-	for i := range y {
-		y[i] = op.diag[i] * x[i]
+// newStencil returns the model's fine-level operator stencil —
+// linalg.Operator / StencilSweeper / Smoother for A·T where A is the
+// steady conduction matrix plus boundary and (optionally) capacitive
+// diagonal terms. The conductances alias the model; the diagonal buffers
+// are freshly allocated and (re)assembled per solve by fillOperator.
+func (m *Model) newStencil() stencil {
+	return stencil{
+		nx: m.nx, ny: m.ny, nl: m.nl, cells: m.cells, n: m.n,
+		gx: m.gx, gy: m.gy, gz: m.gz,
+		diag:    make(linalg.Vector, m.n),
+		invDiag: make(linalg.Vector, m.n),
 	}
-	for l := 0; l < m.nl; l++ {
-		base := l * cells
-		for c := 0; c < cells; c++ {
-			i := base + c
-			if g := m.gx[i]; g != 0 {
-				j := i + 1
-				y[i] -= g * x[j]
-				y[j] -= g * x[i]
-			}
-			if g := m.gy[i]; g != 0 {
-				j := i + nx
-				y[i] -= g * x[j]
-				y[j] -= g * x[i]
-			}
-			if l < m.nl-1 {
-				if g := m.gz[i]; g != 0 {
-					j := i + cells
-					y[i] -= g * x[j]
-					y[j] -= g * x[i]
-				}
-			}
-		}
-	}
-}
-
-// SweepSOR performs a Gauss-Seidel/SOR sweep for the same system.
-func (op *operator) SweepSOR(b, x linalg.Vector, omega float64) float64 {
-	m := op.m
-	nx, cells := m.nx, m.cells
-	var maxDelta float64
-	for l := 0; l < m.nl; l++ {
-		base := l * cells
-		for c := 0; c < cells; c++ {
-			i := base + c
-			s := b[i]
-			if c%nx != 0 { // west neighbor stores gx at its own index
-				s += m.gx[i-1] * x[i-1]
-			}
-			if g := m.gx[i]; g != 0 {
-				s += g * x[i+1]
-			}
-			if c >= nx {
-				s += m.gy[i-nx] * x[i-nx]
-			}
-			if g := m.gy[i]; g != 0 {
-				s += g * x[i+nx]
-			}
-			if l > 0 {
-				s += m.gz[i-cells] * x[i-cells]
-			}
-			if l < m.nl-1 {
-				if g := m.gz[i]; g != 0 {
-					s += g * x[i+cells]
-				}
-			}
-			xNew := s / op.diag[i]
-			delta := omega * (xNew - x[i])
-			x[i] += delta
-			if a := math.Abs(delta); a > maxDelta {
-				maxDelta = a
-			}
-		}
-	}
-	return maxDelta
 }
 
 // fillOperator (re)assembles the diagonal for the given boundary and
-// optional capacitive term (capOverDt > 0 for transient steps) into an
-// operator whose vectors are already sized — the allocation-free core that
+// optional capacitive term (capOverDt > 0 for transient steps) into a
+// stencil whose vectors are already sized — the allocation-free core that
 // both buildOperator and Workspace share. Every element is overwritten, so
-// a reused operator carries no state between solves.
-func (m *Model) fillOperator(op *operator, bc TopBoundary, capOverDt float64) {
+// a reused stencil carries no state between solves.
+func (m *Model) fillOperator(op *stencil, bc TopBoundary, capOverDt float64) {
 	nx, cells := m.nx, m.cells
 	for l := 0; l < m.nl; l++ {
 		base := l * cells
@@ -309,12 +239,12 @@ func (m *Model) fillOperator(op *operator, bc TopBoundary, capOverDt float64) {
 	}
 }
 
-// buildOperator allocates a fresh operator for the given boundary and
-// optional capacitive term.
-func (m *Model) buildOperator(bc TopBoundary, capOverDt float64) *operator {
-	op := &operator{m: m, diag: make(linalg.Vector, m.n), invDiag: make(linalg.Vector, m.n)}
-	m.fillOperator(op, bc, capOverDt)
-	return op
+// buildOperator allocates a fresh operator stencil for the given boundary
+// and optional capacitive term.
+func (m *Model) buildOperator(bc TopBoundary, capOverDt float64) *stencil {
+	op := m.newStencil()
+	m.fillOperator(&op, bc, capOverDt)
+	return &op
 }
 
 // rhs assembles the right-hand side: injected power plus boundary sources.

@@ -1,0 +1,399 @@
+package thermal
+
+import (
+	"repro/internal/linalg"
+)
+
+// This file builds the geometric multigrid hierarchy for a Model: a chain
+// of stencil operators over 2:1-coarsened (nx, ny) cell grids (layers are
+// never merged — the stack is only a handful of layers deep and the
+// strong vertical coupling is handled by the smoother), with
+// full-weighting restriction and bilinear prolongation between levels.
+//
+// Coarse operators are rediscretized rather than assembled by a Galerkin
+// triple product: a coarse edge aggregates the fine conductances crossing
+// the corresponding coarse-cell interface (parallel paths add), divided
+// by the coarsening factor along the edge (the cell pitch doubles, so the
+// conduction path is twice as long). On a uniform grid this reproduces
+// the direct discretization at the coarse pitch exactly, and it keeps
+// every level a 7-point M-matrix — the same stencil type, the same
+// red-black smoother. Extensive per-cell couplings (the board-side and
+// convective boundary conductances, heat capacities) are block-summed,
+// so coarse boundary cells see the same total heat path to the outside
+// world as the fine cells they aggregate.
+
+// coarsestCells is the per-layer cell count below which the hierarchy
+// stops coarsening; the coarsest system is then solved exhaustively by
+// symmetric Gauss-Seidel sweep pairs inside the V-cycle.
+const coarsestCells = 32
+
+// axisMap is the 1-D index pattern of a cell-centered 2:1 coarsening
+// along one grid direction: every fine cell has a parent coarse cell and,
+// for interpolation, the nearest coarse neighbor on the other side of the
+// fine cell's center (-1 at the domain edges, where the zero-flux lateral
+// boundary makes constant extrapolation exact).
+type axisMap struct {
+	parent []int // fine index -> owning coarse index (ix/2)
+	other  []int // second coarse cell of the interpolation pair, -1 at edges
+}
+
+func newAxisMap(nFine, nCoarse int) axisMap {
+	am := axisMap{
+		parent: make([]int, nFine),
+		other:  make([]int, nFine),
+	}
+	for i := 0; i < nFine; i++ {
+		p := i / 2
+		am.parent[i] = p
+		o := p + 1
+		if i%2 == 0 {
+			o = p - 1
+		}
+		if o < 0 || o >= nCoarse {
+			am.other[i] = -1
+			continue
+		}
+		am.other[i] = o
+	}
+	return am
+}
+
+// transfer is the inter-level grid transfer: operator-induced bilinear
+// prolongation of corrections and its transpose, full-weighting
+// restriction of residuals. Every fine cell's weights sum to one, so
+// restriction conserves the total residual heat (Watts) — the natural
+// pairing with rediscretized coarse operators on an RC network.
+//
+// The per-cell directional weights come from the fine conductances: a
+// fine cell interpolates toward the neighboring coarse cell with weight
+// ½·g_other/(g_other + g_sibling), where g_other is the fine edge leading
+// toward that neighbor and g_sibling the edge into the cell's own block.
+// On smooth coefficients this is exactly the geometric bilinear ¼–¾
+// stencil; across a strong conductivity jump (the silicon/underfill die
+// boundary is 260:1) the weight collapses toward injection, which is what
+// keeps the V-cycle contractive — geometric weights interpolate
+// temperatures across the jump and make deep hierarchies diverge.
+type transfer struct {
+	nxf, nyf, nl int
+	cellsF       int
+	nxc, nyc     int
+	cellsC       int
+	xm, ym       axisMap
+	// wx, wy hold each fine unknown's weight toward its x/y "other"
+	// coarse cell (0 where other == -1). Indexed like the fine level.
+	wx, wy []float64
+}
+
+// sideWeight computes the interpolation weight toward the other coarse
+// cell from the fine edge conductances: gOther leads toward the other
+// coarse cell, gSibling into the cell's own block.
+func sideWeight(gOther, gSibling float64) float64 {
+	if gOther == 0 {
+		return 0
+	}
+	if gSibling == 0 {
+		// Clipped single-cell block (odd grid edge): fall back to the
+		// geometric weight.
+		return 0.25
+	}
+	return 0.5 * gOther / (gOther + gSibling)
+}
+
+func newTransfer(fine, coarse *stencil) *transfer {
+	t := &transfer{
+		nxf: fine.nx, nyf: fine.ny, nl: fine.nl, cellsF: fine.cells,
+		nxc: coarse.nx, nyc: coarse.ny, cellsC: coarse.cells,
+		xm: newAxisMap(fine.nx, coarse.nx),
+		ym: newAxisMap(fine.ny, coarse.ny),
+		wx: make([]float64, fine.n),
+		wy: make([]float64, fine.n),
+	}
+	for l := 0; l < fine.nl; l++ {
+		base := l * fine.cells
+		for iy := 0; iy < fine.ny; iy++ {
+			for ix := 0; ix < fine.nx; ix++ {
+				i := base + iy*fine.nx + ix
+				if t.xm.other[ix] >= 0 {
+					var gOther, gSibling float64
+					if ix%2 == 0 { // other parent lies west
+						gOther = fine.gx[i-1]
+						gSibling = fine.gx[i]
+					} else { // east
+						gOther = fine.gx[i]
+						gSibling = fine.gx[i-1]
+					}
+					t.wx[i] = sideWeight(gOther, gSibling)
+				}
+				if t.ym.other[iy] >= 0 {
+					var gOther, gSibling float64
+					if iy%2 == 0 { // other parent lies south
+						gOther = fine.gy[i-fine.nx]
+						gSibling = fine.gy[i]
+					} else { // north
+						gOther = fine.gy[i]
+						gSibling = fine.gy[i-fine.nx]
+					}
+					t.wy[i] = sideWeight(gOther, gSibling)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Restrict projects a fine residual onto the coarse grid by full
+// weighting (the transpose of Prolong), overwriting coarse.
+func (t *transfer) Restrict(fine, coarse linalg.Vector) {
+	coarse.Fill(0)
+	for l := 0; l < t.nl; l++ {
+		baseF := l * t.cellsF
+		baseC := l * t.cellsC
+		for iy := 0; iy < t.nyf; iy++ {
+			py, oy := t.ym.parent[iy], t.ym.other[iy]
+			rowP := baseC + py*t.nxc
+			rowO := baseC + oy*t.nxc
+			rowF := baseF + iy*t.nxf
+			for ix := 0; ix < t.nxf; ix++ {
+				i := rowF + ix
+				px, ox := t.xm.parent[ix], t.xm.other[ix]
+				wx, wy := t.wx[i], t.wy[i]
+				wpx, wpy := 1-wx, 1-wy
+				v := fine[i]
+				coarse[rowP+px] += wpx * wpy * v
+				if ox >= 0 {
+					coarse[rowP+ox] += wx * wpy * v
+				}
+				if oy >= 0 {
+					coarse[rowO+px] += wpx * wy * v
+					if ox >= 0 {
+						coarse[rowO+ox] += wx * wy * v
+					}
+				}
+			}
+		}
+	}
+}
+
+// Prolong interpolates a coarse correction with the operator-induced
+// bilinear weights and adds it into the fine iterate.
+func (t *transfer) Prolong(coarse, fine linalg.Vector) {
+	for l := 0; l < t.nl; l++ {
+		baseF := l * t.cellsF
+		baseC := l * t.cellsC
+		for iy := 0; iy < t.nyf; iy++ {
+			py, oy := t.ym.parent[iy], t.ym.other[iy]
+			rowP := baseC + py*t.nxc
+			rowO := baseC + oy*t.nxc
+			rowF := baseF + iy*t.nxf
+			for ix := 0; ix < t.nxf; ix++ {
+				i := rowF + ix
+				px, ox := t.xm.parent[ix], t.xm.other[ix]
+				wx, wy := t.wx[i], t.wy[i]
+				wpx, wpy := 1-wx, 1-wy
+				v := wpx * wpy * coarse[rowP+px]
+				if ox >= 0 {
+					v += wx * wpy * coarse[rowP+ox]
+				}
+				if oy >= 0 {
+					v += wpx * wy * coarse[rowO+px]
+					if ox >= 0 {
+						v += wx * wy * coarse[rowO+ox]
+					}
+				}
+				fine[i] += v
+			}
+		}
+	}
+}
+
+// blockSum restricts an extensive per-unknown quantity (boundary
+// conductance, heat capacity) by summing each coarse cell's children.
+func (t *transfer) blockSum(fine, coarse linalg.Vector) {
+	coarse.Fill(0)
+	for l := 0; l < t.nl; l++ {
+		baseF := l * t.cellsF
+		baseC := l * t.cellsC
+		for iy := 0; iy < t.nyf; iy++ {
+			rowC := baseC + t.ym.parent[iy]*t.nxc
+			rowF := baseF + iy*t.nxf
+			for ix := 0; ix < t.nxf; ix++ {
+				coarse[rowC+t.xm.parent[ix]] += fine[rowF+ix]
+			}
+		}
+	}
+}
+
+// coarsen rediscretizes a stencil on the 2:1-coarsened grid. Only the
+// conductances are built here; the diagonal is assembled per solve by
+// hierarchy.refresh (it depends on the boundary condition and time step).
+func coarsen(f *stencil) (*stencil, *transfer) {
+	nxc := (f.nx + 1) / 2
+	nyc := (f.ny + 1) / 2
+	c := &stencil{
+		nx: nxc, ny: nyc, nl: f.nl,
+		cells:   nxc * nyc,
+		n:       nxc * nyc * f.nl,
+		diag:    make(linalg.Vector, nxc*nyc*f.nl),
+		invDiag: make(linalg.Vector, nxc*nyc*f.nl),
+	}
+	c.gx = make([]float64, c.n)
+	c.gy = make([]float64, c.n)
+	if f.nl > 1 {
+		c.gz = make([]float64, (f.nl-1)*c.cells)
+	}
+	for l := 0; l < f.nl; l++ {
+		baseF := l * f.cells
+		baseC := l * c.cells
+		// x edges: the fine edges crossing a coarse interface are those
+		// at odd fine ix; parallel paths add, and the doubled cell pitch
+		// halves the aggregate (the conduction path is twice as long).
+		for jc := 0; jc < nyc; jc++ {
+			for ic := 0; ic < nxc-1; ic++ {
+				var sum float64
+				ix := 2*ic + 1
+				for iy := 2 * jc; iy < 2*jc+2 && iy < f.ny; iy++ {
+					sum += f.gx[baseF+iy*f.nx+ix]
+				}
+				c.gx[baseC+jc*nxc+ic] = sum / 2
+			}
+		}
+		// y edges, symmetric.
+		for jc := 0; jc < nyc-1; jc++ {
+			iy := 2*jc + 1
+			for ic := 0; ic < nxc; ic++ {
+				var sum float64
+				for ix := 2 * ic; ix < 2*ic+2 && ix < f.nx; ix++ {
+					sum += f.gy[baseF+iy*f.nx+ix]
+				}
+				c.gy[baseC+jc*nxc+ic] = sum / 2
+			}
+		}
+	}
+	// z edges: no coarsening between layers — the coarse face area is the
+	// sum of its children's faces, so the conductances simply add.
+	for l := 0; l < f.nl-1; l++ {
+		baseF := l * f.cells
+		baseC := l * c.cells
+		for jc := 0; jc < nyc; jc++ {
+			for ic := 0; ic < nxc; ic++ {
+				var sum float64
+				for iy := 2 * jc; iy < 2*jc+2 && iy < f.ny; iy++ {
+					for ix := 2 * ic; ix < 2*ic+2 && ix < f.nx; ix++ {
+						sum += f.gz[baseF+iy*f.nx+ix]
+					}
+				}
+				c.gz[baseC+jc*nxc+ic] = sum
+			}
+		}
+	}
+	return c, newTransfer(f, c)
+}
+
+// baseDiagOf precomputes the constant part of a stencil's diagonal: the
+// sum of incident conductances, mirroring fillOperator's accumulation.
+func baseDiagOf(s *stencil) linalg.Vector {
+	d := make(linalg.Vector, s.n)
+	nx, cells := s.nx, s.cells
+	for l := 0; l < s.nl; l++ {
+		base := l * cells
+		for c := 0; c < cells; c++ {
+			i := base + c
+			var v float64
+			if g := s.gx[i]; g != 0 {
+				v += g
+			}
+			if c%nx != 0 {
+				v += s.gx[i-1]
+			}
+			if g := s.gy[i]; g != 0 {
+				v += g
+			}
+			if c >= nx {
+				v += s.gy[i-nx]
+			}
+			if l < s.nl-1 {
+				v += s.gz[i]
+			}
+			if l > 0 {
+				v += s.gz[i-cells]
+			}
+			d[i] = v
+		}
+	}
+	return d
+}
+
+// mgLevel is one level of the hierarchy: its stencil plus the per-solve
+// external diagonal (boundary conductances and capacitive terms) that
+// refresh() rebuilds, and the transfer to the next coarser level.
+type mgLevel struct {
+	st       *stencil
+	baseDiag linalg.Vector // sum of incident conductances (constant)
+	extDiag  linalg.Vector // boundary + capacitive terms (per solve)
+	down     *transfer     // nil on the coarsest level
+}
+
+// hierarchy is a model's multigrid ladder. The finest level aliases the
+// owning workspace's operator stencil, so fillOperator's diagonal is the
+// one the fine smoother sees; coarse levels own rediscretized stencils.
+// Geometry is built once; only diagonals change between solves.
+type hierarchy struct {
+	m      *Model
+	levels []*mgLevel
+	mg     *linalg.Multigrid
+}
+
+// newHierarchy builds the level ladder for a model over the given fine
+// stencil, coarsening in (nx, ny) until the per-layer grid is small
+// enough for the in-cycle exhaustive solve.
+func newHierarchy(m *Model, fine *stencil) (*hierarchy, error) {
+	h := &hierarchy{m: m}
+	h.levels = append(h.levels, &mgLevel{st: fine})
+	cur := fine
+	for cur.cells > coarsestCells && cur.nx > 2 && cur.ny > 2 {
+		c, t := coarsen(cur)
+		h.levels[len(h.levels)-1].down = t
+		h.levels = append(h.levels, &mgLevel{st: c})
+		cur = c
+	}
+	mls := make([]linalg.MGLevel, len(h.levels))
+	for i, lv := range h.levels {
+		lv.baseDiag = baseDiagOf(lv.st)
+		lv.extDiag = make(linalg.Vector, lv.st.n)
+		mls[i] = linalg.MGLevel{A: lv.st}
+		if lv.down != nil {
+			mls[i].Down = lv.down
+		}
+	}
+	mg, err := linalg.NewMultigrid(mls)
+	if err != nil {
+		return nil, err
+	}
+	h.mg = mg
+	return h, nil
+}
+
+// refresh rebuilds every coarse level's diagonal from the fine diagonal
+// fillOperator has already assembled for this solve. The fine external
+// terms (boundary conductances, capacitive C/dt) are recovered by
+// subtracting the precomputed conductance sum from the filled diagonal —
+// baseDiagOf mirrors fillOperator's accumulation order, so the
+// subtraction is exact for interior cells and, crucially, any term a
+// future fillOperator adds flows into extDiag (and down the ladder)
+// automatically instead of silently desynchronizing the coarse levels.
+// Allocation-free.
+func (h *hierarchy) refresh() {
+	f := h.levels[0]
+	for i, d := range f.st.diag {
+		f.extDiag[i] = d - f.baseDiag[i]
+	}
+	for k := 1; k < len(h.levels); k++ {
+		finer, lv := h.levels[k-1], h.levels[k]
+		finer.down.blockSum(finer.extDiag, lv.extDiag)
+		for i := range lv.st.diag {
+			d := lv.baseDiag[i] + lv.extDiag[i]
+			lv.st.diag[i] = d
+			lv.st.invDiag[i] = 1 / d
+		}
+	}
+}

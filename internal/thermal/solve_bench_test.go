@@ -11,7 +11,10 @@ package thermal
 // from the previous converged field — the session steady-state.
 
 import (
+	"fmt"
 	"testing"
+
+	"repro/internal/floorplan"
 )
 
 func benchModel(b *testing.B) (*Model, map[int][]float64, TopBoundary) {
@@ -62,6 +65,52 @@ func BenchmarkSteadySolve(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSteadySolveSize compares the solvers across grid resolutions
+// on cold steady solves — the scaling picture behind the multigrid
+// tentpole. Jacobi-CG's time per solve grows superlinearly in the cell
+// count; MG-PCG stays a fixed small number of cycles, so the gap widens
+// with every doubling.
+func BenchmarkSteadySolveSize(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		m, power, bc := xvalModel(b, floorplan.XeonE5Package(), n, n)
+		for _, s := range []Solver{SolverCG, SolverMGPCG} {
+			b.Run(fmt.Sprintf("%d/%s", n, s), func(b *testing.B) {
+				w := m.NewWorkspace()
+				w.SetSolver(s)
+				f := w.FieldA()
+				if err := w.SteadySolveInto(f, nil, power, bc); err != nil { // warm buffers
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := w.SteadySolveInto(f, nil, power, bc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMGVCycle times one warm V-cycle on a 128×128 hierarchy — the
+// unit of work MG-PCG spends per iteration. ReportAllocs doubles as the
+// allocation-regression guard for the cycle itself.
+func BenchmarkMGVCycle(b *testing.B) {
+	m, power, bc := xvalModel(b, floorplan.XeonE5Package(), 128, 128)
+	w := m.NewWorkspace()
+	w.SetSolver(SolverMG)
+	f := w.FieldA()
+	if err := w.SteadySolveInto(f, nil, power, bc); err != nil { // build + warm the hierarchy
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.hier.mg.Cycle(w.rhs, f.T)
+	}
 }
 
 func BenchmarkTransientSolveStep(b *testing.B) {

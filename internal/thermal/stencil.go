@@ -1,0 +1,160 @@
+package thermal
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// stencil is the 7-point conduction stencil over an (nx, ny, nl) cell
+// grid: per-edge conductances in x, y (within a layer) and z (between
+// consecutive layers) plus a full diagonal. It is the shared operator
+// representation of every level of the solve stack — the fine level
+// aliases the Model's conductance arrays, coarse multigrid levels own
+// aggregated copies — and implements linalg.Operator, StencilSweeper and
+// Smoother.
+//
+// Indexing matches Model: unknown i = l·cells + iy·nx + ix; gx[i] couples
+// i to i+1 (stored at the west cell, zero in the last column), gy[i]
+// couples i to i+nx (zero in the last row), gz[l·cells+c] couples layer l
+// to l+1 at cell c.
+type stencil struct {
+	nx, ny, nl int
+	cells      int // per layer
+	n          int // total unknowns
+
+	gx, gy, gz []float64
+	diag       linalg.Vector
+	invDiag    linalg.Vector
+}
+
+// Size returns the dimension of the operator.
+func (s *stencil) Size() int { return s.n }
+
+// Apply computes y = A·x for the assembled stencil.
+func (s *stencil) Apply(x, y linalg.Vector) {
+	nx, cells := s.nx, s.cells
+	for i := range y {
+		y[i] = s.diag[i] * x[i]
+	}
+	for l := 0; l < s.nl; l++ {
+		base := l * cells
+		for c := 0; c < cells; c++ {
+			i := base + c
+			if g := s.gx[i]; g != 0 {
+				j := i + 1
+				y[i] -= g * x[j]
+				y[j] -= g * x[i]
+			}
+			if g := s.gy[i]; g != 0 {
+				j := i + nx
+				y[i] -= g * x[j]
+				y[j] -= g * x[i]
+			}
+			if l < s.nl-1 {
+				if g := s.gz[i]; g != 0 {
+					j := i + cells
+					y[i] -= g * x[j]
+					y[j] -= g * x[i]
+				}
+			}
+		}
+	}
+}
+
+// Residual computes r = b - A·x.
+func (s *stencil) Residual(b, x, r linalg.Vector) {
+	s.Apply(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+}
+
+// SweepSOR performs one lexicographic Gauss-Seidel/SOR sweep updating x
+// toward A·x = b and returns the maximum absolute update applied.
+func (s *stencil) SweepSOR(b, x linalg.Vector, omega float64) float64 {
+	nx, cells := s.nx, s.cells
+	var maxDelta float64
+	for l := 0; l < s.nl; l++ {
+		base := l * cells
+		for c := 0; c < cells; c++ {
+			i := base + c
+			su := b[i]
+			if c%nx != 0 { // west neighbor stores gx at its own index
+				su += s.gx[i-1] * x[i-1]
+			}
+			if g := s.gx[i]; g != 0 {
+				su += g * x[i+1]
+			}
+			if c >= nx {
+				su += s.gy[i-nx] * x[i-nx]
+			}
+			if g := s.gy[i]; g != 0 {
+				su += g * x[i+nx]
+			}
+			if l > 0 {
+				su += s.gz[i-cells] * x[i-cells]
+			}
+			if l < s.nl-1 {
+				if g := s.gz[i]; g != 0 {
+					su += g * x[i+cells]
+				}
+			}
+			xNew := su / s.diag[i]
+			delta := omega * (xNew - x[i])
+			x[i] += delta
+			if a := math.Abs(delta); a > maxDelta {
+				maxDelta = a
+			}
+		}
+	}
+	return maxDelta
+}
+
+// Smooth performs one red-black Gauss-Seidel sweep (ω = 1). Cells are
+// colored by (ix+iy+l) parity, so every cell of one color updates against
+// a frozen opposite color: the sweep result is independent of traversal
+// order within a color, which is what makes smoothing deterministic under
+// any future parallel split. Forward relaxes red (parity 0) then black;
+// reverse relaxes black then red — the reversal V-cycles need for a
+// symmetric pre/post smoothing pair.
+func (s *stencil) Smooth(b, x linalg.Vector, reverse bool) {
+	colors := [2]int{0, 1}
+	if reverse {
+		colors = [2]int{1, 0}
+	}
+	nx, ny, cells := s.nx, s.ny, s.cells
+	for _, color := range colors {
+		for l := 0; l < s.nl; l++ {
+			base := l * cells
+			for iy := 0; iy < ny; iy++ {
+				row := base + iy*nx
+				for ix := (color + iy + l) & 1; ix < nx; ix += 2 {
+					i := row + ix
+					su := b[i]
+					if ix > 0 {
+						su += s.gx[i-1] * x[i-1]
+					}
+					if g := s.gx[i]; g != 0 {
+						su += g * x[i+1]
+					}
+					if iy > 0 {
+						su += s.gy[i-nx] * x[i-nx]
+					}
+					if g := s.gy[i]; g != 0 {
+						su += g * x[i+nx]
+					}
+					if l > 0 {
+						su += s.gz[i-cells] * x[i-cells]
+					}
+					if l < s.nl-1 {
+						if g := s.gz[i]; g != 0 {
+							su += g * x[i+cells]
+						}
+					}
+					x[i] = su * s.invDiag[i]
+				}
+			}
+		}
+	}
+}

@@ -19,10 +19,19 @@ import (
 // give each goroutine (e.g. each sweep worker) its own.
 type Workspace struct {
 	m   *Model
-	op  operator
+	op  stencil
 	pre linalg.DiagonalPreconditioner
 	rhs linalg.Vector
 	cg  linalg.CGWorkspace
+
+	// solver selects the linear solver; hier is the multigrid ladder the
+	// MG and MG-PCG solvers use, built lazily on their first solve (the
+	// default CG path never pays for it).
+	solver Solver
+	hier   *hierarchy
+
+	stats SolveStats
+	last  linalg.CGResult
 
 	bc   TopBoundary
 	a, b *Field
@@ -34,7 +43,7 @@ type Workspace struct {
 // per-call path did.
 func (m *Model) NewWorkspace() *Workspace {
 	w := &Workspace{m: m}
-	w.op = operator{m: m, diag: make(linalg.Vector, m.n), invDiag: make(linalg.Vector, m.n)}
+	w.op = m.newStencil()
 	w.pre = linalg.DiagonalPreconditioner{InvDiag: w.op.invDiag}
 	w.rhs = make(linalg.Vector, m.n)
 	return w
@@ -42,6 +51,76 @@ func (m *Model) NewWorkspace() *Workspace {
 
 // Model returns the model the workspace solves on.
 func (w *Workspace) Model() *Model { return w.m }
+
+// SetSolver selects the linear solver for subsequent solves. The zero
+// value SolverCG is the historical Jacobi-CG path; SolverMGPCG and
+// SolverMG route through the geometric multigrid hierarchy, which is
+// built once on first use and reused (allocation-free) afterwards.
+func (w *Workspace) SetSolver(s Solver) { w.solver = s }
+
+// Solver returns the workspace's selected linear solver.
+func (w *Workspace) Solver() Solver { return w.solver }
+
+// Stats returns cumulative linear-solver effort since the workspace was
+// created.
+func (w *Workspace) Stats() SolveStats { return w.stats }
+
+// LastSolve returns the convergence report of the most recent linear
+// solve (iterations are V-cycles for SolverMG).
+func (w *Workspace) LastSolve() linalg.CGResult { return w.last }
+
+// ensureHierarchy lazily builds the multigrid ladder over the
+// workspace's operator stencil.
+func (w *Workspace) ensureHierarchy() error {
+	if w.hier != nil {
+		return nil
+	}
+	h, err := newHierarchy(w.m, &w.op)
+	if err != nil {
+		return err
+	}
+	w.hier = h
+	return nil
+}
+
+// solve runs the selected linear solver on the already-assembled system
+// (fillOperator and rhsInto must have run), updating x in place and the
+// workspace's solve statistics. The multigrid path re-derives its coarse
+// diagonals from whatever fillOperator assembled, so steady and
+// transient systems need no extra plumbing here.
+func (w *Workspace) solve(x linalg.Vector, tol float64) error {
+	var (
+		res linalg.CGResult
+		err error
+	)
+	switch w.solver {
+	case SolverMGPCG, SolverMG:
+		if err = w.ensureHierarchy(); err != nil {
+			return err
+		}
+		w.hier.refresh()
+		if w.solver == SolverMG {
+			res, err = linalg.MGSolve(w.hier.mg, w.rhs, x, linalg.MGOptions{Tol: tol, MaxCycles: 300})
+		} else {
+			res, err = linalg.CGWith(&w.op, w.rhs, x, linalg.CGOptions{
+				Tol:     tol,
+				MaxIter: 40 * w.m.n,
+				Precond: w.hier.mg,
+			}, &w.cg)
+		}
+	default:
+		res, err = linalg.CGWith(&w.op, w.rhs, x, linalg.CGOptions{
+			Tol:     tol,
+			MaxIter: 40 * w.m.n,
+			Precond: &w.pre,
+		}, &w.cg)
+	}
+	w.last = res
+	w.stats.Solves++
+	w.stats.Iterations += res.Iterations
+	w.stats.Applies += res.Applies
+	return err
+}
 
 // FieldA returns the workspace's first reusable field buffer, allocating
 // it on first use. The buffer is owned by the workspace: it stays valid
@@ -104,12 +183,7 @@ func (w *Workspace) SteadySolveInto(dst, init *Field, powerByLayer map[int][]flo
 	} else {
 		dst.T.Fill(m.Env.AmbientC)
 	}
-	_, err := linalg.CGWith(&w.op, w.rhs, dst.T, linalg.CGOptions{
-		Tol:     1e-10,
-		MaxIter: 40 * m.n,
-		Precond: &w.pre,
-	}, &w.cg)
-	if err != nil {
+	if err := w.solve(dst.T, 1e-10); err != nil {
 		return fmt.Errorf("thermal: steady solve: %w", err)
 	}
 	return nil
@@ -143,12 +217,7 @@ func (w *Workspace) StepTransientInto(dst, prev *Field, dt float64, powerByLayer
 	if dst != prev {
 		copy(dst.T, prev.T)
 	}
-	_, err := linalg.CGWith(&w.op, w.rhs, dst.T, linalg.CGOptions{
-		Tol:     1e-9,
-		MaxIter: 40 * m.n,
-		Precond: &w.pre,
-	}, &w.cg)
-	if err != nil {
+	if err := w.solve(dst.T, 1e-9); err != nil {
 		return fmt.Errorf("thermal: transient step: %w", err)
 	}
 	return nil

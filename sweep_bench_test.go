@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/sweep"
+	"repro/internal/thermal"
 )
 
 // withWorkers runs f under a process-wide sweep worker override and
@@ -87,6 +88,55 @@ func TestSweepTableIIDeterministic(t *testing.T) {
 	// order matches the serial sweep exactly.
 	if got, want := fmt.Sprintf("%+v", parallel), fmt.Sprintf("%+v", serial); got != want {
 		t.Fatalf("parallel Table II rows differ from serial:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestSweepFig6DeterministicMGPCG re-runs the Fig. 6 serial-vs-pooled
+// byte-equality proof with the multigrid-preconditioned solver selected
+// process-wide: solver choice is a performance knob, and for any fixed
+// choice the pooled sweep must remain byte-identical to the serial one.
+func TestSweepFig6DeterministicMGPCG(t *testing.T) {
+	experiments.SetDefaultSolver(thermal.SolverMGPCG)
+	defer experiments.SetDefaultSolver(thermal.SolverCG)
+	var serial, parallel []experiments.Fig6Result
+	var err error
+	withWorkers(1, func() { serial, err = experiments.Fig6MappingScenarios(experiments.Coarse) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWorkers(poolWorkers(), func() { parallel, err = experiments.Fig6MappingScenarios(experiments.Coarse) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprintf("%+v", parallel), fmt.Sprintf("%+v", serial); got != want {
+		t.Fatalf("parallel MG-PCG Fig6 result differs from serial:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestResolutionScalingDeterministicMGPCG: the resolution-scaling sweep's
+// deterministic fields (everything except wall time) must be
+// byte-identical between a serial and a pooled run with MG-PCG.
+func TestResolutionScalingDeterministicMGPCG(t *testing.T) {
+	sizes := []int{16, 24}
+	solvers := []thermal.Solver{thermal.SolverMGPCG}
+	strip := func(cells []experiments.ResolutionCell) string {
+		for i := range cells {
+			cells[i].WallMS = 0
+		}
+		return fmt.Sprintf("%+v", cells)
+	}
+	var serial, parallel []experiments.ResolutionCell
+	var err error
+	withWorkers(1, func() { serial, err = experiments.ExtResolutionScaling(sizes, solvers) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWorkers(poolWorkers(), func() { parallel, err = experiments.ExtResolutionScaling(sizes, solvers) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strip(parallel), strip(serial); got != want {
+		t.Fatalf("pooled resolution sweep differs from serial:\n got %s\nwant %s", got, want)
 	}
 }
 
