@@ -23,7 +23,7 @@ import (
 func BenchmarkFig2DieVsPackage(b *testing.B) {
 	var last *experiments.Fig2Result
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig2DieVsPackage(experiments.Coarse)
+		r, err := experiments.Fig2DieVsPackage(nil, experiments.At(experiments.Coarse))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -57,7 +57,7 @@ func BenchmarkFig5Orientation(b *testing.B) {
 	var rows []experiments.OrientationResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Fig5Orientation(experiments.Coarse)
+		rows, err = experiments.Fig5Orientation(nil, experiments.At(experiments.Coarse))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +77,7 @@ func BenchmarkFig6MappingScenarios(b *testing.B) {
 	var rows []experiments.Fig6Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Fig6MappingScenarios(experiments.Coarse)
+		rows, err = experiments.Fig6MappingScenarios(nil, experiments.At(experiments.Coarse))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +96,7 @@ func BenchmarkTableIIPolicyComparison(b *testing.B) {
 	var rows []experiments.TableIIRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.TableIIPolicyComparison(experiments.Coarse, subset)
+		rows, err = experiments.TableIIPolicyComparison(nil, experiments.At(experiments.Coarse), subset)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,7 +131,7 @@ func BenchmarkFig7ThermalMaps(b *testing.B) {
 	var r *experiments.Fig7Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = experiments.Fig7ThermalMaps(experiments.Coarse)
+		r, err = experiments.Fig7ThermalMaps(nil, experiments.At(experiments.Coarse))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +145,7 @@ func BenchmarkCoolingPower(b *testing.B) {
 	var r *experiments.CoolingResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = experiments.CoolingPowerStudy(experiments.Coarse)
+		r, err = experiments.CoolingPowerStudy(nil, experiments.At(experiments.Coarse))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +159,7 @@ func BenchmarkDesignSpace(b *testing.B) {
 	var r *experiments.DesignSpaceResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = experiments.DesignSpaceStudy(experiments.Coarse)
+		r, err = experiments.DesignSpaceStudy(nil, experiments.At(experiments.Coarse))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -273,7 +273,7 @@ func BenchmarkExtOrientationMapping(b *testing.B) {
 	var cells []experiments.OrientationMappingCell
 	for i := 0; i < b.N; i++ {
 		var err error
-		cells, err = experiments.ExtOrientationMapping(experiments.Coarse)
+		cells, err = experiments.ExtOrientationMapping(nil, experiments.At(experiments.Coarse))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -286,7 +286,7 @@ func BenchmarkExtRuntimeControl(b *testing.B) {
 	var r *experiments.RuntimeControlResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = experiments.ExtRuntimeControl(experiments.Coarse)
+		r, err = experiments.ExtRuntimeControl(nil, experiments.At(experiments.Coarse))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -299,7 +299,7 @@ func BenchmarkExtScalability(b *testing.B) {
 	var cells []experiments.ScalabilityCell
 	for i := 0; i < b.N; i++ {
 		var err error
-		cells, err = experiments.ExtScalability(experiments.Coarse)
+		cells, err = experiments.ExtScalability(nil, experiments.At(experiments.Coarse))
 		if err != nil {
 			b.Fatal(err)
 		}

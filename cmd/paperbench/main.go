@@ -1,63 +1,86 @@
-// Command paperbench regenerates the paper's tables and figures and prints
-// them in the same form the paper reports (rows of Table I/II, the Fig. 5
-// and Fig. 6 comparisons, the Fig. 2/7 thermal maps as ASCII art, and the
-// §VIII-B cooling-power study).
+// Command paperbench regenerates the paper's tables and figures. Every
+// experiment it serves comes from the experiments registry, so the
+// command is a generic renderer: -list enumerates what is available,
+// -exp selects by registry name (or "all", in registry order), -json
+// emits the structured results for machine use, and -outdir captures
+// SVG/CSV map artifacts.
 //
 // Usage:
 //
+//	paperbench -list
 //	paperbench -exp all -res medium
 //	paperbench -exp fig7 -res full -maps
-//	paperbench -exp design -res full -workers 8
+//	paperbench -exp all -res coarse -json
+//	paperbench -exp design -res full -workers 8 -timeout 10m
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
-	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/floorplan"
 	"repro/internal/render"
 	"repro/internal/report"
-	"repro/internal/sweep"
 	"repro/internal/thermal"
-	"repro/internal/workload"
 )
 
-// outDir, when non-empty, receives SVG/CSV artifacts per experiment.
-var outDir string
-
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2|fig3|tablei|fig5|fig6|tableii|fig7|cooling|design|scaling|all")
+	exp := flag.String("exp", "all", "experiment to run: a registry name from -list, a comma-separated list, or all")
 	resFlag := flag.String("res", "medium", "thermal resolution: coarse|medium|full")
+	list := flag.Bool("list", false, "list the registered experiments and exit")
+	jsonOut := flag.Bool("json", false, "emit results as a JSON array instead of text")
 	maps := flag.Bool("maps", false, "print ASCII thermal maps where available")
-	out := flag.String("outdir", "", "directory for SVG/CSV artifacts (optional)")
-	reportPath := flag.String("report", "", "write a full markdown reproduction report to this file and exit")
+	out := flag.String("outdir", "", "directory for SVG/CSV map artifacts (optional)")
+	reportPath := flag.String("report", "", "write a markdown reproduction report of the -exp selection to this file and exit")
 	solverFlag := flag.String("solver", "cg", "thermal linear solver for every experiment: cg|mgpcg|mg")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	flag.Parse()
 
-	sweep.SetDefaultWorkers(*workers)
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
 	solver, err := thermal.ParseSolver(*solverFlag)
 	if err != nil {
 		fatal(err)
 	}
-	experiments.SetDefaultSolver(solver)
-	res, err := parseRes(*resFlag)
+	res, err := experiments.ParseResolution(*resFlag)
 	if err != nil {
 		fatal(err)
 	}
-	outDir = *out
-	if outDir != "" {
-		if err := os.MkdirAll(outDir, 0o755); err != nil {
+	cfg := experiments.RunConfig{Resolution: res, Solver: solver, Workers: *workers}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)
 		}
+		cfg.Artifacts = dirSink(*out)
 	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	selected, err := selectExperiments(*exp)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *reportPath != "" {
-		md, err := report.Generate(res)
+		md, err := report.Generate(ctx, cfg, selected)
 		if err != nil {
 			fatal(err)
 		}
@@ -67,320 +90,101 @@ func main() {
 		fmt.Printf("report written to %s\n", *reportPath)
 		return
 	}
-	runners := map[string]func(experiments.Resolution, bool) error{
-		"fig2":    runFig2,
-		"fig3":    func(experiments.Resolution, bool) error { return runFig3() },
-		"tablei":  func(experiments.Resolution, bool) error { return runTableI() },
-		"fig5":    runFig5,
-		"fig6":    runFig6,
-		"tableii": runTableII,
-		"fig7":    runFig7,
-		"cooling": runCooling,
-		"design":  runDesign,
-		"scaling": runScaling,
-	}
-	order := []string{"fig2", "fig3", "tablei", "fig5", "fig6", "tableii", "fig7", "cooling", "design", "scaling"}
-	if *exp != "all" {
-		if _, ok := runners[*exp]; !ok {
-			fatal(fmt.Errorf("unknown experiment %q", *exp))
-		}
-		order = []string{*exp}
-	}
-	for _, name := range order {
-		start := time.Now()
-		if err := runners[name](res, *maps); err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
-		}
-		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+
+	if err := runSelected(ctx, os.Stdout, selected, cfg, *jsonOut, *maps); err != nil {
+		fatal(err)
 	}
 }
 
-func parseRes(s string) (experiments.Resolution, error) {
-	switch s {
-	case "coarse":
-		return experiments.Coarse, nil
-	case "medium":
-		return experiments.Medium, nil
-	case "full":
-		return experiments.Full, nil
-	default:
-		return 0, fmt.Errorf("unknown resolution %q", s)
+// selectExperiments resolves the -exp flag against the registry: "all"
+// runs everything in registration order, so the run order can never drift
+// from the registered set.
+func selectExperiments(flagVal string) ([]experiments.Experiment, error) {
+	if flagVal == "all" {
+		return experiments.All(), nil
 	}
+	var out []experiments.Experiment
+	for _, name := range strings.Split(flagVal, ",") {
+		name = strings.TrimSpace(name)
+		e, ok := experiments.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (see -list; registered: %s)",
+				name, strings.Join(experiments.Names(), ", "))
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// runSelected runs the experiments and renders their results — one JSON
+// array, or per-experiment text with optional ASCII maps. Timing lines go
+// to stderr in JSON mode so stdout stays parseable.
+func runSelected(ctx context.Context, w io.Writer, selected []experiments.Experiment, cfg experiments.RunConfig, jsonOut, maps bool) error {
+	var results []*experiments.Result
+	for _, e := range selected {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		start := time.Now()
+		r, err := e.Run(ctx, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if jsonOut {
+			results = append(results, r)
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.Name, elapsed)
+			continue
+		}
+		if err := r.WriteText(w); err != nil {
+			return err
+		}
+		if maps {
+			for _, m := range r.Maps {
+				fmt.Fprintf(w, "%s:\n", m.Name)
+				if err := render.ASCIIMap(w, m.Grid(), m.CellC); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Fprintf(w, "[%s done in %v]\n\n", e.Name, elapsed)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	return nil
+}
+
+// dirSink writes every map artifact an experiment emits as an SVG heat
+// map and a CSV grid in the given directory.
+type dirSink string
+
+func (d dirSink) SaveMap(m experiments.MapArtifact) error {
+	svg, err := os.Create(filepath.Join(string(d), m.Name+".svg"))
+	if err != nil {
+		return err
+	}
+	if err := render.SVGMap(svg, m.Grid(), m.CellC, render.SVGOptions{}); err != nil {
+		svg.Close()
+		return err
+	}
+	if err := svg.Close(); err != nil {
+		return err
+	}
+	csv, err := os.Create(filepath.Join(string(d), m.Name+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := render.CSVMap(csv, m.Grid(), m.CellC); err != nil {
+		csv.Close()
+		return err
+	}
+	return csv.Close()
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "paperbench:", err)
 	os.Exit(1)
-}
-
-func f1(x float64) string { return strconv.FormatFloat(x, 'f', 1, 64) }
-func f2(x float64) string { return strconv.FormatFloat(x, 'f', 2, 64) }
-
-func runFig2(res experiments.Resolution, maps bool) error {
-	r, err := experiments.Fig2DieVsPackage(res)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Fig. 2 — die vs package profile, non-optimized design+mapping")
-	fmt.Println("(paper: die 66.1/55.9 °C ∇6.6; package 46.4/42.9 °C ∇0.5)")
-	err = render.Table(os.Stdout,
-		[]string{"plane", "θmax(°C)", "θavg(°C)", "∇θmax(°C/mm)"},
-		[][]string{
-			{"Die", f1(r.Die.MaxC), f1(r.Die.MeanC), f2(r.Die.MaxGradCPerMM)},
-			{"Package", f1(r.Pkg.MaxC), f1(r.Pkg.MeanC), f2(r.Pkg.MaxGradCPerMM)},
-		})
-	if err != nil {
-		return err
-	}
-	if maps {
-		fmt.Println("die map:")
-		if err := render.ASCIIMap(os.Stdout, r.Grid, r.DieMap); err != nil {
-			return err
-		}
-	}
-	if err := saveSVG("fig2_die", r.Grid, r.DieMap); err != nil {
-		return err
-	}
-	if err := saveSVG("fig2_package", r.Grid, r.PkgMap); err != nil {
-		return err
-	}
-	return saveCSV("fig2_die", r.Grid, r.DieMap)
-}
-
-func runFig3() error {
-	rows := experiments.Fig3NormalizedExecTime()
-	fmt.Println("Fig. 3 — execution time normalized to the 2x QoS limit (>1 violates)")
-	hdr := []string{"benchmark"}
-	for _, c := range workload.Fig3Configs() {
-		hdr = append(hdr, fmt.Sprintf("(%d,%d)", c.Cores, c.Threads))
-	}
-	var table [][]string
-	for _, r := range rows {
-		row := []string{r.Bench}
-		for _, v := range r.NormToQoS {
-			row = append(row, f2(v))
-		}
-		table = append(table, row)
-	}
-	return render.Table(os.Stdout, hdr, table)
-}
-
-func runTableI() error {
-	fmt.Println("Table I — C-state power of the Xeon E5 v4 (all 8 cores)")
-	var rows [][]string
-	for _, r := range experiments.TableICStatePower() {
-		rows = append(rows, []string{
-			r.State.String(), r.Latency,
-			f1(r.PowerW[0]), f1(r.PowerW[1]), f1(r.PowerW[2]),
-		})
-	}
-	return render.Table(os.Stdout,
-		[]string{"state", "latency", "W@2.6GHz", "W@2.9GHz", "W@3.2GHz"}, rows)
-}
-
-func runFig5(res experiments.Resolution, maps bool) error {
-	rows, err := experiments.Fig5Orientation(res)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Fig. 5 — thermosyphon orientation study, all cores loaded")
-	fmt.Println("(paper: Design1 E-W pkg 52.7 ∇0.33, die 73.2; Design2 N-S pkg 53.5 ∇0.43, die 79.4)")
-	var table [][]string
-	for _, r := range rows {
-		table = append(table, []string{
-			r.Orientation.String(),
-			f1(r.Die.MaxC), f1(r.Die.MeanC), f2(r.Die.MaxGradCPerMM),
-			f1(r.Pkg.MaxC), f1(r.Pkg.MeanC), f2(r.Pkg.MaxGradCPerMM),
-		})
-	}
-	if err := render.Table(os.Stdout,
-		[]string{"orientation", "die θmax", "die θavg", "die ∇θmax", "pkg θmax", "pkg θavg", "pkg ∇θmax"},
-		table); err != nil {
-		return err
-	}
-	if maps {
-		for _, r := range rows {
-			if r.Orientation.Horizontal() {
-				fmt.Printf("package map (%v):\n", r.Orientation)
-				g := gridFor(res)
-				if err := render.ASCIIMap(os.Stdout, g, r.PkgMap); err != nil {
-					return err
-				}
-				break
-			}
-		}
-	}
-	return nil
-}
-
-func runFig6(res experiments.Resolution, _ bool) error {
-	rows, err := experiments.Fig6MappingScenarios(res)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Fig. 6 — three 4-core mappings × idle C-state (die plane)")
-	fmt.Println("(paper θmax: POLL 68.2/65.0/77.6; C1 57.1/64.2/73.3)")
-	var table [][]string
-	for _, r := range rows {
-		table = append(table, []string{
-			r.Scenario, r.Idle.String(),
-			f1(r.Die.MaxC), f1(r.Die.MeanC), f2(r.Die.MaxGradCPerMM),
-		})
-	}
-	return render.Table(os.Stdout,
-		[]string{"scenario", "idle", "θmax(°C)", "θavg(°C)", "∇θmax(°C/mm)"}, table)
-}
-
-func runTableII(res experiments.Resolution, _ bool) error {
-	rows, err := experiments.TableIIPolicyComparison(res, nil)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Table II — hot spots and gradients per approach and QoS (13-benchmark average)")
-	fmt.Println("(paper die θmax: Proposed 78.3/72.2/68.4; [8]+[27]+[9] 83.0/79.5/77.8; [8]+[27]+[7] 83.0/80.5/79.1)")
-	var table [][]string
-	for _, r := range rows {
-		table = append(table, []string{
-			r.Approach.String(), r.QoS.String(),
-			f1(r.DieMaxC), f2(r.DieGradCPerMM),
-			f1(r.PkgMaxC), f2(r.PkgGradCPerMM),
-			f1(r.AvgPowerW),
-		})
-	}
-	return render.Table(os.Stdout,
-		[]string{"approach", "QoS", "die θmax", "die ∇θmax", "pkg θmax", "pkg ∇θmax", "avg W"}, table)
-}
-
-func runFig7(res experiments.Resolution, maps bool) error {
-	r, err := experiments.Fig7ThermalMaps(res)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Fig. 7 — sample die maps at 2x QoS (paper: proposed 71.5 °C vs SoA 78.2 °C)")
-	fmt.Printf("proposed (%s): %.1f °C   state of the art: %.1f °C   gap %.1f °C\n",
-		r.ProposedBench, r.ProposedMax, r.SoAMax, r.SoAMax-r.ProposedMax)
-	if maps {
-		g := gridFor(res)
-		fmt.Println("proposed:")
-		if err := render.ASCIIMap(os.Stdout, g, r.ProposedMap); err != nil {
-			return err
-		}
-		fmt.Println("state of the art:")
-		if err := render.ASCIIMap(os.Stdout, g, r.SoAMap); err != nil {
-			return err
-		}
-	}
-	g := gridFor(res)
-	if err := saveSVG("fig7_proposed", g, r.ProposedMap); err != nil {
-		return err
-	}
-	return saveSVG("fig7_soa", g, r.SoAMap)
-}
-
-func runCooling(res experiments.Resolution, _ bool) error {
-	r, err := experiments.CoolingPowerStudy(res)
-	if err != nil {
-		return err
-	}
-	fmt.Println("§VIII-B — cooling power (paper: 20 °C water needed without the mapping; ≥45% chiller reduction)")
-	return render.Table(os.Stdout,
-		[]string{"approach", "water in (°C)", "water ΔT (°C)", "Eq.(1) P (W)", "chiller P (W)"},
-		[][]string{
-			{"Proposed", f1(r.ProposedWaterC), f2(r.ProposedDeltaT), f1(r.ProposedBudget.Eq1PowerW), f1(r.ProposedBudget.ChillerPowerW)},
-			{"[8]+[27]+[9]", f1(r.BaselineWaterC), f2(r.BaselineDeltaT), f1(r.BaselineBudget.Eq1PowerW), f1(r.BaselineBudget.ChillerPowerW)},
-			{"reduction", "", "", fmt.Sprintf("%.1f%%", r.ReductionEq1*100), fmt.Sprintf("%.1f%%", r.ReductionChiller*100)},
-		})
-}
-
-// scalingSizes picks the grid-resolution ladder for the solver-scaling
-// extension: modest at coarse/medium so the Jacobi-CG reference stays
-// affordable, up to the 256×256 rack-scale grids at -res full.
-func scalingSizes(res experiments.Resolution) []int {
-	switch res {
-	case experiments.Coarse:
-		return []int{16, 32, 64}
-	case experiments.Medium:
-		return []int{32, 64, 128}
-	default:
-		return []int{64, 128, 256}
-	}
-}
-
-func runScaling(res experiments.Resolution, _ bool) error {
-	cells, err := experiments.ExtResolutionScaling(scalingSizes(res), nil)
-	if err != nil {
-		return err
-	}
-	fmt.Println("extension — solver scaling with grid resolution (full-load steady solve per size)")
-	var table [][]string
-	for _, c := range cells {
-		table = append(table, []string{
-			fmt.Sprintf("%d×%d", c.NX, c.NY), strconv.Itoa(c.Unknowns), c.Solver,
-			f1(c.DieMaxC), strconv.Itoa(c.OuterIters), strconv.Itoa(c.LinIters),
-			strconv.Itoa(c.Applies), fmt.Sprintf("%.1f", c.WallMS),
-		})
-	}
-	return render.Table(os.Stdout,
-		[]string{"grid", "unknowns", "solver", "die θmax", "outer", "lin iters", "applies", "wall ms"}, table)
-}
-
-func runDesign(res experiments.Resolution, _ bool) error {
-	r, err := experiments.DesignSpaceStudy(res)
-	if err != nil {
-		return err
-	}
-	fmt.Println("§VI-B/C — design space (paper choice: R236fa @ 55% fill, 7 kg/h @ 30 °C)")
-	var table [][]string
-	for _, p := range r.Points {
-		table = append(table, []string{
-			p.Fluid, f2(p.FillingRatio), f1(p.DieMaxC), f1(p.TCaseC),
-			strconv.Itoa(p.DryoutCells), strconv.FormatBool(p.Feasible),
-		})
-	}
-	if err := render.Table(os.Stdout,
-		[]string{"fluid", "fill", "die θmax", "TCASE", "dryout cells", "feasible"}, table); err != nil {
-		return err
-	}
-	fmt.Printf("best feasible: %s @ %.2f (die %.1f °C)\n", r.Best.Fluid, r.Best.FillingRatio, r.Best.DieMaxC)
-	fmt.Printf("water selection: %.0f kg/h @ %.0f °C (TCASE %.1f °C, limit 85)\n",
-		r.WaterSelection.FlowKgH, r.WaterSelection.WaterInC, r.WaterSelection.TCaseC)
-	return nil
-}
-
-// saveSVG writes an SVG heat map artifact when -outdir is set.
-func saveSVG(name string, grid floorplan.Grid, temps []float64) error {
-	if outDir == "" {
-		return nil
-	}
-	f, err := os.Create(filepath.Join(outDir, name+".svg"))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return render.SVGMap(f, grid, temps, render.SVGOptions{})
-}
-
-// saveCSV writes a CSV map artifact when -outdir is set.
-func saveCSV(name string, grid floorplan.Grid, temps []float64) error {
-	if outDir == "" {
-		return nil
-	}
-	f, err := os.Create(filepath.Join(outDir, name+".csv"))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return render.CSVMap(f, grid, temps)
-}
-
-func gridFor(res experiments.Resolution) floorplan.Grid {
-	pg := floorplan.XeonE5Package()
-	switch res {
-	case experiments.Coarse:
-		return floorplan.NewGrid(19, 15, pg.Width, pg.Height)
-	case experiments.Medium:
-		return floorplan.NewGrid(38, 30, pg.Width, pg.Height)
-	default:
-		return floorplan.NewGrid(76, 60, pg.Width, pg.Height)
-	}
 }

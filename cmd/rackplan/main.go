@@ -34,24 +34,16 @@ func main() {
 	solverFlag := flag.String("solver", "cg", "thermal linear solver: cg|mgpcg|mg (mgpcg pays off on fine grids)")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
-	sweep.SetDefaultWorkers(*workers)
-	if err := run(*blades, workload.QoS(*qosFlag), *resFlag, *waterC, *solverFlag); err != nil {
+	if err := run(*blades, workload.QoS(*qosFlag), *resFlag, *waterC, *solverFlag, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "rackplan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(blades int, qos workload.QoS, resFlag string, waterC float64, solverFlag string) error {
-	var res experiments.Resolution
-	switch resFlag {
-	case "coarse":
-		res = experiments.Coarse
-	case "medium":
-		res = experiments.Medium
-	case "full":
-		res = experiments.Full
-	default:
-		return fmt.Errorf("unknown resolution %q", resFlag)
+func run(blades int, qos workload.QoS, resFlag string, waterC float64, solverFlag string, workers int) error {
+	res, err := experiments.ParseResolution(resFlag)
+	if err != nil {
+		return err
 	}
 	solver, err := thermal.ParseSolver(solverFlag)
 	if err != nil {
@@ -105,7 +97,7 @@ func run(blades int, qos workload.QoS, resFlag string, waterC float64, solverFla
 				specs = append(specs, core.AppSpec{Bench: app.Bench, QoS: app.QoS})
 			}
 			var perr error
-			plan, perr = core.PlanMulti(specs)
+			plan, perr = core.PlanMulti(specs, sweep.Workers(workers))
 			if perr == nil {
 				break
 			}
@@ -114,7 +106,7 @@ func run(blades int, qos workload.QoS, resFlag string, waterC float64, solverFla
 			}
 		}
 		st := core.PackageStateMulti(plan)
-		result, err := ses.SolveSteady(st, op)
+		result, err := ses.SolveSteady(nil, st, op)
 		if err != nil {
 			return fmt.Errorf("blade %d: %w", a.CPU, err)
 		}

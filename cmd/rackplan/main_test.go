@@ -6,7 +6,6 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -33,7 +32,7 @@ func captureStdout(t *testing.T, f func() error) string {
 
 func TestRackplanRuns(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run(4, workload.QoS2x, "coarse", 30, "cg")
+		return run(4, workload.QoS2x, "coarse", 30, "cg", 0)
 	})
 	for _, want := range []string{
 		"13 apps over 4 blades",
@@ -47,17 +46,19 @@ func TestRackplanRuns(t *testing.T) {
 }
 
 func TestRackplanBadResolution(t *testing.T) {
-	if err := run(4, workload.QoS2x, "nope", 30, "cg"); err == nil {
+	if err := run(4, workload.QoS2x, "nope", 30, "cg", 0); err == nil {
 		t.Fatal("expected error for unknown resolution")
 	}
-	if err := run(4, workload.QoS2x, "coarse", 30, "nope"); err == nil {
+	if err := run(4, workload.QoS2x, "coarse", 30, "nope", 0); err == nil {
 		t.Fatal("expected error for unknown solver")
 	}
 }
 
-// TestRackplanWorkersFlag exercises the -workers override the command
-// exposes: a serial run and a pooled run must print byte-identical
-// reports (the sweep engine's determinism contract).
+// TestRackplanWorkersFlag exercises the -workers knob the command passes
+// explicitly into the planner's sweep pool: a serial run and a pooled run
+// must print byte-identical reports (the sweep engine's determinism
+// contract). The knob is per-call — there is no process-wide state left
+// to set.
 func TestRackplanWorkersFlag(t *testing.T) {
 	testRackplanWorkersFlag(t, "cg")
 }
@@ -71,10 +72,8 @@ func TestRackplanWorkersFlagMGPCG(t *testing.T) {
 
 func testRackplanWorkersFlag(t *testing.T, solver string) {
 	withWorkers := func(n int) string {
-		sweep.SetDefaultWorkers(n)
-		defer sweep.SetDefaultWorkers(0)
 		return captureStdout(t, func() error {
-			return run(2, workload.QoS2x, "coarse", 30, solver)
+			return run(2, workload.QoS2x, "coarse", 30, solver, n)
 		})
 	}
 	serial := withWorkers(1)

@@ -17,7 +17,6 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/power"
 	"repro/internal/render"
-	"repro/internal/sweep"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
@@ -26,28 +25,21 @@ func main() {
 	resFlag := flag.String("res", "medium", "thermal resolution: coarse|medium|full")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
-	sweep.SetDefaultWorkers(*workers)
-	var res experiments.Resolution
-	switch *resFlag {
-	case "coarse":
-		res = experiments.Coarse
-	case "medium":
-		res = experiments.Medium
-	case "full":
-		res = experiments.Full
-	default:
-		fmt.Fprintf(os.Stderr, "syphondesign: unknown resolution %q\n", *resFlag)
+	res, err := experiments.ParseResolution(*resFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "syphondesign:", err)
 		os.Exit(1)
 	}
-	if err := run(res); err != nil {
+	cfg := experiments.RunConfig{Resolution: res, Workers: *workers}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "syphondesign:", err)
 		os.Exit(1)
 	}
 }
 
-func run(res experiments.Resolution) error {
+func run(cfg experiments.RunConfig) error {
 	fmt.Println("== Orientation study (§VI-A)")
-	ors, err := experiments.Fig5Orientation(res)
+	ors, err := experiments.Fig5Orientation(nil, cfg)
 	if err != nil {
 		return err
 	}
@@ -69,7 +61,7 @@ func run(res experiments.Resolution) error {
 	fmt.Printf("chosen orientation: %v\n\n", ors[bestIdx].Orientation)
 
 	fmt.Println("== Refrigerant × filling ratio (§VI-B) and water point (§VI-C)")
-	ds, err := experiments.DesignSpaceStudy(res)
+	ds, err := experiments.DesignSpaceStudy(nil, cfg)
 	if err != nil {
 		return err
 	}
@@ -90,7 +82,7 @@ func run(res experiments.Resolution) error {
 	fmt.Printf("chosen water point: %.0f kg/h @ %.0f °C (TCASE %.1f °C against the 85 °C limit)\n\n",
 		ds.WaterSelection.FlowKgH, ds.WaterSelection.WaterInC, ds.WaterSelection.TCaseC)
 
-	return channelView(res)
+	return channelView(cfg.Resolution)
 }
 
 // channelView prints the per-channel dryout picture of the chosen design

@@ -31,7 +31,7 @@ func captureStdout(t *testing.T, f func() error) string {
 }
 
 func TestSyphondesignRuns(t *testing.T) {
-	out := captureStdout(t, func() error { return run(experiments.Coarse) })
+	out := captureStdout(t, func() error { return run(experiments.At(experiments.Coarse)) })
 	for _, want := range []string{
 		"== Orientation study (§VI-A)",
 		"chosen orientation:",

@@ -18,7 +18,6 @@ import (
 	"repro/internal/cosim"
 	"repro/internal/experiments"
 	"repro/internal/render"
-	"repro/internal/sweep"
 	"repro/internal/thermal"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
@@ -31,12 +30,11 @@ func main() {
 	resFlag := flag.String("res", "medium", "thermal resolution: coarse|medium|full")
 	format := flag.String("format", "ascii", "map output: ascii|csv|pgm|none")
 	solverFlag := flag.String("solver", "cg", "thermal linear solver: cg|mgpcg|mg (mgpcg pays off on fine grids)")
-	// thermoview's single solve never fans out today; the flag exists for
-	// CLI parity with the other tools and takes effect the moment any
-	// library path it calls adopts the sweep pool.
-	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial)")
+	// Accepted for CLI parity with the other tools so existing invocations
+	// keep working; thermoview's single solve never fans out, so the value
+	// is unused.
+	_ = flag.Int("workers", 0, "accepted for compatibility; thermoview performs a single solve")
 	flag.Parse()
-	sweep.SetDefaultWorkers(*workers)
 
 	if err := run(*benchName, workload.QoS(*qosFlag), *policy, *resFlag, *format, *solverFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "thermoview:", err)
@@ -49,16 +47,9 @@ func run(benchName string, qos workload.QoS, policy, resFlag, format, solverFlag
 	if err != nil {
 		return err
 	}
-	var res experiments.Resolution
-	switch resFlag {
-	case "coarse":
-		res = experiments.Coarse
-	case "medium":
-		res = experiments.Medium
-	case "full":
-		res = experiments.Full
-	default:
-		return fmt.Errorf("unknown resolution %q", resFlag)
+	res, err := experiments.ParseResolution(resFlag)
+	if err != nil {
+		return err
 	}
 	solver, err := thermal.ParseSolver(solverFlag)
 	if err != nil {
@@ -98,7 +89,7 @@ func run(benchName string, qos workload.QoS, policy, resFlag, format, solverFlag
 	// A session (rather than the fresh-solve path) is what lets the
 	// solver selection reach the thermal workspace.
 	ses := sys.NewSession(cosim.WithSolver(solver), cosim.CarryWarmStart(false))
-	die, pkg, result, err := experiments.SolveMappingSession(ses, bench, mapping, thermosyphon.DefaultOperating())
+	die, pkg, result, err := experiments.SolveMappingSession(nil, ses, bench, mapping, thermosyphon.DefaultOperating())
 	if err != nil {
 		return err
 	}

@@ -6,7 +6,6 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -54,33 +53,20 @@ func TestThermoviewBaselineCSV(t *testing.T) {
 	}
 }
 
-// TestThermoviewWorkersFlag exercises the -workers override: the rendered
-// map must be byte-identical whatever the worker count. thermoview's
-// single solve is serial today, so this is a parity guard — it starts
-// pulling real weight as soon as any library path under run() adopts the
-// sweep pool.
-func TestThermoviewWorkersFlag(t *testing.T) {
-	testThermoviewWorkersFlag(t, "cg")
-}
-
-// TestThermoviewWorkersFlagMGPCG repeats the parity guard with the
-// multigrid solver selected via -solver.
-func TestThermoviewWorkersFlagMGPCG(t *testing.T) {
-	testThermoviewWorkersFlag(t, "mgpcg")
-}
-
-func testThermoviewWorkersFlag(t *testing.T, solver string) {
-	withWorkers := func(n int) string {
-		sweep.SetDefaultWorkers(n)
-		defer sweep.SetDefaultWorkers(0)
-		return captureStdout(t, func() error {
-			return run("x264", workload.QoS2x, "proposed", "coarse", "csv", solver)
-		})
-	}
-	serial := withWorkers(1)
-	pooled := withWorkers(4)
-	if serial != pooled {
-		t.Fatalf("worker count changed the output:\nserial:\n%s\npooled:\n%s", serial, pooled)
+// TestThermoviewDeterministic renders the same map twice per solver: for
+// any fixed solver choice the output must be byte-identical run to run
+// (the repository-wide determinism contract — no map-iteration-order or
+// scratch-state leakage into the rendered report).
+func TestThermoviewDeterministic(t *testing.T) {
+	for _, solver := range []string{"cg", "mgpcg"} {
+		render := func() string {
+			return captureStdout(t, func() error {
+				return run("x264", workload.QoS2x, "proposed", "coarse", "csv", solver)
+			})
+		}
+		if a, b := render(), render(); a != b {
+			t.Fatalf("%s: repeated runs differ:\nfirst:\n%s\nsecond:\n%s", solver, a, b)
+		}
 	}
 }
 

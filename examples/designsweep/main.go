@@ -3,10 +3,14 @@
 // worst-case workload, then picks the water operating point — the
 // workload- and platform-aware design flow the paper advocates. All three
 // grids fan out across the internal/sweep worker pool, which preserves
-// input order, so the printed tables match the serial scan exactly.
+// input order, so the printed tables match the serial scan exactly. The
+// example also demonstrates the context plumbing: one ctx flows from here
+// through the sweep pool into the coupled solves, so the whole walk is
+// cancellable.
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -23,12 +27,12 @@ import (
 )
 
 func main() {
-	if err := run(os.Stdout, experiments.Coarse); err != nil {
+	if err := run(context.Background(), os.Stdout, experiments.Coarse); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(w io.Writer, res experiments.Resolution) error {
+func run(ctx context.Context, w io.Writer, res experiments.Resolution) error {
 	bench, cfg := workload.WorstCase()
 	fmt.Fprintf(w, "design workload (worst case): %s %v → %.1f W\n\n",
 		bench.Name, cfg, bench.PackagePower(cfg, power.POLL))
@@ -48,7 +52,7 @@ func run(w io.Writer, res experiments.Resolution) error {
 
 	// Orientation sweep (§VI-A): which edge should the inlet sit on?
 	type oTemps struct{ die, pkg float64 }
-	oRes, err := sweep.Run(thermosyphon.Orientations(), func(o thermosyphon.Orientation) (oTemps, error) {
+	oRes, err := sweep.Run(ctx, thermosyphon.Orientations(), func(o thermosyphon.Orientation) (oTemps, error) {
 		d := thermosyphon.DefaultDesign()
 		d.Orientation = o
 		die, pkg, err := solve(d)
@@ -65,7 +69,7 @@ func run(w io.Writer, res experiments.Resolution) error {
 	// Refrigerant and filling ratio (§VI-B): dryout vs condenser flooding.
 	fills := []float64{0.35, 0.45, 0.55, 0.65, 0.75}
 	grid := sweep.Cross(refrigerant.Candidates(), fills)
-	dies, err := sweep.Run(grid, func(p sweep.Pair[*refrigerant.Fluid, float64]) (float64, error) {
+	dies, err := sweep.Run(ctx, grid, func(p sweep.Pair[*refrigerant.Fluid, float64]) (float64, error) {
 		d := thermosyphon.DefaultDesign()
 		d.Fluid = p.A
 		d.FillingRatio = p.B
@@ -95,7 +99,7 @@ func run(w io.Writer, res experiments.Resolution) error {
 	fmt.Fprintln(w, "\nwater operating point selection:")
 	d := thermosyphon.DefaultDesign()
 	ops := sweep.Cross([]float64{3, 5, 7}, []float64{45, 40, 35, 30})
-	i, tc, found, err := sweep.First(ops,
+	i, tc, found, err := sweep.First(ctx, ops,
 		func() (*cosim.System, error) { return experiments.NewSystem(d, res) },
 		func(sys *cosim.System, p sweep.Pair[float64, float64]) (float64, error) {
 			op := thermosyphon.Operating{WaterInC: p.B, WaterFlowKgH: p.A}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestDesignSweepRuns(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, experiments.Coarse); err != nil {
+	if err := run(context.Background(), &buf, experiments.Coarse); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

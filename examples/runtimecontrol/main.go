@@ -79,7 +79,7 @@ func run(w io.Writer, res experiments.Resolution) error {
 	// the current operating point and let the controller react.
 	fmt.Fprintln(w, "\nruntime regulation under a synthetic emergency:")
 	ctl := sched.NewController(sys)
-	out, err := ctl.Regulate(bench, mapping, workload.QoS1x)
+	out, err := ctl.Regulate(nil, bench, mapping, workload.QoS1x)
 	if err != nil {
 		return err
 	}
@@ -87,7 +87,7 @@ func run(w io.Writer, res experiments.Resolution) error {
 
 	ctl2 := sched.NewController(sys)
 	ctl2.TCaseLimit = out.TCase - 2
-	out2, err := ctl2.Regulate(bench, mapping, workload.QoS1x)
+	out2, err := ctl2.Regulate(nil, bench, mapping, workload.QoS1x)
 	if err != nil {
 		return err
 	}

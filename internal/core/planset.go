@@ -96,15 +96,17 @@ func choicesAt(app AppSpec, f power.Frequency, idle power.CState, sat satisfier)
 // minimizing power subject to the QoS constraints and the core budget,
 // then keeps the cheapest feasible frequency and maps the granted cores
 // with the thermosyphon-aware placement policy.
-func PlanMulti(apps []AppSpec) (MultiPlan, error) {
-	return planMulti(apps, soloSatisfier)
+// The variadic sweep options (e.g. sweep.Workers) bound the internal
+// per-frequency selection pool.
+func PlanMulti(apps []AppSpec, opts ...sweep.Option) (MultiPlan, error) {
+	return planMulti(apps, soloSatisfier, opts...)
 }
 
 // PlanMultiInterference is PlanMulti with shared-resource interference
 // applied to the QoS checks: each application's slowdown from its fixed
 // set of co-runners (the other submitted apps) is folded into the
 // configuration feasibility test.
-func PlanMultiInterference(apps []AppSpec, im workload.InterferenceModel) (MultiPlan, error) {
+func PlanMultiInterference(apps []AppSpec, im workload.InterferenceModel, opts ...sweep.Option) (MultiPlan, error) {
 	others := make(map[string][]workload.Benchmark, len(apps))
 	for i, a := range apps {
 		var rest []workload.Benchmark
@@ -117,10 +119,10 @@ func PlanMultiInterference(apps []AppSpec, im workload.InterferenceModel) (Multi
 	}
 	return planMulti(apps, func(app AppSpec, cfg workload.Config) bool {
 		return im.CoRunSatisfied(app.QoS, app.Bench, cfg, others[app.Bench.Name])
-	})
+	}, opts...)
 }
 
-func planMulti(apps []AppSpec, sat satisfier) (MultiPlan, error) {
+func planMulti(apps []AppSpec, sat satisfier, opts ...sweep.Option) (MultiPlan, error) {
 	if len(apps) == 0 {
 		return MultiPlan{}, fmt.Errorf("core: no applications to plan")
 	}
@@ -145,10 +147,10 @@ func planMulti(apps []AppSpec, sat satisfier) (MultiPlan, error) {
 		ok   bool
 	}
 	levels := power.Levels()
-	sels, err := sweep.Run(levels, func(f power.Frequency) (freqSel, error) {
+	sels, err := sweep.Run(nil, levels, func(f power.Frequency) (freqSel, error) {
 		sel, cost, ok := selectAt(apps, f, idle, sat)
 		return freqSel{sel: sel, cost: cost, ok: ok}, nil
-	})
+	}, opts...)
 	if err != nil {
 		return MultiPlan{}, err
 	}

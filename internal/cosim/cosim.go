@@ -115,7 +115,9 @@ type Result struct {
 
 // SolveSteady computes the coupled steady state for a CPU package state at
 // the given cooling operating point. It requires the Xeon power model
-// (systems built by NewSystem); custom systems use SolveSteadyPower.
+// (systems built by NewSystem); custom systems use SolveSteadyPower. The
+// wrapper is not cancellable; hot or long-running paths hold a Session and
+// pass a context there.
 func (s *System) SolveSteady(st power.PackageState, op thermosyphon.Operating) (*Result, error) {
 	if s.Power == nil {
 		return nil, fmt.Errorf("cosim: system has no power model; use SolveSteadyPower")
@@ -130,7 +132,7 @@ func (s *System) SolveSteady(st power.PackageState, op thermosyphon.Operating) (
 // to a cold solve, and the workspace is still reused across the fixed
 // point's inner solves. Hot loops should hold a Session instead.
 func (s *System) SolveSteadyPower(blockPower map[string]float64, op thermosyphon.Operating) (*Result, error) {
-	res, err := s.NewSession(CarryWarmStart(false)).SolveSteadyPower(blockPower, op)
+	res, err := s.NewSession(CarryWarmStart(false)).SolveSteadyPower(nil, blockPower, op)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package cosim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -28,14 +29,16 @@ type LeakageResult struct {
 // point. It requires the Xeon power model. Compatibility wrapper over a
 // throwaway non-carrying Session — see Session.SolveSteadyLeakage.
 func (s *System) SolveSteadyLeakage(st power.PackageState, op thermosyphon.Operating, leak power.LeakageModel) (*LeakageResult, error) {
-	return s.NewSession(CarryWarmStart(false)).SolveSteadyLeakage(st, op, leak)
+	return s.NewSession(CarryWarmStart(false)).SolveSteadyLeakage(nil, st, op, leak)
 }
 
 // SolveSteadyLeakage is the session form of System.SolveSteadyLeakage: the
 // inner power↔temperature iterations reuse the session workspace, and with
 // the warm-start carry each re-solve starts from the previous converged
 // field, so the leakage fixed point costs little more than one solve.
-func (ses *Session) SolveSteadyLeakage(st power.PackageState, op thermosyphon.Operating, leak power.LeakageModel) (*LeakageResult, error) {
+// Cancellation propagates through the inner SolveSteadyPower calls; a nil
+// ctx means "not cancellable".
+func (ses *Session) SolveSteadyLeakage(ctx context.Context, st power.PackageState, op thermosyphon.Operating, leak power.LeakageModel) (*LeakageResult, error) {
 	s := ses.sys
 	if s.Power == nil {
 		return nil, fmt.Errorf("cosim: system has no power model")
@@ -69,7 +72,7 @@ func (ses *Session) SolveSteadyLeakage(st power.PackageState, op thermosyphon.Op
 	)
 	const maxIter = 25
 	for it := 0; it < maxIter; it++ {
-		res, err := ses.SolveSteadyPower(bp, op)
+		res, err := ses.SolveSteadyPower(ctx, bp, op)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package cosim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -90,13 +91,14 @@ func (ses *Session) Reset() { ses.warm = false }
 
 // SolveSteady is System.SolveSteady on the session: coupled steady state
 // for a CPU package state, warm-started from the previous solve when the
-// carry is enabled.
-func (ses *Session) SolveSteady(st power.PackageState, op thermosyphon.Operating) (*Result, error) {
+// carry is enabled. Cancelling ctx aborts the coupled fixed point between
+// outer iterations; a nil ctx means "not cancellable".
+func (ses *Session) SolveSteady(ctx context.Context, st power.PackageState, op thermosyphon.Operating) (*Result, error) {
 	if ses.sys.Power == nil {
 		return nil, fmt.Errorf("cosim: system has no power model; use SolveSteadyPower")
 	}
 	ses.bp = ses.sys.Power.BlockPowersInto(ses.bp, st)
-	return ses.SolveSteadyPower(ses.bp, op)
+	return ses.SolveSteadyPower(ctx, ses.bp, op)
 }
 
 // SolveSteadyPower computes the coupled steady state for an explicit
@@ -104,7 +106,10 @@ func (ses *Session) SolveSteady(st power.PackageState, op thermosyphon.Operating
 // the first call on a session it performs zero heap allocations (asserted
 // by the AllocsPerRun regression tests), and with the warm-start carry the
 // previous converged field and flux distribution seed the fixed point.
-func (ses *Session) SolveSteadyPower(blockPower map[string]float64, op thermosyphon.Operating) (*Result, error) {
+// The context is observed between outer coupling iterations, so a
+// cancelled solve returns ctx.Err() within one thermal solve; a nil ctx
+// means "not cancellable".
+func (ses *Session) SolveSteadyPower(ctx context.Context, blockPower map[string]float64, op thermosyphon.Operating) (*Result, error) {
 	s := ses.sys
 	pCells, err := s.coverage.PowerMapInto(ses.pCells, blockPower)
 	if err != nil {
@@ -139,6 +144,11 @@ func (ses *Session) SolveSteadyPower(blockPower map[string]float64, op thermosyp
 	prev := math.Inf(1)
 	const maxOuter = 60
 	for it := 0; it < maxOuter; it++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		syph, err := s.Design.EvaporateInto(ses.syph, grid, q, op)
 		if err != nil {
 			return nil, fmt.Errorf("cosim: iteration %d: %w", it, err)

@@ -40,13 +40,13 @@ func BenchmarkCosimSession(b *testing.B) {
 	b.Run("session-cold", func(b *testing.B) {
 		sys, bp, op := benchSystem(b)
 		ses := sys.NewSession(CarryWarmStart(false))
-		if _, err := ses.SolveSteadyPower(bp, op); err != nil {
+		if _, err := ses.SolveSteadyPower(nil, bp, op); err != nil {
 			b.Fatal(err)
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := ses.SolveSteadyPower(bp, op); err != nil {
+			if _, err := ses.SolveSteadyPower(nil, bp, op); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -54,13 +54,13 @@ func BenchmarkCosimSession(b *testing.B) {
 	b.Run("session-warm", func(b *testing.B) {
 		sys, bp, op := benchSystem(b)
 		ses := sys.NewSession()
-		if _, err := ses.SolveSteadyPower(bp, op); err != nil {
+		if _, err := ses.SolveSteadyPower(nil, bp, op); err != nil {
 			b.Fatal(err)
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := ses.SolveSteadyPower(bp, op); err != nil {
+			if _, err := ses.SolveSteadyPower(nil, bp, op); err != nil {
 				b.Fatal(err)
 			}
 		}

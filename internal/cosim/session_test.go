@@ -25,7 +25,7 @@ func TestSessionMatchesFreshWithoutCarry(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := ses.SolveSteady(st, op)
+		got, err := ses.SolveSteady(nil, st, op)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -65,12 +65,12 @@ func TestSessionWarmStartConverges(t *testing.T) {
 	coldIters := fresh.Iterations
 
 	ses := sys.NewSession()
-	if _, err := ses.SolveSteady(st, op); err != nil {
+	if _, err := ses.SolveSteady(nil, st, op); err != nil {
 		t.Fatal(err)
 	}
 	// Re-solve the identical point warm: must converge at least as fast
 	// and land on the same temperatures within coupling tolerance.
-	warm, err := ses.SolveSteady(st, op)
+	warm, err := ses.SolveSteady(nil, st, op)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestSessionWarmStartConverges(t *testing.T) {
 		t.Fatal(err)
 	}
 	coldNearDie, _ := sys.DieStats(coldNear)
-	warmNear, err := ses.SolveSteady(st, op2)
+	warmNear, err := ses.SolveSteady(nil, st, op2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +120,11 @@ func TestSessionReset(t *testing.T) {
 		t.Fatal(err)
 	}
 	ses := sys.NewSession()
-	if _, err := ses.SolveSteady(st, op); err != nil {
+	if _, err := ses.SolveSteady(nil, st, op); err != nil {
 		t.Fatal(err)
 	}
 	ses.Reset()
-	got, err := ses.SolveSteady(st, op)
+	got, err := ses.SolveSteady(nil, st, op)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestSessionLeakageMatchesFresh(t *testing.T) {
 		t.Fatal(err)
 	}
 	ses := sys.NewSession(CarryWarmStart(false))
-	got, err := ses.SolveSteadyLeakage(st, op, leak)
+	got, err := ses.SolveSteadyLeakage(nil, st, op, leak)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,11 +182,11 @@ func TestSessionSteadySolveAllocs(t *testing.T) {
 	op := thermosyphon.DefaultOperating()
 	st := fullLoadState(2.2)
 	bp := sys.Power.BlockPowers(st)
-	if _, err := ses.SolveSteadyPower(bp, op); err != nil { // warm-up
+	if _, err := ses.SolveSteadyPower(nil, bp, op); err != nil { // warm-up
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(10, func() {
-		if _, err := ses.SolveSteadyPower(bp, op); err != nil {
+		if _, err := ses.SolveSteadyPower(nil, bp, op); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -237,7 +237,7 @@ func TestSessionTransientSharesWorkspace(t *testing.T) {
 		t.Fatal(err)
 	}
 	bp := sys.Power.BlockPowers(st)
-	steady, err := ses.SolveSteady(st, op)
+	steady, err := ses.SolveSteady(nil, st, op)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestSessionTransientSharesWorkspace(t *testing.T) {
 		}
 		// Interleave a steady solve to prove the buffers are disjoint.
 		if i == 40 {
-			if _, err := ses.SolveSteady(st, op); err != nil {
+			if _, err := ses.SolveSteady(nil, st, op); err != nil {
 				t.Fatal(err)
 			}
 		}

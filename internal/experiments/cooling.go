@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chiller"
@@ -38,7 +39,7 @@ type CoolingResult struct {
 // after the first starts from the previous converged field and costs a
 // few refinement iterations instead of a cold solve. The probe sequence
 // is serial and fixed, so the warm starts are deterministic.
-func CoolingPowerStudy(res Resolution) (*CoolingResult, error) {
+func CoolingPowerStudy(ctx context.Context, cfg RunConfig) (*CoolingResult, error) {
 	const (
 		qos      = workload.QoS2x
 		flowKgH  = 7.0
@@ -55,8 +56,8 @@ func CoolingPowerStudy(res Resolution) (*CoolingResult, error) {
 		ses *cosim.Session
 		m   core.Mapping
 	}
-	setups, err := sweep.Run([]Approach{Proposed, SoACoskun}, func(a Approach) (setup, error) {
-		sys, err := NewSystem(a.design(), res)
+	setups, err := sweep.Run(ctx, []Approach{Proposed, SoACoskun}, func(a Approach) (setup, error) {
+		sys, err := NewSystem(a.design(), cfg.Resolution)
 		if err != nil {
 			return setup{}, err
 		}
@@ -64,8 +65,8 @@ func CoolingPowerStudy(res Resolution) (*CoolingResult, error) {
 		if err != nil {
 			return setup{}, err
 		}
-		return setup{ses: sys.NewSession(sessionOptions()...), m: m}, nil
-	})
+		return setup{ses: sys.NewSession(cfg.sessionOptions()...), m: m}, nil
+	}, cfg.sweepOpts()...)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +74,7 @@ func CoolingPowerStudy(res Resolution) (*CoolingResult, error) {
 
 	solveAt := func(s setup, waterC float64) (dieMax float64, waterOut float64, err error) {
 		op := thermosyphon.Operating{WaterInC: waterC, WaterFlowKgH: flowKgH}
-		die, _, r, err := SolveMappingSession(s.ses, bench, s.m, op)
+		die, _, r, err := SolveMappingSession(ctx, s.ses, bench, s.m, op)
 		if err != nil {
 			return 0, 0, err
 		}

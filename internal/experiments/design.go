@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cosim"
@@ -26,17 +27,17 @@ type OrientationResult struct {
 // (east-west channels) yields pkg 52.7/50.3 °C ∇0.33 versus Design 2
 // (north-south) 53.5/50.6 °C ∇0.43; die 73.2 vs 79.4 °C. The four designs
 // are independent full co-simulations, so they run through the sweep pool.
-func Fig5Orientation(res Resolution) ([]OrientationResult, error) {
-	bench, cfg := workload.WorstCase()
-	m := FullLoadMapping(cfg, power.POLL)
-	return sweep.Run(thermosyphon.Orientations(), func(o thermosyphon.Orientation) (OrientationResult, error) {
+func Fig5Orientation(ctx context.Context, cfg RunConfig) ([]OrientationResult, error) {
+	bench, wcfg := workload.WorstCase()
+	m := FullLoadMapping(wcfg, power.POLL)
+	return sweep.Run(ctx, thermosyphon.Orientations(), func(o thermosyphon.Orientation) (OrientationResult, error) {
 		d := thermosyphon.DefaultDesign()
 		d.Orientation = o
-		sys, err := NewSystem(d, res)
+		ses, err := cfg.NewSweepSession(d)
 		if err != nil {
 			return OrientationResult{}, err
 		}
-		die, pkg, r, err := SolveMapping(sys, bench, m, thermosyphon.DefaultOperating())
+		die, pkg, r, err := SolveMappingSession(ctx, ses, bench, m, thermosyphon.DefaultOperating())
 		if err != nil {
 			return OrientationResult{}, fmt.Errorf("orientation %v: %w", o, err)
 		}
@@ -50,7 +51,7 @@ func Fig5Orientation(res Resolution) ([]OrientationResult, error) {
 			Pkg:         pkg,
 			PkgMap:      append([]float64(nil), pkgMap...),
 		}, nil
-	})
+	}, cfg.sweepOpts()...)
 }
 
 // DesignPoint is one refrigerant/filling-ratio candidate in the §VI-B
@@ -99,9 +100,9 @@ var (
 // holds TCASE_MAX (§VI-C). Both grids are independent solves and fan out
 // across the sweep pool; results and the selected points are identical to
 // the serial scan because the pool preserves input order.
-func DesignSpaceStudy(res Resolution) (*DesignSpaceResult, error) {
-	bench, cfg := workload.WorstCase()
-	m := FullLoadMapping(cfg, power.POLL)
+func DesignSpaceStudy(ctx context.Context, cfg RunConfig) (*DesignSpaceResult, error) {
+	bench, wcfg := workload.WorstCase()
+	m := FullLoadMapping(wcfg, power.POLL)
 	var out DesignSpaceResult
 
 	// §VI-B: every (fluid, fill) pair is its own design, hence its own
@@ -110,16 +111,16 @@ func DesignSpaceStudy(res Resolution) (*DesignSpaceResult, error) {
 	// stack a dozen times, and the session reuses one workspace for all of
 	// those inner solves.
 	grid := sweep.Cross(refrigerant.Candidates(), designFills)
-	points, err := sweep.Run(grid, func(p sweep.Pair[*refrigerant.Fluid, float64]) (DesignPoint, error) {
+	points, err := sweep.Run(ctx, grid, func(p sweep.Pair[*refrigerant.Fluid, float64]) (DesignPoint, error) {
 		fl, fr := p.A, p.B
 		d := thermosyphon.DefaultDesign()
 		d.Fluid = fl
 		d.FillingRatio = fr
-		ses, err := NewSweepSession(d, res)
+		ses, err := cfg.NewSweepSession(d)
 		if err != nil {
 			return DesignPoint{}, err
 		}
-		die, _, r, err := SolveMappingSession(ses, bench, m, thermosyphon.DefaultOperating())
+		die, _, r, err := SolveMappingSession(ctx, ses, bench, m, thermosyphon.DefaultOperating())
 		if err != nil {
 			return DesignPoint{}, fmt.Errorf("%s fill %.2f: %w", fl.Name(), fr, err)
 		}
@@ -132,7 +133,7 @@ func DesignSpaceStudy(res Resolution) (*DesignSpaceResult, error) {
 		}
 		pt.Feasible = pt.TCaseC < sched.TCaseMax
 		return pt, nil
-	})
+	}, cfg.sweepOpts()...)
 	if err != nil {
 		return nil, err
 	}
@@ -159,17 +160,18 @@ func DesignSpaceStudy(res Resolution) (*DesignSpaceResult, error) {
 	d.Fluid = fl
 	d.FillingRatio = best.FillingRatio
 	ops := sweep.Cross(waterFlows, waterTemps)
-	i, tc, found, err := sweep.First(ops,
-		func() (*cosim.Session, error) { return NewSweepSession(d, res) },
+	i, tc, found, err := sweep.First(ctx, ops,
+		func() (*cosim.Session, error) { return cfg.NewSweepSession(d) },
 		func(ses *cosim.Session, p sweep.Pair[float64, float64]) (float64, error) {
 			op := thermosyphon.Operating{WaterInC: p.B, WaterFlowKgH: p.A}
-			_, _, r, err := SolveMappingSession(ses, bench, m, op)
+			_, _, r, err := SolveMappingSession(ctx, ses, bench, m, op)
 			if err != nil {
 				return 0, err
 			}
 			return ses.System().TCase(r), nil
 		},
-		func(tc float64) bool { return tc < sched.TCaseMax })
+		func(tc float64) bool { return tc < sched.TCaseMax },
+		cfg.sweepOpts()...)
 	if err != nil {
 		return nil, err
 	}

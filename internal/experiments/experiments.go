@@ -1,44 +1,31 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§III-B Fig. 2, §IV Fig. 3 and Table I, §VI Fig. 5, §VII
 // Fig. 6, §VIII Table II, Fig. 7 and the cooling-power study), plus the
-// §VI design-space study. Each experiment has one entry point returning a
-// structured result; cmd/paperbench prints them and bench_test.go wraps
-// them in testing.B benchmarks.
+// §VI design-space study and the extension studies.
+//
+// The package is organized as a registry of self-describing experiments:
+// each scenario registers an Experiment (name, description, a typed
+// Run(ctx, RunConfig) entry point) and every consumer — cmd/paperbench,
+// internal/report, the benchmarks — renders the uniform Result it
+// returns. Configuration travels exclusively through RunConfig; there is
+// deliberately no process-wide mutable state, so concurrent runs with
+// different solvers or worker budgets cannot observe each other.
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/cosim"
+	"repro/internal/floorplan"
 	"repro/internal/metrics"
 	"repro/internal/power"
+	"repro/internal/sweep"
 	"repro/internal/thermal"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
-
-// defaultSolver is the process-wide thermal solver selection, following
-// the same pattern as sweep.SetDefaultWorkers: the command-line tools
-// expose it as -solver, and every experiment picks it up through the
-// session constructors below without any per-experiment plumbing. The
-// zero value is thermal.SolverCG.
-var defaultSolver atomic.Int64
-
-// DefaultSolver returns the solver every experiment session uses.
-func DefaultSolver() thermal.Solver { return thermal.Solver(defaultSolver.Load()) }
-
-// SetDefaultSolver overrides the process-wide solver selection. A fixed
-// selection keeps the pooled sweeps byte-identical to serial runs; the
-// knob only trades solver work for the same answers.
-func SetDefaultSolver(s thermal.Solver) { defaultSolver.Store(int64(s)) }
-
-// sessionOptions returns the solver-selection option set applied to every
-// session the experiments create, prepended to any caller extras.
-func sessionOptions(extra ...cosim.SessionOption) []cosim.SessionOption {
-	return append([]cosim.SessionOption{cosim.WithSolver(DefaultSolver())}, extra...)
-}
 
 // Resolution selects the thermal grid density. Figures use Full; the bulk
 // policy sweeps use Medium; unit tests and benchmarks use Coarse.
@@ -68,6 +55,21 @@ func (r Resolution) String() string {
 	}
 }
 
+// ParseResolution is the inverse of Resolution.String: it resolves the
+// -res flag every command exposes.
+func ParseResolution(s string) (Resolution, error) {
+	switch s {
+	case "coarse":
+		return Coarse, nil
+	case "medium":
+		return Medium, nil
+	case "full":
+		return Full, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown resolution %q (want coarse|medium|full)", s)
+	}
+}
+
 func (r Resolution) dims() (nx, ny int) {
 	switch r {
 	case Coarse:
@@ -77,6 +79,49 @@ func (r Resolution) dims() (nx, ny int) {
 	default:
 		return 76, 60
 	}
+}
+
+// Grid returns the package-plane thermal grid of the resolution — the
+// geometry the map artifacts of every experiment are rendered on.
+func (r Resolution) Grid() floorplan.Grid {
+	pg := floorplan.XeonE5Package()
+	nx, ny := r.dims()
+	return floorplan.NewGrid(nx, ny, pg.Width, pg.Height)
+}
+
+// RunConfig carries everything a single experiment run needs. A zero
+// value is valid: coarse resolution, the Jacobi-CG solver, GOMAXPROCS
+// sweep workers, and no artifact sink. RunConfig is a value type passed
+// explicitly through every run — two concurrent runs with different
+// configurations are fully isolated.
+type RunConfig struct {
+	// Resolution selects the thermal grid density.
+	Resolution Resolution
+	// Solver selects the thermal linear solver for every solve session
+	// the run creates. A fixed selection keeps pooled sweeps
+	// byte-identical to serial runs; the knob only trades solver work for
+	// the same answers.
+	Solver thermal.Solver
+	// Workers bounds the sweep worker pool (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// Artifacts, when non-nil, receives every map artifact the experiment
+	// emits, as it is produced. The maps are also attached to the Result.
+	Artifacts ArtifactSink
+}
+
+// At is the short-form RunConfig for a resolution with the default solver
+// and worker pool — what tests and benchmarks use.
+func At(res Resolution) RunConfig { return RunConfig{Resolution: res} }
+
+// sweepOpts translates the config into per-call sweep engine options.
+func (cfg RunConfig) sweepOpts() []sweep.Option {
+	return []sweep.Option{sweep.Workers(cfg.Workers)}
+}
+
+// sessionOptions returns the solver-selection option set applied to every
+// session the run creates, prepended to any caller extras.
+func (cfg RunConfig) sessionOptions(extra ...cosim.SessionOption) []cosim.SessionOption {
+	return append([]cosim.SessionOption{cosim.WithSolver(cfg.Solver)}, extra...)
 }
 
 // NewSystem builds a co-simulation system with the given thermosyphon
@@ -99,7 +144,8 @@ func FullLoadMapping(cfg workload.Config, idle power.CState) core.Mapping {
 }
 
 // SolveMapping runs the coupled solve for a benchmark under a mapping and
-// returns die and package statistics.
+// returns die and package statistics. It is the uncancellable
+// fresh-system form; experiment runs use SolveMappingSession.
 func SolveMapping(sys *cosim.System, b workload.Benchmark, m core.Mapping, op thermosyphon.Operating) (die, pkg metrics.MapStats, res *cosim.Result, err error) {
 	st := core.PackageState(b, m)
 	res, err = sys.SolveSteady(st, op)
@@ -116,11 +162,12 @@ func SolveMapping(sys *cosim.System, b workload.Benchmark, m core.Mapping, op th
 
 // SolveMappingSession is SolveMapping on a reusable solve session — the
 // form every pooled study uses so each sweep worker amortizes its solver
-// workspace across all the points it claims. The returned result aliases
+// workspace across all the points it claims. Cancelling ctx aborts the
+// coupled solve between outer iterations. The returned result aliases
 // session buffers and is valid until the session's next solve.
-func SolveMappingSession(ses *cosim.Session, b workload.Benchmark, m core.Mapping, op thermosyphon.Operating) (die, pkg metrics.MapStats, res *cosim.Result, err error) {
+func SolveMappingSession(ctx context.Context, ses *cosim.Session, b workload.Benchmark, m core.Mapping, op thermosyphon.Operating) (die, pkg metrics.MapStats, res *cosim.Result, err error) {
 	st := core.PackageState(b, m)
-	res, err = ses.SolveSteady(st, op)
+	res, err = ses.SolveSteady(ctx, st, op)
 	if err != nil {
 		return
 	}
@@ -138,14 +185,14 @@ func SolveMappingSession(ses *cosim.Session, b workload.Benchmark, m core.Mappin
 // schedule-dependent order, so carrying state across points would make a
 // parallel run differ from the serial one. A non-carrying session keeps
 // the byte-identical determinism contract while still reusing every solve
-// buffer the worker owns. The session solves with the process-wide
-// DefaultSolver; extra options are applied on top.
-func NewSweepSession(design thermosyphon.Design, res Resolution, extra ...cosim.SessionOption) (*cosim.Session, error) {
-	sys, err := NewSystem(design, res)
+// buffer the worker owns. The session solves with the config's solver;
+// extra options are applied on top.
+func (cfg RunConfig) NewSweepSession(design thermosyphon.Design, extra ...cosim.SessionOption) (*cosim.Session, error) {
+	sys, err := NewSystem(design, cfg.Resolution)
 	if err != nil {
 		return nil, err
 	}
-	opts := sessionOptions(extra...)
+	opts := cfg.sessionOptions(extra...)
 	opts = append(opts, cosim.CarryWarmStart(false))
 	return sys.NewSession(opts...), nil
 }

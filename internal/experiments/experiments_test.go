@@ -25,7 +25,7 @@ func TestFig2Shape(t *testing.T) {
 	// The Fig. 2 motivational claim: die hot spots and gradients are
 	// scaled-up versions of the package's (die 66.1 vs pkg 46.4 °C;
 	// ∇ 6.6 vs 0.5 °C/mm in the paper).
-	r, err := Fig2DieVsPackage(Coarse)
+	r, err := Fig2DieVsPackage(nil, At(Coarse))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestTableIExact(t *testing.T) {
 }
 
 func TestFig5OrientationOrdering(t *testing.T) {
-	rows, err := Fig5Orientation(Coarse)
+	rows, err := Fig5Orientation(nil, At(Coarse))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestFig6ScenarioDefinitions(t *testing.T) {
 }
 
 func TestFig6Orderings(t *testing.T) {
-	rows, err := Fig6MappingScenarios(Coarse)
+	rows, err := Fig6MappingScenarios(nil, At(Coarse))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestTableIIOrderings(t *testing.T) {
 		}
 		subset = append(subset, b)
 	}
-	rows, err := TableIIPolicyComparison(Coarse, subset)
+	rows, err := TableIIPolicyComparison(nil, At(Coarse), subset)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,7 @@ func TestTableIIOrderings(t *testing.T) {
 }
 
 func TestFig7Gap(t *testing.T) {
-	r, err := Fig7ThermalMaps(Coarse)
+	r, err := Fig7ThermalMaps(nil, At(Coarse))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestFig7Gap(t *testing.T) {
 }
 
 func TestCoolingPowerStudy(t *testing.T) {
-	r, err := CoolingPowerStudy(Coarse)
+	r, err := CoolingPowerStudy(nil, At(Coarse))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +278,7 @@ func TestCoolingPowerStudy(t *testing.T) {
 }
 
 func TestDesignSpaceStudy(t *testing.T) {
-	r, err := DesignSpaceStudy(Coarse)
+	r, err := DesignSpaceStudy(nil, At(Coarse))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -34,14 +35,14 @@ type OrientationMappingCell struct {
 // channels. The twelve cells run through the sweep pool; each worker
 // caches the per-orientation solve sessions it builds, so no orientation's
 // system or workspace is assembled more than once per worker.
-func ExtOrientationMapping(res Resolution) ([]OrientationMappingCell, error) {
+func ExtOrientationMapping(ctx context.Context, cfg RunConfig) ([]OrientationMappingCell, error) {
 	bench, err := workload.ByName("facesim")
 	if err != nil {
 		return nil, err
 	}
-	cfg := workload.Config{Cores: 4, Threads: 8, Freq: power.FMax}
+	wcfg := workload.Config{Cores: 4, Threads: 8, Freq: power.FMax}
 	cells := sweep.Cross(thermosyphon.Orientations(), Fig6Scenarios())
-	return sweep.RunState(cells,
+	return sweep.RunState(ctx, cells,
 		func() (map[thermosyphon.Orientation]*cosim.Session, error) {
 			return map[thermosyphon.Orientation]*cosim.Session{}, nil
 		},
@@ -52,19 +53,20 @@ func ExtOrientationMapping(res Resolution) ([]OrientationMappingCell, error) {
 				d := thermosyphon.DefaultDesign()
 				d.Orientation = o
 				var err error
-				ses, err = NewSweepSession(d, res)
+				ses, err = cfg.NewSweepSession(d)
 				if err != nil {
 					return OrientationMappingCell{}, err
 				}
 				cache[o] = ses
 			}
-			m := core.Mapping{ActiveCores: sc.Active, IdleState: power.C1, Config: cfg}
-			die, _, _, err := SolveMappingSession(ses, bench, m, thermosyphon.DefaultOperating())
+			m := core.Mapping{ActiveCores: sc.Active, IdleState: power.C1, Config: wcfg}
+			die, _, _, err := SolveMappingSession(ctx, ses, bench, m, thermosyphon.DefaultOperating())
 			if err != nil {
 				return OrientationMappingCell{}, fmt.Errorf("%v/%s: %w", o, sc.Name, err)
 			}
 			return OrientationMappingCell{Orientation: o, Scenario: sc.Name, Die: die}, nil
-		})
+		},
+		cfg.sweepOpts()...)
 }
 
 // RuntimeControlResult summarizes the §VII closed-loop experiment.
@@ -86,25 +88,27 @@ type RuntimeControlResult struct {
 // ExtRuntimeControl stresses the runtime controller: the worst-case
 // workload at 1x QoS with a case-temperature limit placed 2 °C below the
 // nominal operating point, forcing the §VII control law to act.
-func ExtRuntimeControl(res Resolution) (*RuntimeControlResult, error) {
-	sys, err := NewSystem(thermosyphon.DefaultDesign(), res)
+func ExtRuntimeControl(ctx context.Context, cfg RunConfig) (*RuntimeControlResult, error) {
+	sys, err := NewSystem(thermosyphon.DefaultDesign(), cfg.Resolution)
 	if err != nil {
 		return nil, err
 	}
-	bench, cfg := workload.WorstCase()
-	m := FullLoadMapping(cfg, power.POLL)
+	bench, wcfg := workload.WorstCase()
+	m := FullLoadMapping(wcfg, power.POLL)
 	const qos = workload.QoS1x
 
 	ctl := sched.NewController(sys)
-	nominal, err := ctl.Regulate(bench, m, qos)
+	ctl.Solver = cfg.Solver
+	nominal, err := ctl.Regulate(ctx, bench, m, qos)
 	if err != nil {
 		return nil, err
 	}
 	out := &RuntimeControlResult{NominalTCase: nominal.TCase, Limit: nominal.TCase - 2}
 
 	ctl2 := sched.NewController(sys)
+	ctl2.Solver = cfg.Solver
 	ctl2.TCaseLimit = out.Limit
-	regulated, err := ctl2.Regulate(bench, m, qos)
+	regulated, err := ctl2.Regulate(ctx, bench, m, qos)
 	if err != nil {
 		return nil, err
 	}

@@ -7,7 +7,7 @@ import (
 )
 
 func TestExtOrientationMapping(t *testing.T) {
-	cells, err := ExtOrientationMapping(Coarse)
+	cells, err := ExtOrientationMapping(nil, At(Coarse))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestExtOrientationMapping(t *testing.T) {
 }
 
 func TestExtRuntimeControl(t *testing.T) {
-	r, err := ExtRuntimeControl(Coarse)
+	r, err := ExtRuntimeControl(nil, At(Coarse))
 	if err != nil {
 		t.Fatal(err)
 	}

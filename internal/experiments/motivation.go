@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/baselines"
 	"repro/internal/floorplan"
 	"repro/internal/metrics"
@@ -24,17 +26,18 @@ type Fig2Result struct {
 // Fig2DieVsPackage runs the motivational experiment: worst-case workload on
 // all eight cores through the non-optimized ([8]) design with a naive
 // mapping, comparing die-level and package-level thermal profiles.
-func Fig2DieVsPackage(res Resolution) (*Fig2Result, error) {
-	sys, err := NewSystem(baselines.SeuretDesign(), res)
+func Fig2DieVsPackage(ctx context.Context, cfg RunConfig) (*Fig2Result, error) {
+	ses, err := cfg.NewSweepSession(baselines.SeuretDesign())
 	if err != nil {
 		return nil, err
 	}
-	bench, cfg := workload.WorstCase()
-	m := FullLoadMapping(cfg, power.POLL)
-	die, pkg, r, err := SolveMapping(sys, bench, m, thermosyphon.DefaultOperating())
+	bench, wcfg := workload.WorstCase()
+	m := FullLoadMapping(wcfg, power.POLL)
+	die, pkg, r, err := SolveMappingSession(ctx, ses, bench, m, thermosyphon.DefaultOperating())
 	if err != nil {
 		return nil, err
 	}
+	sys := ses.System()
 	dieMap := append([]float64(nil), sys.DieTemps(r)...)
 	pkgMap, err := r.Field.LayerByName("spreader")
 	if err != nil {
@@ -59,7 +62,9 @@ type Fig3Row struct {
 	NormToQoS []float64
 }
 
-// Fig3NormalizedExecTime regenerates Fig. 3 (QoS limit 2x).
+// Fig3NormalizedExecTime regenerates Fig. 3 (QoS limit 2x). It is a pure
+// model evaluation — no thermal solves — so it takes no context or
+// configuration.
 func Fig3NormalizedExecTime() []Fig3Row {
 	const qos = workload.QoS2x
 	cfgs := workload.Fig3Configs()

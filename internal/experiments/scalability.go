@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -70,9 +71,10 @@ type ResolutionCell struct {
 // the experiment behind the O(n) claim: Jacobi-CG's applies grow with
 // grid dimension while MG-PCG's stay flat, so by 256×256 the multigrid
 // path wins by well over an order of magnitude in operator work.
-// Passing nil selects the default sizes {32, 64, 96, 128} and solvers
-// {cg, mgpcg}.
-func ExtResolutionScaling(sizes []int, solvers []thermal.Solver) ([]ResolutionCell, error) {
+// The sizes and solvers axes are explicit — this experiment sweeps
+// solvers, so cfg.Solver is ignored. Passing nil selects the default
+// sizes {32, 64, 96, 128} and solvers {cg, mgpcg}.
+func ExtResolutionScaling(ctx context.Context, cfg RunConfig, sizes []int, solvers []thermal.Solver) ([]ResolutionCell, error) {
 	if len(sizes) == 0 {
 		sizes = []int{32, 64, 96, 128}
 	}
@@ -82,17 +84,17 @@ func ExtResolutionScaling(sizes []int, solvers []thermal.Solver) ([]ResolutionCe
 	bench, cfgW := workload.WorstCase()
 	mapping := FullLoadMapping(cfgW, power.POLL)
 	points := sweep.Cross(sizes, solvers)
-	return sweep.Run(points, func(p sweep.Pair[int, thermal.Solver]) (ResolutionCell, error) {
+	return sweep.Run(ctx, points, func(p sweep.Pair[int, thermal.Solver]) (ResolutionCell, error) {
 		n, solver := p.A, p.B
-		cfg := cosim.DefaultConfig()
-		cfg.Stack.NX, cfg.Stack.NY = n, n
-		sys, err := cosim.NewSystem(cfg)
+		ccfg := cosim.DefaultConfig()
+		ccfg.Stack.NX, ccfg.Stack.NY = n, n
+		sys, err := cosim.NewSystem(ccfg)
 		if err != nil {
 			return ResolutionCell{}, fmt.Errorf("%dx%d: %w", n, n, err)
 		}
 		ses := sys.NewSession(cosim.WithSolver(solver), cosim.CarryWarmStart(false))
 		start := time.Now()
-		die, _, r, err := SolveMappingSession(ses, bench, mapping, thermosyphon.DefaultOperating())
+		die, _, r, err := SolveMappingSession(ctx, ses, bench, mapping, thermosyphon.DefaultOperating())
 		if err != nil {
 			return ResolutionCell{}, fmt.Errorf("%dx%d/%v: %w", n, n, solver, err)
 		}
@@ -108,7 +110,7 @@ func ExtResolutionScaling(sizes []int, solvers []thermal.Solver) ([]ResolutionCe
 			Applies:    stats.Applies,
 			WallMS:     float64(wall.Microseconds()) / 1e3,
 		}, nil
-	})
+	}, cfg.sweepOpts()...)
 }
 
 // ExtScalability exercises the mapping rule on a scaled 16-core die (the
@@ -119,23 +121,23 @@ func ExtResolutionScaling(sizes []int, solvers []thermal.Solver) ([]ResolutionCe
 // mapping) cells run through the sweep pool; each worker caches the custom
 // systems (wrapped in non-carrying solve sessions) it builds per die
 // dimension.
-func ExtScalability(res Resolution) ([]ScalabilityCell, error) {
+func ExtScalability(ctx context.Context, cfg RunConfig) ([]ScalabilityCell, error) {
 	type cached struct {
 		ses  *cosim.Session
 		spec floorplan.GridSpec
 	}
 	cells := sweep.Cross([][2]int{{4, 2}, {4, 4}}, []string{"staggered", "clustered"})
-	return sweep.RunState(cells,
+	return sweep.RunState(ctx, cells,
 		func() (map[[2]int]*cached, error) { return map[[2]int]*cached{}, nil },
 		func(cache map[[2]int]*cached, p sweep.Pair[[2]int, string]) (ScalabilityCell, error) {
 			dims, name := p.A, p.B
 			c := cache[dims]
 			if c == nil {
-				sys, spec, err := scaledSystem(dims, res)
+				sys, spec, err := scaledSystem(dims, cfg.Resolution)
 				if err != nil {
 					return ScalabilityCell{}, err
 				}
-				c = &cached{ses: sys.NewSession(sessionOptions(cosim.CarryWarmStart(false))...), spec: spec}
+				c = &cached{ses: sys.NewSession(cfg.sessionOptions(cosim.CarryWarmStart(false))...), spec: spec}
 				cache[dims] = c
 			}
 			n := dims[0] * dims[1]
@@ -167,7 +169,7 @@ func ExtScalability(res Resolution) ([]ScalabilityCell, error) {
 					bp[blk] = 2.0 // C1-parked
 				}
 			}
-			r, err := c.ses.SolveSteadyPower(bp, thermosyphon.DefaultOperating())
+			r, err := c.ses.SolveSteadyPower(ctx, bp, thermosyphon.DefaultOperating())
 			if err != nil {
 				return ScalabilityCell{}, fmt.Errorf("%dx%d/%s: %w", dims[0], dims[1], name, err)
 			}
@@ -182,5 +184,6 @@ func ExtScalability(res Resolution) ([]ScalabilityCell, error) {
 				Die:       die,
 				DryoutPct: float64(r.Syphon.DryoutCells) / float64(sys.Thermal.Cells()),
 			}, nil
-		})
+		},
+		cfg.sweepOpts()...)
 }

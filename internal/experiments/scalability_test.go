@@ -8,7 +8,7 @@ import (
 
 func TestExtResolutionScaling(t *testing.T) {
 	sizes := []int{16, 24}
-	cells, err := ExtResolutionScaling(sizes, []thermal.Solver{thermal.SolverCG, thermal.SolverMGPCG})
+	cells, err := ExtResolutionScaling(nil, At(Coarse), sizes, []thermal.Solver{thermal.SolverCG, thermal.SolverMGPCG})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestExtResolutionScaling(t *testing.T) {
 }
 
 func TestExtScalability(t *testing.T) {
-	cells, err := ExtScalability(Coarse)
+	cells, err := ExtScalability(nil, At(Coarse))
 	if err != nil {
 		t.Fatal(err)
 	}

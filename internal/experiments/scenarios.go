@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -53,24 +54,25 @@ type Fig6Result struct {
 // mapping (scenario 3) is always worst. All six cells share one design, so
 // each sweep worker builds a single solve session and reuses its system
 // and workspace across every cell it claims.
-func Fig6MappingScenarios(res Resolution) ([]Fig6Result, error) {
+func Fig6MappingScenarios(ctx context.Context, cfg RunConfig) ([]Fig6Result, error) {
 	// A mid-roster benchmark at (4,8,fmax), per the paper's setup of four
 	// loaded cores.
 	bench, err := workload.ByName("facesim")
 	if err != nil {
 		return nil, err
 	}
-	cfg := workload.Config{Cores: 4, Threads: 8, Freq: power.FMax}
+	wcfg := workload.Config{Cores: 4, Threads: 8, Freq: power.FMax}
 	cells := sweep.Cross([]power.CState{power.POLL, power.C1}, Fig6Scenarios())
-	return sweep.RunState(cells,
-		func() (*cosim.Session, error) { return NewSweepSession(thermosyphon.DefaultDesign(), res) },
+	return sweep.RunState(ctx, cells,
+		func() (*cosim.Session, error) { return cfg.NewSweepSession(thermosyphon.DefaultDesign()) },
 		func(ses *cosim.Session, p sweep.Pair[power.CState, Fig6Scenario]) (Fig6Result, error) {
 			idle, sc := p.A, p.B
-			m := core.Mapping{ActiveCores: sc.Active, IdleState: idle, Config: cfg}
-			die, _, _, err := SolveMappingSession(ses, bench, m, thermosyphon.DefaultOperating())
+			m := core.Mapping{ActiveCores: sc.Active, IdleState: idle, Config: wcfg}
+			die, _, _, err := SolveMappingSession(ctx, ses, bench, m, thermosyphon.DefaultOperating())
 			if err != nil {
 				return Fig6Result{}, fmt.Errorf("%s/%v: %w", sc.Name, idle, err)
 			}
 			return Fig6Result{Scenario: sc.Name, Idle: idle, Die: die}, nil
-		})
+		},
+		cfg.sweepOpts()...)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baselines"
@@ -98,7 +99,7 @@ type TableIIRow struct {
 // back in input order, so the per-row averages accumulate in exactly the
 // serial order and the rows are bit-identical to the sequential sweep
 // (the sessions do not carry warm starts across cells for that reason).
-func TableIIPolicyComparison(res Resolution, benches []workload.Benchmark) ([]TableIIRow, error) {
+func TableIIPolicyComparison(ctx context.Context, cfg RunConfig, benches []workload.Benchmark) ([]TableIIRow, error) {
 	if benches == nil {
 		benches = workload.All()
 	}
@@ -120,13 +121,13 @@ func TableIIPolicyComparison(res Resolution, benches []workload.Benchmark) ([]Ta
 			}
 		}
 	}
-	vals, err := sweep.RunState(cells,
+	vals, err := sweep.RunState(ctx, cells,
 		func() (map[Approach]*cosim.Session, error) { return map[Approach]*cosim.Session{}, nil },
 		func(sessions map[Approach]*cosim.Session, c cellKey) (cellVal, error) {
 			ses := sessions[c.a]
 			if ses == nil {
 				var err error
-				ses, err = NewSweepSession(c.a.design(), res)
+				ses, err = cfg.NewSweepSession(c.a.design())
 				if err != nil {
 					return cellVal{}, err
 				}
@@ -136,12 +137,13 @@ func TableIIPolicyComparison(res Resolution, benches []workload.Benchmark) ([]Ta
 			if err != nil {
 				return cellVal{}, fmt.Errorf("%v @%s %s: %w", c.a, c.q, c.b.Name, err)
 			}
-			die, pkg, r, err := SolveMappingSession(ses, c.b, m, thermosyphon.DefaultOperating())
+			die, pkg, r, err := SolveMappingSession(ctx, ses, c.b, m, thermosyphon.DefaultOperating())
 			if err != nil {
 				return cellVal{}, fmt.Errorf("%v @%s %s: %w", c.a, c.q, c.b.Name, err)
 			}
 			return cellVal{die: die, pkg: pkg, powerW: r.TotalPowerW}, nil
-		})
+		},
+		cfg.sweepOpts()...)
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +186,7 @@ type Fig7Result struct {
 
 // Fig7ThermalMaps regenerates the Fig. 7 pair of die thermal maps using a
 // representative benchmark at 2x QoS.
-func Fig7ThermalMaps(res Resolution) (*Fig7Result, error) {
+func Fig7ThermalMaps(ctx context.Context, cfg RunConfig) (*Fig7Result, error) {
 	bench, err := workload.ByName("freqmine")
 	if err != nil {
 		return nil, err
@@ -192,7 +194,7 @@ func Fig7ThermalMaps(res Resolution) (*Fig7Result, error) {
 	const q = workload.QoS2x
 	out := &Fig7Result{ProposedBench: bench.Name}
 	for _, a := range []Approach{Proposed, SoACoskun} {
-		sys, err := NewSystem(a.design(), res)
+		ses, err := cfg.NewSweepSession(a.design())
 		if err != nil {
 			return nil, err
 		}
@@ -200,10 +202,11 @@ func Fig7ThermalMaps(res Resolution) (*Fig7Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		die, _, r, err := SolveMapping(sys, bench, m, thermosyphon.DefaultOperating())
+		die, _, r, err := SolveMappingSession(ctx, ses, bench, m, thermosyphon.DefaultOperating())
 		if err != nil {
 			return nil, err
 		}
+		sys := ses.System()
 		dieMap := append([]float64(nil), sys.DieTemps(r)...)
 		if a == Proposed {
 			out.ProposedMap, out.ProposedMax = dieMap, die.MaxC

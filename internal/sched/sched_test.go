@@ -27,7 +27,7 @@ func TestRegulateNoEmergencyAtDesignPoint(t *testing.T) {
 	sys := coarseSystem(t)
 	c := NewController(sys)
 	b, _ := workload.ByName("ferret")
-	out, err := c.RegulatePlan(b, workload.QoS2x)
+	out, err := c.RegulatePlan(nil, b, workload.QoS2x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,13 +52,13 @@ func TestRegulateOpensValveUnderStress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := c.Regulate(b, m, workload.QoS1x)
+	base, err := c.Regulate(nil, b, m, workload.QoS1x)
 	if err != nil {
 		t.Fatal(err)
 	}
 	c2 := NewController(sys)
 	c2.TCaseLimit = base.TCase - 1 // just below the unregulated TCase
-	out, err := c2.Regulate(b, m, workload.QoS1x)
+	out, err := c2.Regulate(nil, b, m, workload.QoS1x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,14 +83,14 @@ func TestRegulateDVFSAfterValveExhausted(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.Config.Freq = power.FMax // force headroom below
-	base, err := c.Regulate(b, m, workload.QoS3x)
+	base, err := c.Regulate(nil, b, m, workload.QoS3x)
 	if err != nil {
 		t.Fatal(err)
 	}
 	c2 := NewController(sys)
 	c2.FlowMaxKgH = c2.Op.WaterFlowKgH
 	c2.TCaseLimit = base.TCase - 0.5
-	out, err := c2.Regulate(b, m, workload.QoS3x)
+	out, err := c2.Regulate(nil, b, m, workload.QoS3x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestRegulateEmergencyWhenQoSBlocksDVFS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.Regulate(b, m, workload.QoS1x)
+	out, err := c.Regulate(nil, b, m, workload.QoS1x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestRegulateKeepsQoS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.Regulate(b, m, workload.QoS2x)
+	out, err := c.Regulate(nil, b, m, workload.QoS2x)
 	if err != nil {
 		t.Fatal(err)
 	}

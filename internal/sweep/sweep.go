@@ -7,68 +7,67 @@
 //
 // The engine guarantees:
 //
-//   - Deterministic, input-ordered results: Run(points, eval)[i] is the
+//   - Deterministic, input-ordered results: Run(ctx, points, eval)[i] is the
 //     result of eval(points[i]), regardless of worker count or scheduling.
 //   - Fail-fast error aggregation: once any evaluation fails no new points
 //     are started, and the error reported is the failing point with the
-//     lowest input index among those evaluated.
+//     lowest input index among those evaluated. Context cancellation is
+//     part of the same contract: workers observe ctx between points, stop
+//     claiming as soon as it is done, and the call reports ctx.Err().
 //   - Per-worker reusable state: RunState gives each worker one state
 //     value (a solver, a system cache) built once and reused across all
 //     points that worker claims, so operators and scratch vectors are not
 //     rebuilt per point.
 //
-// The default worker count follows GOMAXPROCS; SetDefaultWorkers is the
-// process-wide override knob the command-line tools expose as -workers.
+// The worker count is an explicit per-call option (Workers); without it a
+// call uses GOMAXPROCS. There is deliberately no process-wide override:
+// concurrent sweeps with different worker budgets must not see each
+// other's configuration.
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// defaultWorkers holds the process-wide override; 0 means "use
-// GOMAXPROCS at call time".
-var defaultWorkers atomic.Int64
-
-// DefaultWorkers returns the worker count used when no Workers option is
-// given: the last SetDefaultWorkers value, or GOMAXPROCS.
-func DefaultWorkers() int {
-	if n := defaultWorkers.Load(); n > 0 {
-		return int(n)
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
-// SetDefaultWorkers overrides the process-wide default worker count.
-// Values <= 0 restore the GOMAXPROCS-following default.
-func SetDefaultWorkers(n int) {
-	if n < 0 {
-		n = 0
-	}
-	defaultWorkers.Store(int64(n))
-}
-
-// Option configures one Run/RunState call.
+// Option configures one Run/RunState/First call.
 type Option func(*config)
 
 type config struct {
 	workers int
 }
 
-// Workers fixes the worker count for one call (<= 0 means the default).
+// Workers fixes the worker count for one call (<= 0 means GOMAXPROCS).
 // One worker forces the fully serial path, which is also the baseline the
 // sweep benchmarks compare against.
 func Workers(n int) Option {
 	return func(c *config) { c.workers = n }
 }
 
+func resolve(opts []Option, points int) int {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > points {
+		workers = points
+	}
+	return workers
+}
+
 // Run evaluates eval over every point concurrently and returns the
 // results in input order. Evaluations must be independent; eval may run
 // on any goroutine but never concurrently with itself on the same index.
-func Run[P, R any](points []P, eval func(P) (R, error), opts ...Option) ([]R, error) {
-	return RunState(points,
+// Cancelling ctx stops the sweep between points and returns ctx.Err().
+func Run[P, R any](ctx context.Context, points []P, eval func(P) (R, error), opts ...Option) ([]R, error) {
+	return RunState(ctx, points,
 		func() (struct{}, error) { return struct{}{}, nil },
 		func(_ struct{}, p P) (R, error) { return eval(p) },
 		opts...)
@@ -78,22 +77,15 @@ func Run[P, R any](points []P, eval func(P) (R, error), opts ...Option) ([]R, er
 // worker (on the worker's goroutine) and its value is passed to every
 // evaluation that worker performs. Use it to amortize expensive solver
 // construction — each worker owns its state, so eval needs no locking.
-func RunState[S, P, R any](points []P, newState func() (S, error), eval func(S, P) (R, error), opts ...Option) ([]R, error) {
-	var cfg config
-	for _, o := range opts {
-		o(&cfg)
+func RunState[S, P, R any](ctx context.Context, points []P, newState func() (S, error), eval func(S, P) (R, error), opts ...Option) ([]R, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	workers := cfg.workers
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > len(points) {
-		workers = len(points)
-	}
+	workers := resolve(opts, len(points))
 
 	results := make([]R, len(points))
 	if len(points) == 0 {
-		return results, nil
+		return results, ctx.Err()
 	}
 	if workers <= 1 {
 		st, err := newState()
@@ -101,6 +93,9 @@ func RunState[S, P, R any](points []P, newState func() (S, error), eval func(S, 
 			return nil, fmt.Errorf("sweep: worker state: %w", err)
 		}
 		for i, p := range points {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			r, err := eval(st, p)
 			if err != nil {
 				return nil, fmt.Errorf("sweep: point %d: %w", i, err)
@@ -112,6 +107,7 @@ func RunState[S, P, R any](points []P, newState func() (S, error), eval func(S, 
 
 	var (
 		next     atomic.Int64 // next unclaimed point index
+		done     atomic.Int64 // successfully evaluated points
 		stop     atomic.Bool  // fail-fast: stop claiming new points
 		wg       sync.WaitGroup
 		pointErr = make([]error, len(points))
@@ -127,7 +123,7 @@ func RunState[S, P, R any](points []P, newState func() (S, error), eval func(S, 
 				stop.Store(true)
 				return
 			}
-			for !stop.Load() {
+			for !stop.Load() && ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(points) {
 					return
@@ -139,11 +135,24 @@ func RunState[S, P, R any](points []P, newState func() (S, error), eval func(S, 
 					return
 				}
 				results[i] = r
+				done.Add(1)
 			}
 		}(w)
 	}
 	wg.Wait()
 
+	// A sweep that finished every point succeeded, full stop — matching
+	// the serial path, where a cancellation arriving after the last
+	// evaluation is never observed.
+	if int(done.Load()) == len(points) {
+		return results, nil
+	}
+	// Otherwise cancellation dominates: a cancelled sweep has evaluated
+	// an unpredictable prefix, so its partial results and point errors
+	// are meaningless to the caller.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Report the lowest-index failing point so the error is stable across
 	// schedules whenever a single point is at fault.
 	for i, err := range pointErr {
@@ -167,22 +176,18 @@ func RunState[S, P, R any](points []P, newState func() (S, error), eval func(S, 
 // them), while an error before it fails the search with the lowest-index
 // error. Workers stop claiming once no lower-index acceptance is possible,
 // so the overshoot past the accepted point is bounded by the pool size.
+// Cancelling ctx stops the scan between points and returns ctx.Err(),
+// except when an acceptance has already settled — a found result the
+// serial scan would have returned wins over a late cancellation.
 // Returns found=false with no error when no point is accepted.
-func First[S, P, R any](points []P, newState func() (S, error), eval func(S, P) (R, error), accept func(R) bool, opts ...Option) (idx int, res R, found bool, err error) {
-	var cfg config
-	for _, o := range opts {
-		o(&cfg)
+func First[S, P, R any](ctx context.Context, points []P, newState func() (S, error), eval func(S, P) (R, error), accept func(R) bool, opts ...Option) (idx int, res R, found bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	workers := cfg.workers
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > len(points) {
-		workers = len(points)
-	}
+	workers := resolve(opts, len(points))
 	var zero R
 	if len(points) == 0 {
-		return 0, zero, false, nil
+		return 0, zero, false, ctx.Err()
 	}
 	if workers <= 1 {
 		st, err := newState()
@@ -190,6 +195,9 @@ func First[S, P, R any](points []P, newState func() (S, error), eval func(S, P) 
 			return 0, zero, false, fmt.Errorf("sweep: worker state: %w", err)
 		}
 		for i, p := range points {
+			if err := ctx.Err(); err != nil {
+				return 0, zero, false, err
+			}
 			r, err := eval(st, p)
 			if err != nil {
 				return 0, zero, false, fmt.Errorf("sweep: point %d: %w", i, err)
@@ -231,7 +239,7 @@ func First[S, P, R any](points []P, newState func() (S, error), eval func(S, P) 
 				stop.Store(true)
 				return
 			}
-			for !stop.Load() {
+			for !stop.Load() && ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				// Claims are monotonic, so every index below the final
 				// bound is claimed before any worker stops here.
@@ -259,15 +267,21 @@ func First[S, P, R any](points []P, newState func() (S, error), eval func(S, P) 
 	}
 	// Every index below the final bound was evaluated and neither accepted
 	// nor errored, so the terminator at the bound is exactly where the
-	// serial scan would have stopped.
+	// serial scan would have stopped. An ACCEPTANCE at the bound therefore
+	// wins over a late cancellation: the serial scan would have returned
+	// this result before ever observing ctx — claims are monotonic, so all
+	// lower indices completed cleanly before the accept settled.
 	b := int(bound.Load())
+	if b < len(points) && pointErr[b] == nil {
+		return b, results[b], true, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, zero, false, err
+	}
 	if b >= len(points) {
 		return 0, zero, false, nil
 	}
-	if pointErr[b] != nil {
-		return 0, zero, false, fmt.Errorf("sweep: point %d: %w", b, pointErr[b])
-	}
-	return b, results[b], true, nil
+	return 0, zero, false, fmt.Errorf("sweep: point %d: %w", b, pointErr[b])
 }
 
 // Pair couples two sweep axes into one point.

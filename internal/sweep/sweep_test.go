@@ -1,13 +1,17 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
+
+var bg = context.Background()
 
 func TestRunOrdered(t *testing.T) {
 	points := make([]int, 100)
@@ -15,7 +19,7 @@ func TestRunOrdered(t *testing.T) {
 		points[i] = i
 	}
 	for _, workers := range []int{1, 2, 3, 8, 64, 200} {
-		got, err := Run(points, func(p int) (int, error) { return p * p, nil }, Workers(workers))
+		got, err := Run(bg, points, func(p int) (int, error) { return p * p, nil }, Workers(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -36,11 +40,11 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 		points[i] = float64(i) * 0.37
 	}
 	eval := func(p float64) (float64, error) { return p*p + 1/(p+1), nil }
-	serial, err := Run(points, eval, Workers(1))
+	serial, err := Run(bg, points, eval, Workers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Run(points, eval, Workers(7))
+	parallel, err := Run(bg, points, eval, Workers(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,13 +55,21 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestRunEmptyAndSingle(t *testing.T) {
-	got, err := Run(nil, func(p int) (int, error) { return p, nil })
+	got, err := Run(bg, nil, func(p int) (int, error) { return p, nil })
 	if err != nil || len(got) != 0 {
 		t.Fatalf("empty run: %v, %v", got, err)
 	}
-	got, err = Run([]int{41}, func(p int) (int, error) { return p + 1, nil }, Workers(16))
+	got, err = Run(bg, []int{41}, func(p int) (int, error) { return p + 1, nil }, Workers(16))
 	if err != nil || len(got) != 1 || got[0] != 42 {
 		t.Fatalf("single run: %v, %v", got, err)
+	}
+}
+
+func TestRunNilContext(t *testing.T) {
+	// A nil context means "not cancellable", matching context.Background().
+	got, err := Run(nil, []int{1, 2}, func(p int) (int, error) { return p, nil }, Workers(2))
+	if err != nil || len(got) != 2 {
+		t.Fatalf("nil ctx run: %v, %v", got, err)
 	}
 }
 
@@ -68,7 +80,7 @@ func TestRunFailFast(t *testing.T) {
 		points[i] = i
 	}
 	var evals atomic.Int64
-	_, err := Run(points, func(p int) (int, error) {
+	_, err := Run(bg, points, func(p int) (int, error) {
 		evals.Add(1)
 		if p == 3 {
 			return 0, boom
@@ -88,7 +100,7 @@ func TestRunFailFast(t *testing.T) {
 
 func TestRunSerialErrorIndex(t *testing.T) {
 	boom := errors.New("boom")
-	_, err := Run([]int{0, 1, 2}, func(p int) (int, error) {
+	_, err := Run(bg, []int{0, 1, 2}, func(p int) (int, error) {
 		if p > 0 {
 			return 0, boom
 		}
@@ -103,7 +115,7 @@ func TestRunStateReuse(t *testing.T) {
 	var built atomic.Int64
 	points := make([]int, 64)
 	const workers = 4
-	got, err := RunState(points,
+	got, err := RunState(bg, points,
 		func() (*int, error) {
 			built.Add(1)
 			return new(int), nil
@@ -132,19 +144,191 @@ func TestRunStateReuse(t *testing.T) {
 
 func TestRunStateConstructorError(t *testing.T) {
 	boom := errors.New("no state")
-	_, err := RunState([]int{1, 2, 3},
+	_, err := RunState(bg, []int{1, 2, 3},
 		func() (int, error) { return 0, boom },
 		func(int, int) (int, error) { return 0, nil },
 		Workers(2))
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want state error", err)
 	}
-	_, err = RunState([]int{1, 2, 3},
+	_, err = RunState(bg, []int{1, 2, 3},
 		func() (int, error) { return 0, boom },
 		func(int, int) (int, error) { return 0, nil },
 		Workers(1))
 	if !errors.Is(err, boom) {
 		t.Fatalf("serial err = %v, want state error", err)
+	}
+}
+
+// leakCheck returns a func that fails the test if the goroutine count has
+// not returned to (near) its starting value — the engine must not leave
+// workers behind after a cancelled sweep.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before+2 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func TestRunCancelMidSweep(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		check := leakCheck(t)
+		ctx, cancel := context.WithCancel(bg)
+		points := make([]int, 1000)
+		for i := range points {
+			points[i] = i
+		}
+		var evals atomic.Int64
+		start := time.Now()
+		_, err := Run(ctx, points, func(p int) (int, error) {
+			if evals.Add(1) == 3 {
+				cancel() // cancel from inside the sweep: the next claims must stop
+			}
+			time.Sleep(100 * time.Microsecond)
+			return p, nil
+		}, Workers(workers))
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Prompt return: nowhere near the full 1000-point sweep.
+		if n := evals.Load(); n >= int64(len(points))/2 {
+			t.Fatalf("workers=%d: cancellation did not stop the sweep (%d evaluations)", workers, n)
+		}
+		if el := time.Since(start); el > 5*time.Second {
+			t.Fatalf("workers=%d: cancelled sweep took %v", workers, el)
+		}
+		check()
+	}
+}
+
+func TestRunCompletedSweepWinsOverLateCancel(t *testing.T) {
+	// Cancellation arriving once every point has been evaluated must not
+	// discard the finished sweep: the serial loop would never observe it.
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(bg)
+		points := []int{0, 1, 2, 3, 4, 5, 6, 7}
+		var evals atomic.Int64
+		got, err := Run(ctx, points, func(p int) (int, error) {
+			if int(evals.Add(1)) == len(points) {
+				cancel() // fires inside the last evaluation
+			}
+			return p, nil
+		}, Workers(workers))
+		cancel()
+		if err != nil || len(got) != len(points) {
+			t.Fatalf("workers=%d: completed sweep lost to late cancel: %v, %v", workers, got, err)
+		}
+	}
+}
+
+func TestFirstAcceptWinsOverLateCancel(t *testing.T) {
+	// An acceptance that settles before the cancellation is a result the
+	// serial scan would have returned — it must survive workers observing
+	// ctx while they drain.
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(bg)
+		points := make([]int, 200)
+		for i := range points {
+			points[i] = i
+		}
+		idx, res, found, err := First(ctx, points, noState,
+			func(_ struct{}, p int) (int, error) {
+				if p == 2 {
+					cancel() // cancel from inside the accepting evaluation
+				}
+				return p, nil
+			},
+			func(r int) bool { return r == 2 },
+			Workers(workers))
+		cancel()
+		if err != nil || !found || idx != 2 || res != 2 {
+			t.Fatalf("workers=%d: accepted result lost to late cancel: idx=%d found=%v err=%v", workers, idx, found, err)
+		}
+	}
+}
+
+func TestRunPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var evals atomic.Int64
+		_, err := Run(ctx, []int{1, 2, 3, 4, 5, 6, 7, 8}, func(p int) (int, error) {
+			evals.Add(1)
+			return p, nil
+		}, Workers(workers))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := evals.Load(); n != 0 {
+			t.Fatalf("workers=%d: %d evaluations on a pre-cancelled context", workers, n)
+		}
+	}
+}
+
+func TestRunStateCancel(t *testing.T) {
+	check := leakCheck(t)
+	ctx, cancel := context.WithCancel(bg)
+	points := make([]int, 500)
+	var evals atomic.Int64
+	_, err := RunState(ctx, points,
+		func() (int, error) { return 0, nil },
+		func(_ int, p int) (int, error) {
+			if evals.Add(1) == 2 {
+				cancel()
+			}
+			time.Sleep(100 * time.Microsecond)
+			return p, nil
+		},
+		Workers(4))
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := evals.Load(); n >= int64(len(points))/2 {
+		t.Fatalf("cancellation did not stop the sweep (%d evaluations)", n)
+	}
+	check()
+}
+
+func TestFirstCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		check := leakCheck(t)
+		ctx, cancel := context.WithCancel(bg)
+		points := make([]int, 1000)
+		for i := range points {
+			points[i] = i
+		}
+		var evals atomic.Int64
+		_, _, found, err := First(ctx, points, noState,
+			func(_ struct{}, p int) (int, error) {
+				if evals.Add(1) == 3 {
+					cancel()
+				}
+				time.Sleep(100 * time.Microsecond)
+				return p, nil
+			},
+			func(int) bool { return false }, // never accepts: only ctx stops the scan early
+			Workers(workers))
+		cancel()
+		if found || !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: found=%v err=%v, want context.Canceled", workers, found, err)
+		}
+		if n := evals.Load(); n >= int64(len(points))/2 {
+			t.Fatalf("workers=%d: cancellation did not stop the scan (%d evaluations)", workers, n)
+		}
+		check()
 	}
 }
 
@@ -156,7 +340,7 @@ func TestFirstFindsLowestAccepted(t *testing.T) {
 		points[i] = i
 	}
 	for _, workers := range []int{1, 2, 7, 32} {
-		idx, res, found, err := First(points, noState,
+		idx, res, found, err := First(bg, points, noState,
 			func(_ struct{}, p int) (int, error) { return p * 10, nil },
 			func(r int) bool { return r >= 370 }, // first true at index 37
 			Workers(workers))
@@ -171,7 +355,7 @@ func TestFirstFindsLowestAccepted(t *testing.T) {
 
 func TestFirstNotFound(t *testing.T) {
 	points := []int{1, 2, 3}
-	_, _, found, err := First(points, noState,
+	_, _, found, err := First(bg, points, noState,
 		func(_ struct{}, p int) (int, error) { return p, nil },
 		func(int) bool { return false },
 		Workers(2))
@@ -189,7 +373,7 @@ func TestFirstErrorBeforeAcceptWins(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		// Error at index 5, acceptance only at index 20: the serial scan
 		// stops at the error, so the search must fail.
-		_, _, _, err := First(points, noState,
+		_, _, _, err := First(bg, points, noState,
 			func(_ struct{}, p int) (int, error) {
 				if p == 5 {
 					return 0, boom
@@ -213,7 +397,7 @@ func TestFirstErrorAfterAcceptIgnored(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		// Acceptance at index 3, error at index 30: the serial scan exits
 		// at 3 and never reaches 30, so the parallel search must too.
-		idx, _, found, err := First(points, noState,
+		idx, _, found, err := First(bg, points, noState,
 			func(_ struct{}, p int) (int, error) {
 				if p == 30 {
 					return 0, boom
@@ -235,7 +419,7 @@ func TestFirstBoundedOvershoot(t *testing.T) {
 	}
 	const workers = 4
 	var evals atomic.Int64
-	idx, _, found, err := First(points, noState,
+	idx, _, found, err := First(bg, points, noState,
 		func(_ struct{}, p int) (int, error) {
 			evals.Add(1)
 			return p, nil
@@ -254,26 +438,11 @@ func TestFirstBoundedOvershoot(t *testing.T) {
 }
 
 func TestFirstEmpty(t *testing.T) {
-	_, _, found, err := First(nil, noState,
+	_, _, found, err := First(bg, nil, noState,
 		func(_ struct{}, p int) (int, error) { return p, nil },
 		func(int) bool { return true })
 	if err != nil || found {
 		t.Fatalf("found=%v err=%v on empty input", found, err)
-	}
-}
-
-func TestDefaultWorkers(t *testing.T) {
-	defer SetDefaultWorkers(0)
-	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
-		t.Fatalf("default %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
-	}
-	SetDefaultWorkers(3)
-	if got := DefaultWorkers(); got != 3 {
-		t.Fatalf("override %d, want 3", got)
-	}
-	SetDefaultWorkers(-5)
-	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
-		t.Fatalf("reset %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
 	}
 }
 
@@ -300,14 +469,14 @@ func BenchmarkSweepEngineOverhead(b *testing.B) {
 	eval := func(p int) (int, error) { return p + 1, nil }
 	b.Run("serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := Run(points, eval, Workers(1)); err != nil {
+			if _, err := Run(bg, points, eval, Workers(1)); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("pooled", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := Run(points, eval, Workers(runtime.GOMAXPROCS(0))); err != nil {
+			if _, err := Run(bg, points, eval, Workers(runtime.GOMAXPROCS(0))); err != nil {
 				b.Fatal(err)
 			}
 		}

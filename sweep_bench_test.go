@@ -6,25 +6,28 @@
 // compares the §VI-B/C design-space grid and the Fig. 6 scenario sweep
 // evaluated by one worker against the full pool. The tests assert that
 // the parallel sweeps return byte-identical results to the serial ones;
-// run them with -race to also prove the pool is data-race free.
+// run them with -race to also prove the pool is data-race free. Worker
+// counts and solver selections travel in each call's RunConfig — there is
+// no process-wide knob — so the isolation test can run two differently
+// configured sweeps concurrently and demand byte-identical results to
+// their serial counterparts.
 package repro_test
 
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/experiments"
-	"repro/internal/sweep"
 	"repro/internal/thermal"
 )
 
-// withWorkers runs f under a process-wide sweep worker override and
-// restores the GOMAXPROCS-following default afterwards.
-func withWorkers(n int, f func()) {
-	sweep.SetDefaultWorkers(n)
-	defer sweep.SetDefaultWorkers(0)
-	f()
+// atWorkers is the coarse-resolution config with a fixed worker count.
+func atWorkers(n int) experiments.RunConfig {
+	cfg := experiments.At(experiments.Coarse)
+	cfg.Workers = n
+	return cfg
 }
 
 // poolWorkers is the worker count the parallel benchmarks and the
@@ -40,13 +43,11 @@ func poolWorkers() int {
 }
 
 func TestSweepDesignSpaceDeterministic(t *testing.T) {
-	var serial, parallel *experiments.DesignSpaceResult
-	var err error
-	withWorkers(1, func() { serial, err = experiments.DesignSpaceStudy(experiments.Coarse) })
+	serial, err := experiments.DesignSpaceStudy(nil, atWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	withWorkers(poolWorkers(), func() { parallel, err = experiments.DesignSpaceStudy(experiments.Coarse) })
+	parallel, err := experiments.DesignSpaceStudy(nil, atWorkers(poolWorkers()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,13 +57,11 @@ func TestSweepDesignSpaceDeterministic(t *testing.T) {
 }
 
 func TestSweepFig6Deterministic(t *testing.T) {
-	var serial, parallel []experiments.Fig6Result
-	var err error
-	withWorkers(1, func() { serial, err = experiments.Fig6MappingScenarios(experiments.Coarse) })
+	serial, err := experiments.Fig6MappingScenarios(nil, atWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	withWorkers(poolWorkers(), func() { parallel, err = experiments.Fig6MappingScenarios(experiments.Coarse) })
+	parallel, err := experiments.Fig6MappingScenarios(nil, atWorkers(poolWorkers()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,13 +72,11 @@ func TestSweepFig6Deterministic(t *testing.T) {
 
 func TestSweepTableIIDeterministic(t *testing.T) {
 	subset := tableIISubset(t)
-	var serial, parallel []experiments.TableIIRow
-	var err error
-	withWorkers(1, func() { serial, err = experiments.TableIIPolicyComparison(experiments.Coarse, subset) })
+	serial, err := experiments.TableIIPolicyComparison(nil, atWorkers(1), subset)
 	if err != nil {
 		t.Fatal(err)
 	}
-	withWorkers(poolWorkers(), func() { parallel, err = experiments.TableIIPolicyComparison(experiments.Coarse, subset) })
+	parallel, err := experiments.TableIIPolicyComparison(nil, atWorkers(poolWorkers()), subset)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,23 +90,65 @@ func TestSweepTableIIDeterministic(t *testing.T) {
 
 // TestSweepFig6DeterministicMGPCG re-runs the Fig. 6 serial-vs-pooled
 // byte-equality proof with the multigrid-preconditioned solver selected
-// process-wide: solver choice is a performance knob, and for any fixed
-// choice the pooled sweep must remain byte-identical to the serial one.
+// in the RunConfig: solver choice is a performance knob, and for any
+// fixed choice the pooled sweep must remain byte-identical to the serial
+// one.
 func TestSweepFig6DeterministicMGPCG(t *testing.T) {
-	experiments.SetDefaultSolver(thermal.SolverMGPCG)
-	defer experiments.SetDefaultSolver(thermal.SolverCG)
-	var serial, parallel []experiments.Fig6Result
-	var err error
-	withWorkers(1, func() { serial, err = experiments.Fig6MappingScenarios(experiments.Coarse) })
+	mg := func(workers int) experiments.RunConfig {
+		cfg := atWorkers(workers)
+		cfg.Solver = thermal.SolverMGPCG
+		return cfg
+	}
+	serial, err := experiments.Fig6MappingScenarios(nil, mg(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	withWorkers(poolWorkers(), func() { parallel, err = experiments.Fig6MappingScenarios(experiments.Coarse) })
+	parallel, err := experiments.Fig6MappingScenarios(nil, mg(poolWorkers()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got, want := fmt.Sprintf("%+v", parallel), fmt.Sprintf("%+v", serial); got != want {
 		t.Fatalf("parallel MG-PCG Fig6 result differs from serial:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestConcurrentRunsIsolated is the acceptance proof that killing the
+// config globals worked: two concurrent runs of the same experiment with
+// DIFFERENT solvers and worker counts must each produce byte-identical
+// results to the same run executed serially. Under the old
+// SetDefaultSolver/SetDefaultWorkers atomics this interleaving raced —
+// one run's configuration could leak into the other.
+func TestConcurrentRunsIsolated(t *testing.T) {
+	cfgCG := atWorkers(2)
+	cfgMG := atWorkers(poolWorkers())
+	cfgMG.Solver = thermal.SolverMGPCG
+
+	serialCG, err := experiments.Fig6MappingScenarios(nil, cfgCG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialMG, err := experiments.Fig6MappingScenarios(nil, cfgMG)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg             sync.WaitGroup
+		concCG, concMG []experiments.Fig6Result
+		errCG, errMG   error
+	)
+	wg.Add(2)
+	go func() { defer wg.Done(); concCG, errCG = experiments.Fig6MappingScenarios(nil, cfgCG) }()
+	go func() { defer wg.Done(); concMG, errMG = experiments.Fig6MappingScenarios(nil, cfgMG) }()
+	wg.Wait()
+	if errCG != nil || errMG != nil {
+		t.Fatalf("concurrent runs failed: %v / %v", errCG, errMG)
+	}
+	if got, want := fmt.Sprintf("%+v", concCG), fmt.Sprintf("%+v", serialCG); got != want {
+		t.Fatalf("concurrent CG run differs from its serial twin:\n got %s\nwant %s", got, want)
+	}
+	if got, want := fmt.Sprintf("%+v", concMG), fmt.Sprintf("%+v", serialMG); got != want {
+		t.Fatalf("concurrent MG-PCG run differs from its serial twin:\n got %s\nwant %s", got, want)
 	}
 }
 
@@ -125,13 +164,11 @@ func TestResolutionScalingDeterministicMGPCG(t *testing.T) {
 		}
 		return fmt.Sprintf("%+v", cells)
 	}
-	var serial, parallel []experiments.ResolutionCell
-	var err error
-	withWorkers(1, func() { serial, err = experiments.ExtResolutionScaling(sizes, solvers) })
+	serial, err := experiments.ExtResolutionScaling(nil, atWorkers(1), sizes, solvers)
 	if err != nil {
 		t.Fatal(err)
 	}
-	withWorkers(poolWorkers(), func() { parallel, err = experiments.ExtResolutionScaling(sizes, solvers) })
+	parallel, err := experiments.ExtResolutionScaling(nil, atWorkers(poolWorkers()), sizes, solvers)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,70 +180,58 @@ func TestResolutionScalingDeterministicMGPCG(t *testing.T) {
 // BenchmarkSweepDesignSpaceSerial is the single-worker baseline for the
 // §VI-B/C design-space grid (50 independent co-simulations).
 func BenchmarkSweepDesignSpaceSerial(b *testing.B) {
-	withWorkers(1, func() {
-		for i := 0; i < b.N; i++ {
-			if _, err := experiments.DesignSpaceStudy(experiments.Coarse); err != nil {
-				b.Fatal(err)
-			}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DesignSpaceStudy(nil, atWorkers(1)); err != nil {
+			b.Fatal(err)
 		}
-	})
+	}
 }
 
 // BenchmarkSweepDesignSpaceParallel runs the same grid across the worker
 // pool; on a multi-core runner it should beat the serial baseline by at
 // least the factor of available cores (modulo the final partial batch).
 func BenchmarkSweepDesignSpaceParallel(b *testing.B) {
-	withWorkers(poolWorkers(), func() {
-		for i := 0; i < b.N; i++ {
-			if _, err := experiments.DesignSpaceStudy(experiments.Coarse); err != nil {
-				b.Fatal(err)
-			}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DesignSpaceStudy(nil, atWorkers(poolWorkers())); err != nil {
+			b.Fatal(err)
 		}
-	})
+	}
 }
 
 // BenchmarkSweepFig5Serial / Parallel cover the orientation study, whose
 // four points each build their own system.
 func BenchmarkSweepFig5Serial(b *testing.B) {
-	withWorkers(1, func() {
-		for i := 0; i < b.N; i++ {
-			if _, err := experiments.Fig5Orientation(experiments.Coarse); err != nil {
-				b.Fatal(err)
-			}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5Orientation(nil, atWorkers(1)); err != nil {
+			b.Fatal(err)
 		}
-	})
+	}
 }
 
 func BenchmarkSweepFig5Parallel(b *testing.B) {
-	withWorkers(poolWorkers(), func() {
-		for i := 0; i < b.N; i++ {
-			if _, err := experiments.Fig5Orientation(experiments.Coarse); err != nil {
-				b.Fatal(err)
-			}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5Orientation(nil, atWorkers(poolWorkers())); err != nil {
+			b.Fatal(err)
 		}
-	})
+	}
 }
 
 // BenchmarkSweepTableIISerial / Parallel cover the policy-comparison grid
 // on the three-benchmark subset (27 plan+solve cells).
 func BenchmarkSweepTableIISerial(b *testing.B) {
 	subset := tableIISubset(b)
-	withWorkers(1, func() {
-		for i := 0; i < b.N; i++ {
-			if _, err := experiments.TableIIPolicyComparison(experiments.Coarse, subset); err != nil {
-				b.Fatal(err)
-			}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableIIPolicyComparison(nil, atWorkers(1), subset); err != nil {
+			b.Fatal(err)
 		}
-	})
+	}
 }
 
 func BenchmarkSweepTableIIParallel(b *testing.B) {
 	subset := tableIISubset(b)
-	withWorkers(poolWorkers(), func() {
-		for i := 0; i < b.N; i++ {
-			if _, err := experiments.TableIIPolicyComparison(experiments.Coarse, subset); err != nil {
-				b.Fatal(err)
-			}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableIIPolicyComparison(nil, atWorkers(poolWorkers()), subset); err != nil {
+			b.Fatal(err)
 		}
-	})
+	}
 }
