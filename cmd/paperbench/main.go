@@ -40,7 +40,8 @@ func main() {
 	out := flag.String("outdir", "", "directory for SVG/CSV map artifacts (optional)")
 	reportPath := flag.String("report", "", "write a markdown reproduction report of the -exp selection to this file and exit")
 	solverFlag := flag.String("solver", "cg", "thermal linear solver for every experiment: cg|mgpcg|mg")
-	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial)")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = auto; unset cores from the GOMAXPROCS budget flow to -threads)")
+	threads := flag.Int("threads", 0, "intra-solve threads per solve session (0 = auto-split GOMAXPROCS with -workers; set both to 1 for a fully serial run)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	flag.Parse()
 
@@ -59,7 +60,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := experiments.RunConfig{Resolution: res, Solver: solver, Workers: *workers}
+	cfg := experiments.RunConfig{Resolution: res, Solver: solver, Workers: *workers, Threads: *threads}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)

@@ -33,14 +33,15 @@ func main() {
 	waterC := flag.Float64("water", 30, "shared loop water temperature (°C)")
 	solverFlag := flag.String("solver", "cg", "thermal linear solver: cg|mgpcg|mg (mgpcg pays off on fine grids)")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial)")
+	threads := flag.Int("threads", 0, "intra-solve threads for the blade solves (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
-	if err := run(*blades, workload.QoS(*qosFlag), *resFlag, *waterC, *solverFlag, *workers); err != nil {
+	if err := run(*blades, workload.QoS(*qosFlag), *resFlag, *waterC, *solverFlag, *workers, *threads); err != nil {
 		fmt.Fprintln(os.Stderr, "rackplan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(blades int, qos workload.QoS, resFlag string, waterC float64, solverFlag string, workers int) error {
+func run(blades int, qos workload.QoS, resFlag string, waterC float64, solverFlag string, workers, threads int) error {
 	res, err := experiments.ParseResolution(resFlag)
 	if err != nil {
 		return err
@@ -68,7 +69,10 @@ func run(blades int, qos workload.QoS, resFlag string, waterC float64, solverFla
 	if err != nil {
 		return err
 	}
-	ses := sys.NewSession(cosim.WithSolver(solver))
+	// The blade loop is serial by design (warm-start carry), so the
+	// intra-solve team is where this command's parallelism lives.
+	ses := sys.NewSession(cosim.WithSolver(solver), cosim.WithThreads(threads))
+	defer ses.Close()
 	op := thermosyphon.Operating{WaterInC: waterC, WaterFlowKgH: 7}
 	var (
 		rows      [][]string

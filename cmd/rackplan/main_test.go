@@ -32,7 +32,7 @@ func captureStdout(t *testing.T, f func() error) string {
 
 func TestRackplanRuns(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run(4, workload.QoS2x, "coarse", 30, "cg", 0)
+		return run(4, workload.QoS2x, "coarse", 30, "cg", 0, 1)
 	})
 	for _, want := range []string{
 		"13 apps over 4 blades",
@@ -46,10 +46,10 @@ func TestRackplanRuns(t *testing.T) {
 }
 
 func TestRackplanBadResolution(t *testing.T) {
-	if err := run(4, workload.QoS2x, "nope", 30, "cg", 0); err == nil {
+	if err := run(4, workload.QoS2x, "nope", 30, "cg", 0, 1); err == nil {
 		t.Fatal("expected error for unknown resolution")
 	}
-	if err := run(4, workload.QoS2x, "coarse", 30, "nope", 0); err == nil {
+	if err := run(4, workload.QoS2x, "coarse", 30, "nope", 0, 1); err == nil {
 		t.Fatal("expected error for unknown solver")
 	}
 }
@@ -73,7 +73,7 @@ func TestRackplanWorkersFlagMGPCG(t *testing.T) {
 func testRackplanWorkersFlag(t *testing.T, solver string) {
 	withWorkers := func(n int) string {
 		return captureStdout(t, func() error {
-			return run(2, workload.QoS2x, "coarse", 30, solver, n)
+			return run(2, workload.QoS2x, "coarse", 30, solver, n, 2)
 		})
 	}
 	serial := withWorkers(1)

@@ -23,14 +23,15 @@ import (
 
 func main() {
 	resFlag := flag.String("res", "medium", "thermal resolution: coarse|medium|full")
-	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial)")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = auto; unset cores from the GOMAXPROCS budget flow to -threads)")
+	threads := flag.Int("threads", 0, "intra-solve threads per solve session (0 = auto-split GOMAXPROCS with -workers; set both to 1 for a fully serial run)")
 	flag.Parse()
 	res, err := experiments.ParseResolution(*resFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "syphondesign:", err)
 		os.Exit(1)
 	}
-	cfg := experiments.RunConfig{Resolution: res, Workers: *workers}
+	cfg := experiments.RunConfig{Resolution: res, Workers: *workers, Threads: *threads}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "syphondesign:", err)
 		os.Exit(1)

@@ -30,19 +30,20 @@ func main() {
 	resFlag := flag.String("res", "medium", "thermal resolution: coarse|medium|full")
 	format := flag.String("format", "ascii", "map output: ascii|csv|pgm|none")
 	solverFlag := flag.String("solver", "cg", "thermal linear solver: cg|mgpcg|mg (mgpcg pays off on fine grids)")
+	threads := flag.Int("threads", 0, "intra-solve threads for the single solve (0 = GOMAXPROCS, 1 = serial)")
 	// Accepted for CLI parity with the other tools so existing invocations
 	// keep working; thermoview's single solve never fans out, so the value
 	// is unused.
 	_ = flag.Int("workers", 0, "accepted for compatibility; thermoview performs a single solve")
 	flag.Parse()
 
-	if err := run(*benchName, workload.QoS(*qosFlag), *policy, *resFlag, *format, *solverFlag); err != nil {
+	if err := run(*benchName, workload.QoS(*qosFlag), *policy, *resFlag, *format, *solverFlag, *threads); err != nil {
 		fmt.Fprintln(os.Stderr, "thermoview:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName string, qos workload.QoS, policy, resFlag, format, solverFlag string) error {
+func run(benchName string, qos workload.QoS, policy, resFlag, format, solverFlag string, threads int) error {
 	bench, err := workload.ByName(benchName)
 	if err != nil {
 		return err
@@ -87,8 +88,11 @@ func run(benchName string, qos workload.QoS, policy, resFlag, format, solverFlag
 		return err
 	}
 	// A session (rather than the fresh-solve path) is what lets the
-	// solver selection reach the thermal workspace.
-	ses := sys.NewSession(cosim.WithSolver(solver), cosim.CarryWarmStart(false))
+	// solver and thread selection reach the thermal workspace. A single
+	// solve has no sweep to fan out, so the whole machine goes to the
+	// intra-solve team.
+	ses := sys.NewSession(cosim.WithSolver(solver), cosim.WithThreads(threads), cosim.CarryWarmStart(false))
+	defer ses.Close()
 	die, pkg, result, err := experiments.SolveMappingSession(nil, ses, bench, mapping, thermosyphon.DefaultOperating())
 	if err != nil {
 		return err

@@ -32,7 +32,7 @@ func captureStdout(t *testing.T, f func() error) string {
 
 func TestThermoviewProposed(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("x264", workload.QoS2x, "proposed", "coarse", "none", "cg")
+		return run("x264", workload.QoS2x, "proposed", "coarse", "none", "cg", 1)
 	})
 	for _, want := range []string{"x264 @2x via proposed", "die: θmax", "pkg: θmax", "Tsat"} {
 		if !strings.Contains(out, want) {
@@ -43,7 +43,7 @@ func TestThermoviewProposed(t *testing.T) {
 
 func TestThermoviewBaselineCSV(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("canneal", workload.QoS3x, "coskun", "coarse", "csv", "cg")
+		return run("canneal", workload.QoS3x, "coskun", "coarse", "csv", "cg", 1)
 	})
 	if !strings.Contains(out, "canneal @3x via coskun") {
 		t.Fatalf("missing header:\n%s", out)
@@ -61,7 +61,7 @@ func TestThermoviewDeterministic(t *testing.T) {
 	for _, solver := range []string{"cg", "mgpcg"} {
 		render := func() string {
 			return captureStdout(t, func() error {
-				return run("x264", workload.QoS2x, "proposed", "coarse", "csv", solver)
+				return run("x264", workload.QoS2x, "proposed", "coarse", "csv", solver, 2)
 			})
 		}
 		if a, b := render(), render(); a != b {
@@ -79,7 +79,7 @@ func TestThermoviewErrors(t *testing.T) {
 		{"x264", "proposed", "coarse", "none", "nope"},
 	}
 	for _, c := range cases {
-		if err := run(c.bench, workload.QoS2x, c.policy, c.res, c.format, c.solver); err == nil {
+		if err := run(c.bench, workload.QoS2x, c.policy, c.res, c.format, c.solver, 1); err == nil {
 			t.Fatalf("expected error for %+v", c)
 		}
 	}

@@ -41,7 +41,7 @@ type Session struct {
 	syph       *thermosyphon.State
 	pCells     []float64
 	q, qNew    []float64
-	layerPower map[int][]float64
+	layerPower [][]float64 // dense die-layer injection table (index 0)
 	bp         map[string]float64
 }
 
@@ -65,6 +65,26 @@ func WithSolver(s thermal.Solver) SessionOption {
 	return func(ses *Session) { ses.ws.SetSolver(s) }
 }
 
+// WithThreads sets the intra-solve thread count for every thermal solve
+// the session performs: the stencil and fused CG kernels fan out across a
+// persistent worker team of this width (n <= 0 selects GOMAXPROCS).
+// Like WithSolver it is a pure performance knob — solves are
+// byte-identical at any thread count — but the team holds goroutines, so
+// sessions configured with threads should be Closed when retired (the
+// sweep engine closes its worker sessions automatically).
+func WithThreads(n int) SessionOption {
+	return func(ses *Session) { ses.ws.SetThreads(n) }
+}
+
+// Close releases the session's worker team (if any). The session stays
+// usable afterwards, solving serially. It implements io.Closer so the
+// sweep engine can retire worker-state sessions; the returned error is
+// always nil.
+func (ses *Session) Close() error {
+	ses.ws.Close()
+	return nil
+}
+
 // SolverStats returns the cumulative linear-solver effort (solves,
 // iterations, operator applications) this session has spent.
 func (ses *Session) SolverStats() thermal.SolveStats { return ses.ws.Stats() }
@@ -75,7 +95,7 @@ func (s *System) NewSession(opts ...SessionOption) *Session {
 		sys:        s,
 		ws:         s.Thermal.NewWorkspace(),
 		carry:      true,
-		layerPower: make(map[int][]float64, 1),
+		layerPower: make([][]float64, 1),
 	}
 	for _, o := range opts {
 		o(ses)
@@ -155,7 +175,7 @@ func (ses *Session) SolveSteadyPower(ctx context.Context, blockPower map[string]
 		}
 		ses.syph = syph
 		bc := thermal.TopBoundary{H: syph.H, TFluid: syph.TFluid}
-		if err := ses.ws.SteadySolveInto(field, init, ses.layerPower, bc); err != nil {
+		if err := ses.ws.SteadySolveLayersInto(field, init, ses.layerPower, bc); err != nil {
 			return nil, fmt.Errorf("cosim: iteration %d: %w", it, err)
 		}
 		init = field

@@ -29,7 +29,7 @@ type TransientSim struct {
 
 	pCells     []float64
 	qBuf       []float64
-	layerPower map[int][]float64
+	layerPower [][]float64 // dense die-layer injection table (index 0)
 
 	// LoopTau is the natural-circulation startup time constant (s): the
 	// actual mass flow relaxes toward the quasi-static balance with this
@@ -63,7 +63,7 @@ func (ses *Session) Transient(op thermosyphon.Operating, initialC float64) (*Tra
 		ws:         ses.ws,
 		op:         op,
 		field:      ses.ws.FieldB(),
-		layerPower: make(map[int][]float64, 1),
+		layerPower: make([][]float64, 1),
 	}
 	ts.field.T.Fill(initialC)
 	// Bootstrap the boundary with a near-idle thermosyphon state.
@@ -158,8 +158,10 @@ func (ts *TransientSim) Step(dt float64, blockPower map[string]float64) error {
 		ts.bc.H[i] = 0.5*ts.bc.H[i] + 0.5*ts.syph.H[i]
 		ts.bc.TFluid[i] = 0.5*ts.bc.TFluid[i] + 0.5*ts.syph.TFluid[i]
 	}
+	// The die-layer injection rides in a persistent dense table: no
+	// per-step map allocation or lookup on the step hot path.
 	ts.layerPower[0] = pCells
-	if err := ts.ws.StepTransientInto(ts.field, ts.field, dt, ts.layerPower, ts.bc); err != nil {
+	if err := ts.ws.StepTransientLayersInto(ts.field, ts.field, dt, ts.layerPower, ts.bc); err != nil {
 		return err
 	}
 	ts.time += dt

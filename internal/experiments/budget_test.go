@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSplitBudget pins the shared-core-budget rules: explicit settings
+// are honored, derived settings never oversubscribe GOMAXPROCS, and the
+// auto modes fill the machine width-first (sweeps) or depth-first (big
+// solves). GOMAXPROCS is pinned to 8 so the arithmetic is meaningful on
+// any host; thread-count invariance of results makes the temporary
+// change safe for concurrently scheduled goroutines.
+func TestSplitBudget(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+
+	cases := []struct {
+		name         string
+		in           RunConfig
+		points       int
+		depthFirst   bool
+		wantW, wantT int
+	}{
+		{name: "auto wide sweep", in: RunConfig{}, points: 13, wantW: 8, wantT: 1},
+		{name: "auto narrow sweep", in: RunConfig{}, points: 2, wantW: 2, wantT: 4},
+		{name: "auto single point", in: RunConfig{}, points: 1, wantW: 1, wantT: 8},
+		{name: "auto depth-first", in: RunConfig{}, points: 6, depthFirst: true, wantW: 1, wantT: 8},
+		{name: "explicit workers", in: RunConfig{Workers: 4}, points: 13, wantW: 4, wantT: 2},
+		{name: "explicit serial workers", in: RunConfig{Workers: 1}, points: 13, wantW: 1, wantT: 8},
+		{name: "explicit threads", in: RunConfig{Threads: 4}, points: 13, wantW: 2, wantT: 4},
+		{name: "both explicit", in: RunConfig{Workers: 5, Threads: 3}, points: 13, wantW: 5, wantT: 3},
+		{name: "threads over budget", in: RunConfig{Threads: 16}, points: 13, wantW: 1, wantT: 16},
+		{name: "workers capped by points", in: RunConfig{}, points: 3, wantW: 3, wantT: 2},
+		{name: "explicit workers above points", in: RunConfig{Workers: 8}, points: 2, wantW: 2, wantT: 4},
+		{name: "zero points", in: RunConfig{}, points: 0, wantW: 1, wantT: 8},
+	}
+	for _, c := range cases {
+		got := c.in.split(c.points, c.depthFirst)
+		if got.Workers != c.wantW || got.Threads != c.wantT {
+			t.Errorf("%s: got workers=%d threads=%d, want %d/%d",
+				c.name, got.Workers, got.Threads, c.wantW, c.wantT)
+		}
+		if got.Workers < 1 || got.Threads < 1 {
+			t.Errorf("%s: non-positive resolution %+v", c.name, got)
+		}
+		// Re-splitting a resolved config is a no-op: both fields explicit.
+		again := got.splitBudget(c.points)
+		if again.Workers != got.Workers || again.Threads != got.Threads {
+			t.Errorf("%s: resolve not idempotent: %+v vs %+v", c.name, again, got)
+		}
+	}
+}

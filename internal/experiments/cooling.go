@@ -51,11 +51,19 @@ func CoolingPowerStudy(ctx context.Context, cfg RunConfig) (*CoolingResult, erro
 	}
 
 	// Build each approach's system and mapping once; each gets its own
-	// warm-started session for the serial solve sequence below.
+	// warm-started session for the serial solve sequence below. The
+	// sessions themselves (which may own worker teams) are created only
+	// after the sweep succeeds, so a failed setup cannot strand a team.
 	type setup struct {
+		sys *cosim.System
 		ses *cosim.Session
 		m   core.Mapping
 	}
+	// Depth-first split: the setup sweep below performs no thermal solves
+	// (systems and plans only), and the bisection that dominates this
+	// experiment solves one session at a time — so the whole core budget
+	// belongs to each solve's worker team.
+	cfg = cfg.splitBudgetDepthFirst(2)
 	setups, err := sweep.Run(ctx, []Approach{Proposed, SoACoskun}, func(a Approach) (setup, error) {
 		sys, err := NewSystem(a.design(), cfg.Resolution)
 		if err != nil {
@@ -65,12 +73,16 @@ func CoolingPowerStudy(ctx context.Context, cfg RunConfig) (*CoolingResult, erro
 		if err != nil {
 			return setup{}, err
 		}
-		return setup{ses: sys.NewSession(cfg.sessionOptions()...), m: m}, nil
+		return setup{sys: sys, m: m}, nil
 	}, cfg.sweepOpts()...)
 	if err != nil {
 		return nil, err
 	}
 	prop, base := setups[0], setups[1]
+	prop.ses = prop.sys.NewSession(cfg.sessionOptions()...)
+	defer prop.ses.Close()
+	base.ses = base.sys.NewSession(cfg.sessionOptions()...)
+	defer base.ses.Close()
 
 	solveAt := func(s setup, waterC float64) (dieMax float64, waterOut float64, err error) {
 		op := thermosyphon.Operating{WaterInC: waterC, WaterFlowKgH: flowKgH}

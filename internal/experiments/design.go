@@ -30,6 +30,7 @@ type OrientationResult struct {
 func Fig5Orientation(ctx context.Context, cfg RunConfig) ([]OrientationResult, error) {
 	bench, wcfg := workload.WorstCase()
 	m := FullLoadMapping(wcfg, power.POLL)
+	cfg = cfg.splitBudget(len(thermosyphon.Orientations()))
 	return sweep.Run(ctx, thermosyphon.Orientations(), func(o thermosyphon.Orientation) (OrientationResult, error) {
 		d := thermosyphon.DefaultDesign()
 		d.Orientation = o
@@ -37,6 +38,7 @@ func Fig5Orientation(ctx context.Context, cfg RunConfig) ([]OrientationResult, e
 		if err != nil {
 			return OrientationResult{}, err
 		}
+		defer ses.Close()
 		die, pkg, r, err := SolveMappingSession(ctx, ses, bench, m, thermosyphon.DefaultOperating())
 		if err != nil {
 			return OrientationResult{}, fmt.Errorf("orientation %v: %w", o, err)
@@ -111,6 +113,7 @@ func DesignSpaceStudy(ctx context.Context, cfg RunConfig) (*DesignSpaceResult, e
 	// stack a dozen times, and the session reuses one workspace for all of
 	// those inner solves.
 	grid := sweep.Cross(refrigerant.Candidates(), designFills)
+	cfg = cfg.splitBudget(len(grid))
 	points, err := sweep.Run(ctx, grid, func(p sweep.Pair[*refrigerant.Fluid, float64]) (DesignPoint, error) {
 		fl, fr := p.A, p.B
 		d := thermosyphon.DefaultDesign()
@@ -120,6 +123,7 @@ func DesignSpaceStudy(ctx context.Context, cfg RunConfig) (*DesignSpaceResult, e
 		if err != nil {
 			return DesignPoint{}, err
 		}
+		defer ses.Close()
 		die, _, r, err := SolveMappingSession(ctx, ses, bench, m, thermosyphon.DefaultOperating())
 		if err != nil {
 			return DesignPoint{}, fmt.Errorf("%s fill %.2f: %w", fl.Name(), fr, err)

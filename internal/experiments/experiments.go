@@ -15,6 +15,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/cosim"
@@ -102,8 +103,20 @@ type RunConfig struct {
 	// byte-identical to serial runs; the knob only trades solver work for
 	// the same answers.
 	Solver thermal.Solver
-	// Workers bounds the sweep worker pool (0 = GOMAXPROCS, 1 = serial).
+	// Workers bounds the sweep worker pool (0 = auto, 1 = serial).
 	Workers int
+	// Threads is the intra-solve thread count of every solve session the
+	// run creates: the stencil and fused CG kernels fan out across a
+	// per-session worker team of this width (0 = auto, 1 = serial). Like
+	// Workers and Solver it never changes results — solves are
+	// byte-identical at any thread count.
+	//
+	// Workers and Threads share one core budget: when either is 0 the run
+	// splits GOMAXPROCS between them (workers × threads ≤ GOMAXPROCS),
+	// width-first for point-heavy sweeps and depth-first for solves big
+	// enough to dominate a core each, so a run uses the whole machine
+	// whether its parallelism lives across points or inside one solve.
+	Threads int
 	// Artifacts, when non-nil, receives every map artifact the experiment
 	// emits, as it is produced. The maps are also attached to the Result.
 	Artifacts ArtifactSink
@@ -113,15 +126,82 @@ type RunConfig struct {
 // and worker pool — what tests and benchmarks use.
 func At(res Resolution) RunConfig { return RunConfig{Resolution: res} }
 
+// splitBudget resolves the (Workers, Threads) pair for a sweep over the
+// given number of points under the shared GOMAXPROCS core budget.
+// Explicit non-zero settings are honored as-is (setting both lets a
+// caller deliberately oversubscribe); a zero field is derived from the
+// other so that workers × threads ≤ GOMAXPROCS. When both are zero,
+// width-first fills the worker pool up to the point count and hands the
+// leftover cores to each solve's team — a 13-point sweep on 8 cores runs
+// 8 workers × 1 thread, a 2-point study runs 2 workers × 4 threads.
+func (cfg RunConfig) splitBudget(points int) RunConfig {
+	return cfg.split(points, false)
+}
+
+// splitBudgetDepthFirst is splitBudget for sweeps whose individual solves
+// are large enough to use the whole machine (the resolution-scaling
+// study's 256×256 grids): all cores go to the solve team and the points
+// run serially through one worker.
+func (cfg RunConfig) splitBudgetDepthFirst(points int) RunConfig {
+	return cfg.split(points, true)
+}
+
+func (cfg RunConfig) split(points int, depthFirst bool) RunConfig {
+	procs := runtime.GOMAXPROCS(0)
+	if points < 1 {
+		points = 1
+	}
+	w, t := cfg.Workers, cfg.Threads
+	switch {
+	case w > 0 && t > 0:
+		// Both explicit: the caller owns the budget.
+	case w > 0:
+		// Clamp to the point count before deriving threads, so the cores
+		// a too-wide worker request would strand flow to the solve teams
+		// instead of idling.
+		if w > points {
+			w = points
+		}
+		t = procs / w
+	case t > 0:
+		w = procs / t
+	case depthFirst:
+		t = procs
+		w = 1
+	default:
+		w = points
+		if w > procs {
+			w = procs
+		}
+		t = procs / w
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > points {
+		w = points
+	}
+	if t < 1 {
+		t = 1
+	}
+	cfg.Workers, cfg.Threads = w, t
+	return cfg
+}
+
 // sweepOpts translates the config into per-call sweep engine options.
 func (cfg RunConfig) sweepOpts() []sweep.Option {
 	return []sweep.Option{sweep.Workers(cfg.Workers)}
 }
 
-// sessionOptions returns the solver-selection option set applied to every
-// session the run creates, prepended to any caller extras.
+// sessionOptions returns the solver- and thread-selection option set
+// applied to every session the run creates, prepended to any caller
+// extras.
 func (cfg RunConfig) sessionOptions(extra ...cosim.SessionOption) []cosim.SessionOption {
-	return append([]cosim.SessionOption{cosim.WithSolver(cfg.Solver)}, extra...)
+	opts := []cosim.SessionOption{cosim.WithSolver(cfg.Solver)}
+	if cfg.Threads > 1 {
+		opts = append(opts, cosim.WithThreads(cfg.Threads))
+	}
+	return append(opts, extra...)
 }
 
 // NewSystem builds a co-simulation system with the given thermosyphon
@@ -178,6 +258,19 @@ func SolveMappingSession(ctx context.Context, ses *cosim.Session, b workload.Ben
 	}
 	pkg, err = sys.PackageStats(res)
 	return
+}
+
+// sessionCache is a per-worker cache of solve sessions keyed by sweep
+// axis. It implements io.Closer, so the sweep engine releases every
+// cached session's worker team when the worker retires.
+type sessionCache[K comparable] map[K]*cosim.Session
+
+// Close releases every cached session's worker team.
+func (c sessionCache[K]) Close() error {
+	for _, ses := range c {
+		ses.Close()
+	}
+	return nil
 }
 
 // NewSweepSession builds a system and wraps it in a session with the

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/cosim"
 	"repro/internal/metrics"
 	"repro/internal/power"
 	"repro/internal/sched"
@@ -42,11 +41,12 @@ func ExtOrientationMapping(ctx context.Context, cfg RunConfig) ([]OrientationMap
 	}
 	wcfg := workload.Config{Cores: 4, Threads: 8, Freq: power.FMax}
 	cells := sweep.Cross(thermosyphon.Orientations(), Fig6Scenarios())
+	cfg = cfg.splitBudget(len(cells))
 	return sweep.RunState(ctx, cells,
-		func() (map[thermosyphon.Orientation]*cosim.Session, error) {
-			return map[thermosyphon.Orientation]*cosim.Session{}, nil
+		func() (sessionCache[thermosyphon.Orientation], error) {
+			return sessionCache[thermosyphon.Orientation]{}, nil
 		},
-		func(cache map[thermosyphon.Orientation]*cosim.Session, p sweep.Pair[thermosyphon.Orientation, Fig6Scenario]) (OrientationMappingCell, error) {
+		func(cache sessionCache[thermosyphon.Orientation], p sweep.Pair[thermosyphon.Orientation, Fig6Scenario]) (OrientationMappingCell, error) {
 			o, sc := p.A, p.B
 			ses := cache[o]
 			if ses == nil {

@@ -27,10 +27,13 @@ type Fig2Result struct {
 // all eight cores through the non-optimized ([8]) design with a naive
 // mapping, comparing die-level and package-level thermal profiles.
 func Fig2DieVsPackage(ctx context.Context, cfg RunConfig) (*Fig2Result, error) {
+	// A single coupled solve: the whole core budget goes to the solve team.
+	cfg = cfg.splitBudgetDepthFirst(1)
 	ses, err := cfg.NewSweepSession(baselines.SeuretDesign())
 	if err != nil {
 		return nil, err
 	}
+	defer ses.Close()
 	bench, wcfg := workload.WorstCase()
 	m := FullLoadMapping(wcfg, power.POLL)
 	die, pkg, r, err := SolveMappingSession(ctx, ses, bench, m, thermosyphon.DefaultOperating())

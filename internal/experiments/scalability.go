@@ -84,6 +84,10 @@ func ExtResolutionScaling(ctx context.Context, cfg RunConfig, sizes []int, solve
 	bench, cfgW := workload.WorstCase()
 	mapping := FullLoadMapping(cfgW, power.POLL)
 	points := sweep.Cross(sizes, solvers)
+	// Depth-first core split: the biggest grid dominates the study's wall
+	// time, so the budget goes to each solve's worker team rather than to
+	// sweep fan-out — "all cores inside one big solve".
+	cfg = cfg.splitBudgetDepthFirst(len(points))
 	return sweep.Run(ctx, points, func(p sweep.Pair[int, thermal.Solver]) (ResolutionCell, error) {
 		n, solver := p.A, p.B
 		ccfg := cosim.DefaultConfig()
@@ -92,7 +96,8 @@ func ExtResolutionScaling(ctx context.Context, cfg RunConfig, sizes []int, solve
 		if err != nil {
 			return ResolutionCell{}, fmt.Errorf("%dx%d: %w", n, n, err)
 		}
-		ses := sys.NewSession(cosim.WithSolver(solver), cosim.CarryWarmStart(false))
+		ses := sys.NewSession(cosim.WithSolver(solver), cosim.WithThreads(cfg.Threads), cosim.CarryWarmStart(false))
+		defer ses.Close()
 		start := time.Now()
 		die, _, r, err := SolveMappingSession(ctx, ses, bench, mapping, thermosyphon.DefaultOperating())
 		if err != nil {
@@ -113,6 +118,26 @@ func ExtResolutionScaling(ctx context.Context, cfg RunConfig, sizes []int, solve
 	}, cfg.sweepOpts()...)
 }
 
+// cached is one die dimension's reusable solve context in the
+// scalability study.
+type cached struct {
+	ses  *cosim.Session
+	spec floorplan.GridSpec
+}
+
+// scaledCache is the per-worker session cache of the scalability study;
+// Close lets the sweep engine release each session's worker team when
+// the worker retires.
+type scaledCache map[[2]int]*cached
+
+// Close releases every cached session's worker team.
+func (c scaledCache) Close() error {
+	for _, v := range c {
+		v.ses.Close()
+	}
+	return nil
+}
+
 // ExtScalability exercises the mapping rule on a scaled 16-core die (the
 // §III note that the evaporator scales with the CPU dimension): half the
 // cores run a fixed per-core load, placed either with the generalized
@@ -122,14 +147,11 @@ func ExtResolutionScaling(ctx context.Context, cfg RunConfig, sizes []int, solve
 // systems (wrapped in non-carrying solve sessions) it builds per die
 // dimension.
 func ExtScalability(ctx context.Context, cfg RunConfig) ([]ScalabilityCell, error) {
-	type cached struct {
-		ses  *cosim.Session
-		spec floorplan.GridSpec
-	}
 	cells := sweep.Cross([][2]int{{4, 2}, {4, 4}}, []string{"staggered", "clustered"})
+	cfg = cfg.splitBudget(len(cells))
 	return sweep.RunState(ctx, cells,
-		func() (map[[2]int]*cached, error) { return map[[2]int]*cached{}, nil },
-		func(cache map[[2]int]*cached, p sweep.Pair[[2]int, string]) (ScalabilityCell, error) {
+		func() (scaledCache, error) { return scaledCache{}, nil },
+		func(cache scaledCache, p sweep.Pair[[2]int, string]) (ScalabilityCell, error) {
 			dims, name := p.A, p.B
 			c := cache[dims]
 			if c == nil {

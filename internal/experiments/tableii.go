@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/core"
-	"repro/internal/cosim"
 	"repro/internal/metrics"
 	"repro/internal/sweep"
 	"repro/internal/thermosyphon"
@@ -121,9 +120,10 @@ func TableIIPolicyComparison(ctx context.Context, cfg RunConfig, benches []workl
 			}
 		}
 	}
+	cfg = cfg.splitBudget(len(cells))
 	vals, err := sweep.RunState(ctx, cells,
-		func() (map[Approach]*cosim.Session, error) { return map[Approach]*cosim.Session{}, nil },
-		func(sessions map[Approach]*cosim.Session, c cellKey) (cellVal, error) {
+		func() (sessionCache[Approach], error) { return sessionCache[Approach]{}, nil },
+		func(sessions sessionCache[Approach], c cellKey) (cellVal, error) {
 			ses := sessions[c.a]
 			if ses == nil {
 				var err error
@@ -193,11 +193,13 @@ func Fig7ThermalMaps(ctx context.Context, cfg RunConfig) (*Fig7Result, error) {
 	}
 	const q = workload.QoS2x
 	out := &Fig7Result{ProposedBench: bench.Name}
+	cfg = cfg.splitBudgetDepthFirst(1)
 	for _, a := range []Approach{Proposed, SoACoskun} {
 		ses, err := cfg.NewSweepSession(a.design())
 		if err != nil {
 			return nil, err
 		}
+		defer ses.Close()
 		m, err := a.plan(bench, q)
 		if err != nil {
 			return nil, err

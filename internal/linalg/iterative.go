@@ -79,8 +79,24 @@ type CGResult struct {
 // needs. A zero value is ready to use: the buffers are grown on first use
 // and reused afterwards, so repeated solves of the same size perform no
 // allocations. A workspace is not safe for concurrent use.
+//
+// A workspace optionally carries a worker Team: with one set, the fused
+// vector kernels of every solve fan out across the team. Thread count is
+// a pure performance knob — the chunked reductions in par.go make the
+// solve byte-identical at any team width, including the nil (serial)
+// team.
 type CGWorkspace struct {
 	r, z, p, ap Vector
+
+	team    *Team
+	partial Vector // reduction chunk partials
+
+	// Persistent task adapters: the solver writes their fields and submits
+	// the same pointers each iteration, so dispatch never allocates.
+	dotT   dotTask
+	fusedT fusedTask
+	jacT   jacobiTask
+	xpbyT  xpbyTask
 }
 
 // NewCGWorkspace returns a workspace pre-sized for operators of dimension n.
@@ -89,6 +105,11 @@ func NewCGWorkspace(n int) *CGWorkspace {
 	ws.grow(n)
 	return ws
 }
+
+// SetTeam attaches the worker team the fused CG kernels dispatch on (nil
+// = serial). The workspace borrows the team; the caller owns its
+// lifecycle.
+func (ws *CGWorkspace) SetTeam(t *Team) { ws.team = t }
 
 // grow resizes every scratch vector to length n, reusing capacity.
 func (ws *CGWorkspace) grow(n int) {
@@ -102,6 +123,49 @@ func (ws *CGWorkspace) grow(n int) {
 	ws.z = resize(ws.z)
 	ws.p = resize(ws.p)
 	ws.ap = resize(ws.ap)
+	if chunks := redChunks(n); cap(ws.partial) < chunks {
+		ws.partial = make(Vector, chunks)
+	} else {
+		ws.partial = ws.partial[:chunks]
+	}
+}
+
+// run dispatches a kernel task over n elements: across the team when the
+// problem is big enough to pay for the barrier, inline otherwise. The
+// size gate depends only on n, so it cannot affect results.
+func (ws *CGWorkspace) run(tk Task, n int) {
+	if n < parMinN {
+		tk.Do(0, 1)
+		return
+	}
+	ws.team.Run(tk)
+}
+
+// dot returns a·b via the fixed-chunk deterministic reduction.
+func (ws *CGWorkspace) dot(a, b Vector) float64 {
+	ws.dotT = dotTask{a: a, b: b, partial: ws.partial}
+	ws.run(&ws.dotT, len(a))
+	return reduceTree(ws.partial[:redChunks(len(a))])
+}
+
+// fusedUpdate applies x += α·p, r -= α·q and returns the new ‖r‖².
+func (ws *CGWorkspace) fusedUpdate(x, r, p, q Vector, alpha float64) float64 {
+	ws.fusedT = fusedTask{x: x, r: r, p: p, q: q, partial: ws.partial, alpha: alpha}
+	ws.run(&ws.fusedT, len(x))
+	return reduceTree(ws.partial[:redChunks(len(x))])
+}
+
+// jacobiDot applies z = D⁻¹·r and returns r·z in the same pass.
+func (ws *CGWorkspace) jacobiDot(r, invDiag, z Vector) float64 {
+	ws.jacT = jacobiTask{r: r, invDiag: invDiag, z: z, partial: ws.partial}
+	ws.run(&ws.jacT, len(r))
+	return reduceTree(ws.partial[:redChunks(len(r))])
+}
+
+// xpby applies p = z + β·p.
+func (ws *CGWorkspace) xpby(p, z Vector, beta float64) {
+	ws.xpbyT = xpbyTask{p: p, z: z, beta: beta}
+	ws.run(&ws.xpbyT, len(p))
 }
 
 // CG solves A·x = b for a symmetric positive-definite operator using the
@@ -112,8 +176,15 @@ func CG(a Operator, b, x Vector, opt CGOptions) (CGResult, error) {
 }
 
 // CGWith is CG with caller-owned scratch: all intermediate vectors live in
-// ws, so a reused workspace makes the solve allocation-free. The result is
-// bit-identical to CG — the workspace only changes where the scratch lives.
+// ws, so a reused workspace makes the solve allocation-free, and the ws
+// team (SetTeam) parallelizes the vector work.
+//
+// The iteration body runs on fused kernels to cut memory traffic: the
+// x/r updates and the new residual norm share one pass (fusedUpdate), and
+// a diagonal preconditioner's application is fused with the r·z inner
+// product the recurrence needs next (jacobiDot). Every reduction uses the
+// fixed-chunk, fixed-order scheme of par.go, so the iterates — and hence
+// the solution — are byte-identical at any team width, including none.
 func CGWith(a Operator, b, x Vector, opt CGOptions, ws *CGWorkspace) (CGResult, error) {
 	n := a.Size()
 	if opt.Tol <= 0 {
@@ -132,6 +203,9 @@ func CGWith(a Operator, b, x Vector, opt CGOptions, ws *CGWorkspace) (CGResult, 
 	if cp, ok := opt.Precond.(CostedPreconditioner); ok {
 		precondCost = cp.ApplyCost()
 	}
+	// A diagonal preconditioner takes the fused apply+dot path; any other
+	// preconditioner (a multigrid V-cycle) applies as an opaque operator.
+	diag, _ := opt.Precond.(*DiagonalPreconditioner)
 	ws.grow(n)
 	r, z, p, ap := ws.r, ws.z, ws.p, ws.ap
 	a.Apply(x, r)
@@ -147,43 +221,53 @@ func CGWith(a Operator, b, x Vector, opt CGOptions, ws *CGWorkspace) (CGResult, 
 	if res.Residual < opt.Tol {
 		return res, nil
 	}
-	if opt.Precond != nil {
+	var rz float64
+	switch {
+	case diag != nil:
+		rz = ws.jacobiDot(r, diag.InvDiag, z)
+		res.Applies += precondCost
+	case opt.Precond != nil:
 		opt.Precond.Apply(r, z)
 		res.Applies += precondCost
-	} else {
-		copy(z, r)
+		rz = ws.dot(r, z)
+	default:
+		// Identity preconditioner: z aliases r, skipping the copy.
+		z = r
+		rz = ws.dot(r, r)
 	}
 	copy(p, z)
-	rz := r.Dot(z)
 
 	for k := 0; k < opt.MaxIter; k++ {
 		a.Apply(p, ap)
 		res.Applies++
-		pap := p.Dot(ap)
+		pap := ws.dot(p, ap)
 		if pap <= 0 || math.IsNaN(pap) {
 			// Operator is not SPD along p; bail out with the current iterate.
 			return res, ErrNotConverged
 		}
 		alpha := rz / pap
-		x.AXPY(alpha, p)
-		r.AXPY(-alpha, ap)
+		rNormSq := ws.fusedUpdate(x, r, p, ap, alpha)
 		res.Iterations = k + 1
-		res.Residual = r.Norm2() / bNorm
+		res.Residual = math.Sqrt(rNormSq) / bNorm
 		if res.Residual < opt.Tol {
 			return res, nil
 		}
-		if opt.Precond != nil {
+		var rzNew float64
+		switch {
+		case diag != nil:
+			rzNew = ws.jacobiDot(r, diag.InvDiag, z)
+		case opt.Precond != nil:
 			opt.Precond.Apply(r, z)
 			res.Applies += precondCost
-		} else {
-			copy(z, r)
+			rzNew = ws.dot(r, z)
+		default:
+			// z aliases r, so r·z is the ‖r‖² the fused update already
+			// reduced — the dot pass disappears entirely.
+			rzNew = rNormSq
 		}
-		rzNew := r.Dot(z)
 		beta := rzNew / rz
 		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		ws.xpby(p, z, beta)
 	}
 	return res, ErrNotConverged
 }

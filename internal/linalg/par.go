@@ -1,0 +1,256 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the intra-solve parallel execution layer: a persistent
+// worker team plus the deterministic partitioning and reduction rules
+// every parallel kernel in the solve stack follows.
+//
+// The determinism contract is the point. Elementwise kernels (AXPY-style
+// updates, stencil applications, red-black half-sweeps) compute each
+// output element from inputs that are frozen for the duration of the
+// pass, so any partition of the index space yields bit-identical results.
+// Reductions are the only place floating-point order could leak the
+// thread count; they are therefore computed over FIXED chunks of the
+// index space — chunk boundaries depend only on the vector length, never
+// on the team width — with the per-chunk partials combined by a
+// fixed-order tree. A dot product at 1 thread and at 16 threads adds the
+// same numbers in the same order and returns the same bytes.
+
+// ParChunk is the reduction chunk width in elements. Chunk boundaries are
+// a pure function of the vector length, which is what makes every
+// team-parallel reduction byte-identical at any thread count.
+const ParChunk = 2048
+
+// parMinN is the problem size below which parallel dispatch is not worth
+// the synchronization cost; kernels fall back to the worker-0 path. The
+// threshold depends only on the input size, so it cannot break the
+// thread-count-invariance of results.
+const parMinN = 4096
+
+// Task is one unit of team-parallel work. Do is invoked exactly once per
+// worker with the worker index and the team width; implementations carve
+// their share of the index space with Band (elementwise work) or by
+// banding reduction chunks (ParChunk). Do must not allocate on the hot
+// path and must only write locations owned by its band.
+type Task interface {
+	Do(worker, workers int)
+}
+
+// Team is a persistent goroutine team for intra-solve parallelism. A team
+// is created once per solver workspace and reused for every kernel
+// dispatch, so the solve hot path starts no goroutines and performs no
+// allocations. A Team is not safe for concurrent Run calls — it belongs
+// to exactly one solve context, mirroring the workspace ownership rule —
+// and must be Closed to release its goroutines.
+//
+// The nil *Team is valid and means "serial": all methods degrade to
+// running the task on the caller's goroutine.
+type Team struct {
+	workers int
+	jobs    []chan Task
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// NewTeam returns a team of n workers, spawning n-1 persistent goroutines
+// (worker 0 is the calling goroutine). n <= 0 selects GOMAXPROCS; n == 1
+// returns nil, the serial team.
+func NewTeam(n int) *Team {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n <= 1 {
+		return nil
+	}
+	t := &Team{workers: n, jobs: make([]chan Task, n-1)}
+	for i := range t.jobs {
+		ch := make(chan Task, 1)
+		t.jobs[i] = ch
+		go func(w int, ch chan Task) {
+			for tk := range ch {
+				tk.Do(w, n)
+				t.wg.Done()
+			}
+		}(i+1, ch)
+	}
+	return t
+}
+
+// Workers returns the team width (1 for the nil or closed team).
+func (t *Team) Workers() int {
+	if t == nil || t.closed {
+		return 1
+	}
+	return t.workers
+}
+
+// Run executes the task across the team and returns when every worker has
+// finished — one barrier per call. Worker 0 runs on the calling
+// goroutine. Dispatch is allocation-free: the task travels as an
+// interface holding the caller's persistent pointer.
+func (t *Team) Run(task Task) {
+	if t == nil || t.closed {
+		task.Do(0, 1)
+		return
+	}
+	t.wg.Add(t.workers - 1)
+	for _, ch := range t.jobs {
+		ch <- task
+	}
+	task.Do(0, t.workers)
+	t.wg.Wait()
+}
+
+// Close releases the team's goroutines. Idempotent and nil-safe; after
+// Close the team runs tasks serially, so late callers still get correct
+// (and, by the chunking rules, identical) results.
+func (t *Team) Close() {
+	if t == nil || t.closed {
+		return
+	}
+	t.closed = true
+	for _, ch := range t.jobs {
+		close(ch)
+	}
+}
+
+// Band returns worker w's half-open share [lo, hi) of n items under an
+// even contiguous partition: the first n%workers bands are one longer.
+// Band is the one partitioning rule every elementwise kernel uses.
+func Band(n, w, workers int) (lo, hi int) {
+	q, r := n/workers, n%workers
+	lo = w * q
+	if w < r {
+		lo += w
+	} else {
+		lo += r
+	}
+	hi = lo + q
+	if w < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// redChunks returns the reduction chunk count for an n-vector.
+func redChunks(n int) int { return (n + ParChunk - 1) / ParChunk }
+
+// chunkBounds returns chunk c's half-open element range in an n-vector.
+func chunkBounds(n, c int) (lo, hi int) {
+	lo = c * ParChunk
+	hi = lo + ParChunk
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// reduceTree combines chunk partials by fixed-order pairwise halving —
+// the same additions in the same order for any team width, and better
+// conditioned than a straight left fold. It consumes p as scratch.
+func reduceTree(p Vector) float64 {
+	n := len(p)
+	if n == 0 {
+		return 0
+	}
+	for n > 1 {
+		half := (n + 1) / 2
+		for i := half; i < n; i++ {
+			p[i-half] += p[i]
+		}
+		n = half
+	}
+	return p[0]
+}
+
+// The CG kernel tasks below are persistent fields of a CGWorkspace: the
+// solver writes their parameters and submits the same pointer every
+// iteration, so team dispatch never allocates.
+
+// dotTask computes partial[c] = Σ_chunk a·b for its band of chunks.
+type dotTask struct {
+	a, b, partial Vector
+}
+
+func (k *dotTask) Do(w, workers int) {
+	n := len(k.a)
+	a, b := k.a, k.b
+	lo, hi := Band(redChunks(n), w, workers)
+	for c := lo; c < hi; c++ {
+		i0, i1 := chunkBounds(n, c)
+		var s float64
+		for i := i0; i < i1; i++ {
+			s += a[i] * b[i]
+		}
+		k.partial[c] = s
+	}
+}
+
+// fusedTask is the fused CG update: x += α·p and r -= α·q in one memory
+// pass, accumulating the new ‖r‖² into chunk partials on the way out —
+// three historical passes (two AXPYs and a norm) collapsed into one.
+type fusedTask struct {
+	x, r, p, q, partial Vector
+	alpha               float64
+}
+
+func (k *fusedTask) Do(w, workers int) {
+	n := len(k.x)
+	x, r, p, q := k.x, k.r, k.p, k.q
+	alpha := k.alpha
+	lo, hi := Band(redChunks(n), w, workers)
+	for c := lo; c < hi; c++ {
+		i0, i1 := chunkBounds(n, c)
+		var s float64
+		for i := i0; i < i1; i++ {
+			x[i] += alpha * p[i]
+			ri := r[i] - alpha*q[i]
+			r[i] = ri
+			s += ri * ri
+		}
+		k.partial[c] = s
+	}
+}
+
+// jacobiTask fuses the diagonal preconditioner application z = D⁻¹·r with
+// the r·z inner product the CG recurrence needs next — one pass instead
+// of an apply pass followed by a dot pass.
+type jacobiTask struct {
+	r, invDiag, z, partial Vector
+}
+
+func (k *jacobiTask) Do(w, workers int) {
+	n := len(k.r)
+	r, d, z := k.r, k.invDiag, k.z
+	lo, hi := Band(redChunks(n), w, workers)
+	for c := lo; c < hi; c++ {
+		i0, i1 := chunkBounds(n, c)
+		var s float64
+		for i := i0; i < i1; i++ {
+			zi := r[i] * d[i]
+			z[i] = zi
+			s += r[i] * zi
+		}
+		k.partial[c] = s
+	}
+}
+
+// xpbyTask computes p = z + β·p, the CG direction update. Pure
+// elementwise work: banded directly, no chunking needed.
+type xpbyTask struct {
+	p, z Vector
+	beta float64
+}
+
+func (k *xpbyTask) Do(w, workers int) {
+	p, z := k.p, k.z
+	beta := k.beta
+	lo, hi := Band(len(p), w, workers)
+	for i := lo; i < hi; i++ {
+		p[i] = z[i] + beta*p[i]
+	}
+}

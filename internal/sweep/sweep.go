@@ -17,21 +17,37 @@
 //   - Per-worker reusable state: RunState gives each worker one state
 //     value (a solver, a system cache) built once and reused across all
 //     points that worker claims, so operators and scratch vectors are not
-//     rebuilt per point.
+//     rebuilt per point. A state that implements io.Closer is closed when
+//     its worker retires — solve sessions configured with intra-solve
+//     threads own goroutine teams, and the engine releases them so a
+//     sweep leaves no goroutines behind.
 //
 // The worker count is an explicit per-call option (Workers); without it a
 // call uses GOMAXPROCS. There is deliberately no process-wide override:
 // concurrent sweeps with different worker budgets must not see each
-// other's configuration.
+// other's configuration. The core budget is shared with the intra-solve
+// worker teams: callers split GOMAXPROCS between sweep workers and
+// per-solve threads (see experiments.RunConfig) so the two layers of
+// parallelism compose instead of oversubscribing.
 package sweep
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// closeState releases a per-worker state that holds external resources:
+// any state implementing io.Closer (a cosim.Session owning a worker team,
+// for instance) is closed when its worker retires.
+func closeState(st any) {
+	if c, ok := st.(io.Closer); ok {
+		c.Close()
+	}
+}
 
 // Option configures one Run/RunState/First call.
 type Option func(*config)
@@ -92,6 +108,7 @@ func RunState[S, P, R any](ctx context.Context, points []P, newState func() (S, 
 		if err != nil {
 			return nil, fmt.Errorf("sweep: worker state: %w", err)
 		}
+		defer closeState(st)
 		for i, p := range points {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -123,6 +140,7 @@ func RunState[S, P, R any](ctx context.Context, points []P, newState func() (S, 
 				stop.Store(true)
 				return
 			}
+			defer closeState(st)
 			for !stop.Load() && ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(points) {
@@ -194,6 +212,7 @@ func First[S, P, R any](ctx context.Context, points []P, newState func() (S, err
 		if err != nil {
 			return 0, zero, false, fmt.Errorf("sweep: worker state: %w", err)
 		}
+		defer closeState(st)
 		for i, p := range points {
 			if err := ctx.Err(); err != nil {
 				return 0, zero, false, err
@@ -239,6 +258,7 @@ func First[S, P, R any](ctx context.Context, points []P, newState func() (S, err
 				stop.Store(true)
 				return
 			}
+			defer closeState(st)
 			for !stop.Load() && ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				// Claims are monotonic, so every index below the final

@@ -462,6 +462,57 @@ func TestCrossOrder(t *testing.T) {
 	}
 }
 
+// closerState counts Close calls for the state-lifecycle tests.
+type closerState struct{ closes *atomic.Int64 }
+
+func (c *closerState) Close() error {
+	c.closes.Add(1)
+	return nil
+}
+
+// TestRunStateClosesStates: per-worker states implementing io.Closer are
+// closed exactly once per constructed state, on the serial path, the
+// pooled path, and through First — the lifecycle hook that lets solve
+// sessions release their worker teams.
+func TestRunStateClosesStates(t *testing.T) {
+	points := make([]int, 50)
+	for _, workers := range []int{1, 4} {
+		var built, closes atomic.Int64
+		newState := func() (*closerState, error) {
+			built.Add(1)
+			return &closerState{closes: &closes}, nil
+		}
+		_, err := RunState(bg, points, newState,
+			func(st *closerState, p int) (int, error) { return p, nil },
+			Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if built.Load() == 0 || closes.Load() != built.Load() {
+			t.Fatalf("workers=%d: %d states built, %d closed", workers, built.Load(), closes.Load())
+		}
+
+		built.Store(0)
+		closes.Store(0)
+		_, _, found, err := First(bg, points, newState,
+			func(st *closerState, p int) (int, error) { return p, nil },
+			func(int) bool { return true },
+			Workers(workers))
+		if err != nil || !found {
+			t.Fatalf("workers=%d: First found=%v err=%v", workers, found, err)
+		}
+		if built.Load() == 0 || closes.Load() != built.Load() {
+			t.Fatalf("workers=%d: First %d states built, %d closed", workers, built.Load(), closes.Load())
+		}
+	}
+	// Non-closer states keep working untouched.
+	if _, err := RunState(bg, points,
+		func() (int, error) { return 0, nil },
+		func(int, int) (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // BenchmarkSweepEngineOverhead measures the engine's per-point dispatch
 // cost with a trivial evaluation, serial vs pooled.
 func BenchmarkSweepEngineOverhead(b *testing.B) {

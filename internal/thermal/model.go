@@ -258,24 +258,61 @@ func (m *Model) rhs(powerByLayer map[int][]float64, bc TopBoundary) (linalg.Vect
 }
 
 // rhsInto assembles the right-hand side into a caller-owned vector of
-// length n, overwriting it completely.
+// length n, overwriting it completely. Allocation-free: the map is
+// walked directly (write order does not matter — every layer scatters
+// into a disjoint range of b).
 func (m *Model) rhsInto(b linalg.Vector, powerByLayer map[int][]float64, bc TopBoundary) error {
 	b.Fill(0)
 	for l, p := range powerByLayer {
 		if p == nil {
 			continue
 		}
-		if l < 0 || l >= m.nl {
-			return fmt.Errorf("thermal: power assigned to invalid layer %d", l)
-		}
-		if len(p) != m.cells {
-			return fmt.Errorf("thermal: layer %d power has %d cells, want %d", l, len(p), m.cells)
-		}
-		base := l * m.cells
-		for c, w := range p {
-			b[base+c] += w
+		if err := m.injectLayer(b, l, p); err != nil {
+			return err
 		}
 	}
+	m.rhsBoundaryInto(b, bc)
+	return nil
+}
+
+// rhsLayersInto is rhsInto with the injection as a dense per-layer table
+// (layers[l] = per-cell watts, nil entries allowed, table may be shorter
+// than the stack) — the lookup-free form the workspace hot paths use.
+func (m *Model) rhsLayersInto(b linalg.Vector, layers [][]float64, bc TopBoundary) error {
+	if len(layers) > m.nl {
+		return fmt.Errorf("thermal: power table has %d layers, stack has %d", len(layers), m.nl)
+	}
+	b.Fill(0)
+	for l, p := range layers {
+		if p == nil {
+			continue
+		}
+		if err := m.injectLayer(b, l, p); err != nil {
+			return err
+		}
+	}
+	m.rhsBoundaryInto(b, bc)
+	return nil
+}
+
+// injectLayer validates one layer's power vector and adds it into b.
+func (m *Model) injectLayer(b linalg.Vector, l int, p []float64) error {
+	if l < 0 || l >= m.nl {
+		return fmt.Errorf("thermal: power assigned to invalid layer %d", l)
+	}
+	if len(p) != m.cells {
+		return fmt.Errorf("thermal: layer %d power has %d cells, want %d", l, len(p), m.cells)
+	}
+	base := l * m.cells
+	for c, w := range p {
+		b[base+c] += w
+	}
+	return nil
+}
+
+// rhsBoundaryInto adds the boundary source terms shared by both RHS
+// assemblers: board-side ambient on layer 0 and the convective top fluid.
+func (m *Model) rhsBoundaryInto(b linalg.Vector, bc TopBoundary) {
 	for c := 0; c < m.cells; c++ {
 		b[c] += m.gBottom[c] * m.Env.AmbientC
 	}
@@ -285,7 +322,6 @@ func (m *Model) rhsInto(b linalg.Vector, powerByLayer map[int][]float64, bc TopB
 			b[top+c] += g * bc.TFluid[c]
 		}
 	}
-	return nil
 }
 
 func (m *Model) checkBC(bc TopBoundary) error {

@@ -82,6 +82,49 @@ type transfer struct {
 	// wx, wy hold each fine unknown's weight toward its x/y "other"
 	// coarse cell (0 where other == -1). Indexed like the fine level.
 	wx, wy []float64
+
+	// team parallelizes the transfers (nil = serial): Prolong gathers per
+	// fine cell so it bands fine rows; Restrict and blockSum scatter into
+	// the coarse level, so they partition over layer-slabs — layers never
+	// couple in a transfer, which makes the slabs write-disjoint.
+	team *linalg.Team
+	job  transferJob
+}
+
+// setTeam attaches the worker team the transfer kernels dispatch on.
+func (t *transfer) setTeam(tm *linalg.Team) { t.team = tm }
+
+// parallel reports whether this transfer's passes should use the team.
+func (t *transfer) parallel() bool {
+	return t.team.Workers() > 1 && t.nl*t.cellsF >= parMinStencil
+}
+
+// transferJob adapts one transfer pass to linalg.Task.
+type transferJob struct {
+	t        *transfer
+	mode     int
+	src, dst linalg.Vector
+}
+
+const (
+	jobRestrict = iota
+	jobProlong
+	jobBlockSum
+)
+
+// Do implements linalg.Task.
+func (j *transferJob) Do(worker, workers int) {
+	switch j.mode {
+	case jobRestrict:
+		lo, hi := linalg.Band(j.t.nl, worker, workers)
+		j.t.restrictLayers(j.src, j.dst, lo, hi)
+	case jobProlong:
+		lo, hi := linalg.Band(j.t.nl*j.t.nyf, worker, workers)
+		j.t.prolongRows(j.src, j.dst, lo, hi)
+	case jobBlockSum:
+		lo, hi := linalg.Band(j.t.nl, worker, workers)
+		j.t.blockSumLayers(j.src, j.dst, lo, hi)
+	}
 }
 
 // sideWeight computes the interpolation weight toward the other coarse
@@ -144,8 +187,20 @@ func newTransfer(fine, coarse *stencil) *transfer {
 // Restrict projects a fine residual onto the coarse grid by full
 // weighting (the transpose of Prolong), overwriting coarse.
 func (t *transfer) Restrict(fine, coarse linalg.Vector) {
-	coarse.Fill(0)
-	for l := 0; l < t.nl; l++ {
+	if t.parallel() {
+		t.job = transferJob{t: t, mode: jobRestrict, src: fine, dst: coarse}
+		t.team.Run(&t.job)
+		return
+	}
+	t.restrictLayers(fine, coarse, 0, t.nl)
+}
+
+// restrictLayers restricts the layer-slab [lLo, lHi): the scatter into a
+// coarse layer only ever comes from the fine layer directly above it, so
+// slabs are write-disjoint across workers.
+func (t *transfer) restrictLayers(fine, coarse linalg.Vector, lLo, lHi int) {
+	coarse[lLo*t.cellsC : lHi*t.cellsC].Fill(0)
+	for l := lLo; l < lHi; l++ {
 		baseF := l * t.cellsF
 		baseC := l * t.cellsC
 		for iy := 0; iy < t.nyf; iy++ {
@@ -175,33 +230,43 @@ func (t *transfer) Restrict(fine, coarse linalg.Vector) {
 }
 
 // Prolong interpolates a coarse correction with the operator-induced
-// bilinear weights and adds it into the fine iterate.
+// bilinear weights and adds it into the fine iterate. Each fine cell
+// gathers from its (frozen) coarse parents, so fine rows band across the
+// team freely.
 func (t *transfer) Prolong(coarse, fine linalg.Vector) {
-	for l := 0; l < t.nl; l++ {
-		baseF := l * t.cellsF
+	if t.parallel() {
+		t.job = transferJob{t: t, mode: jobProlong, src: coarse, dst: fine}
+		t.team.Run(&t.job)
+		return
+	}
+	t.prolongRows(coarse, fine, 0, t.nl*t.nyf)
+}
+
+// prolongRows interpolates the fine global rows [rowLo, rowHi).
+func (t *transfer) prolongRows(coarse, fine linalg.Vector, rowLo, rowHi int) {
+	for g := rowLo; g < rowHi; g++ {
+		l, iy := g/t.nyf, g%t.nyf
 		baseC := l * t.cellsC
-		for iy := 0; iy < t.nyf; iy++ {
-			py, oy := t.ym.parent[iy], t.ym.other[iy]
-			rowP := baseC + py*t.nxc
-			rowO := baseC + oy*t.nxc
-			rowF := baseF + iy*t.nxf
-			for ix := 0; ix < t.nxf; ix++ {
-				i := rowF + ix
-				px, ox := t.xm.parent[ix], t.xm.other[ix]
-				wx, wy := t.wx[i], t.wy[i]
-				wpx, wpy := 1-wx, 1-wy
-				v := wpx * wpy * coarse[rowP+px]
-				if ox >= 0 {
-					v += wx * wpy * coarse[rowP+ox]
-				}
-				if oy >= 0 {
-					v += wpx * wy * coarse[rowO+px]
-					if ox >= 0 {
-						v += wx * wy * coarse[rowO+ox]
-					}
-				}
-				fine[i] += v
+		py, oy := t.ym.parent[iy], t.ym.other[iy]
+		rowP := baseC + py*t.nxc
+		rowO := baseC + oy*t.nxc
+		rowF := l*t.cellsF + iy*t.nxf
+		for ix := 0; ix < t.nxf; ix++ {
+			i := rowF + ix
+			px, ox := t.xm.parent[ix], t.xm.other[ix]
+			wx, wy := t.wx[i], t.wy[i]
+			wpx, wpy := 1-wx, 1-wy
+			v := wpx * wpy * coarse[rowP+px]
+			if ox >= 0 {
+				v += wx * wpy * coarse[rowP+ox]
 			}
+			if oy >= 0 {
+				v += wpx * wy * coarse[rowO+px]
+				if ox >= 0 {
+					v += wx * wy * coarse[rowO+ox]
+				}
+			}
+			fine[i] += v
 		}
 	}
 }
@@ -209,8 +274,19 @@ func (t *transfer) Prolong(coarse, fine linalg.Vector) {
 // blockSum restricts an extensive per-unknown quantity (boundary
 // conductance, heat capacity) by summing each coarse cell's children.
 func (t *transfer) blockSum(fine, coarse linalg.Vector) {
-	coarse.Fill(0)
-	for l := 0; l < t.nl; l++ {
+	if t.parallel() {
+		t.job = transferJob{t: t, mode: jobBlockSum, src: fine, dst: coarse}
+		t.team.Run(&t.job)
+		return
+	}
+	t.blockSumLayers(fine, coarse, 0, t.nl)
+}
+
+// blockSumLayers block-sums the layer-slab [lLo, lHi); like restriction,
+// the scatter never leaves the layer, so slabs are write-disjoint.
+func (t *transfer) blockSumLayers(fine, coarse linalg.Vector, lLo, lHi int) {
+	coarse[lLo*t.cellsC : lHi*t.cellsC].Fill(0)
+	for l := lLo; l < lHi; l++ {
 		baseF := l * t.cellsF
 		baseC := l * t.cellsC
 		for iy := 0; iy < t.nyf; iy++ {
@@ -371,6 +447,20 @@ func newHierarchy(m *Model, fine *stencil) (*hierarchy, error) {
 	}
 	h.mg = mg
 	return h, nil
+}
+
+// setTeam attaches the worker team to every level's stencil and transfer.
+// The fine stencil aliases the owning workspace's operator, so setting it
+// here and in Workspace.SetThreads is idempotent; coarse levels gate on
+// their own size, keeping the deep-ladder tail serial where dispatch
+// would cost more than the sweep.
+func (h *hierarchy) setTeam(t *linalg.Team) {
+	for _, lv := range h.levels {
+		lv.st.setTeam(t)
+		if lv.down != nil {
+			lv.down.setTeam(t)
+		}
+	}
 }
 
 // refresh rebuilds every coarse level's diagonal from the fine diagonal

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/floorplan"
+	"repro/internal/linalg"
 )
 
 func benchModel(b *testing.B) (*Model, map[int][]float64, TopBoundary) {
@@ -69,29 +70,70 @@ func BenchmarkSteadySolve(b *testing.B) {
 
 // BenchmarkSteadySolveSize compares the solvers across grid resolutions
 // on cold steady solves — the scaling picture behind the multigrid
-// tentpole. Jacobi-CG's time per solve grows superlinearly in the cell
-// count; MG-PCG stays a fixed small number of cycles, so the gap widens
-// with every doubling.
+// tentpole — and, per solver, across intra-solve thread counts (the
+// threads=N sub-runs): the same solve fanned out over the workspace's
+// worker team, byte-identical by contract and measured here for the
+// speedup-vs-serial trajectory scripts/bench.sh records. Jacobi-CG's
+// time per solve grows superlinearly in the cell count; MG-PCG stays a
+// fixed small number of cycles, so the gap widens with every doubling.
 func BenchmarkSteadySolveSize(b *testing.B) {
 	for _, n := range []int{64, 128, 256} {
 		m, power, bc := xvalModel(b, floorplan.XeonE5Package(), n, n)
 		for _, s := range []Solver{SolverCG, SolverMGPCG} {
-			b.Run(fmt.Sprintf("%d/%s", n, s), func(b *testing.B) {
-				w := m.NewWorkspace()
-				w.SetSolver(s)
-				f := w.FieldA()
-				if err := w.SteadySolveInto(f, nil, power, bc); err != nil { // warm buffers
-					b.Fatal(err)
-				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if err := w.SteadySolveInto(f, nil, power, bc); err != nil {
+			for _, threads := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("%d/%s/threads=%d", n, s, threads), func(b *testing.B) {
+					w := m.NewWorkspace()
+					w.SetSolver(s)
+					w.SetThreads(threads)
+					defer w.Close()
+					f := w.FieldA()
+					if err := w.SteadySolveInto(f, nil, power, bc); err != nil { // warm buffers
 						b.Fatal(err)
 					}
-				}
-			})
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := w.SteadySolveInto(f, nil, power, bc); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
 		}
+	}
+}
+
+// BenchmarkFusedCGIteration isolates the per-iteration cost of the fused
+// CG vector kernels on the 128×128 thermal operator: a fixed 32-iteration
+// budget at an unreachable tolerance, so ns/op ≈ 32 CG iterations of
+// stencil apply + fused vector work with no convergence noise.
+// ReportAllocs doubles as the zero-alloc gate for the fused path.
+func BenchmarkFusedCGIteration(b *testing.B) {
+	m, power, bc := xvalModel(b, floorplan.XeonE5Package(), 128, 128)
+	w := m.NewWorkspace()
+	defer w.Close()
+	m.fillOperator(&w.op, bc, 0)
+	if err := m.rhsInto(w.rhs, power, bc); err != nil {
+		b.Fatal(err)
+	}
+	x := make(linalg.Vector, m.n)
+	opt := linalg.CGOptions{Tol: 1e-300, MaxIter: 32, Precond: &w.pre}
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			w.SetThreads(threads)
+			x.Fill(0)
+			if _, err := linalg.CGWith(&w.op, w.rhs, x, opt, &w.cg); err != nil && err != linalg.ErrNotConverged {
+				b.Fatal(err) // warm-up
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x.Fill(0)
+				if _, err := linalg.CGWith(&w.op, w.rhs, x, opt, &w.cg); err != nil && err != linalg.ErrNotConverged {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

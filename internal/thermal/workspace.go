@@ -2,6 +2,7 @@ package thermal
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/linalg"
 )
@@ -29,6 +30,15 @@ type Workspace struct {
 	// default CG path never pays for it).
 	solver Solver
 	hier   *hierarchy
+
+	// team is the intra-solve worker team SetThreads owns; threads is the
+	// configured width (0 = never set, serial).
+	team    *linalg.Team
+	threads int
+
+	// layers is the map→slice conversion scratch for the layer-power
+	// compatibility wrappers.
+	layers [][]float64
 
 	stats SolveStats
 	last  linalg.CGResult
@@ -61,6 +71,53 @@ func (w *Workspace) SetSolver(s Solver) { w.solver = s }
 // Solver returns the workspace's selected linear solver.
 func (w *Workspace) Solver() Solver { return w.solver }
 
+// SetThreads sets the intra-solve thread count: the stencil kernels, the
+// multigrid transfers and the fused CG vector ops of every subsequent
+// solve fan out across a persistent worker team of this width (n <= 0
+// selects GOMAXPROCS). Thread count is a pure performance knob — solves
+// are byte-identical at any setting, enforced by the fixed-band
+// partitioning and fixed-chunk reductions in linalg. The workspace owns
+// the team: call Close (or SetThreads(1)) to release its goroutines.
+func (w *Workspace) SetThreads(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n == w.threads {
+		return
+	}
+	w.team.Close()
+	w.team = linalg.NewTeam(n)
+	w.threads = n
+	w.wireTeam()
+}
+
+// Threads returns the configured intra-solve thread count (1 when never
+// set or closed).
+func (w *Workspace) Threads() int {
+	if w.threads <= 0 {
+		return 1
+	}
+	return w.threads
+}
+
+// Close releases the workspace's worker team. The workspace stays usable
+// afterwards — solves simply run serially (with identical results).
+func (w *Workspace) Close() {
+	w.team.Close()
+	w.team = nil
+	w.threads = 0
+	w.wireTeam()
+}
+
+// wireTeam points every kernel owner at the current team.
+func (w *Workspace) wireTeam() {
+	w.op.setTeam(w.team)
+	w.cg.SetTeam(w.team)
+	if w.hier != nil {
+		w.hier.setTeam(w.team)
+	}
+}
+
 // Stats returns cumulative linear-solver effort since the workspace was
 // created.
 func (w *Workspace) Stats() SolveStats { return w.stats }
@@ -79,6 +136,7 @@ func (w *Workspace) ensureHierarchy() error {
 	if err != nil {
 		return err
 	}
+	h.setTeam(w.team)
 	w.hier = h
 	return nil
 }
@@ -160,11 +218,44 @@ func (w *Workspace) checkDst(dst *Field) error {
 	return nil
 }
 
+// layersFromMap converts a layer-power map into the workspace's dense
+// per-layer scratch table, validating the layer indices. The returned
+// slice is owned by the workspace and overwritten by the next conversion.
+func (w *Workspace) layersFromMap(powerByLayer map[int][]float64) ([][]float64, error) {
+	if w.layers == nil {
+		w.layers = make([][]float64, w.m.nl)
+	}
+	for i := range w.layers {
+		w.layers[i] = nil
+	}
+	for l, p := range powerByLayer {
+		if l < 0 || l >= w.m.nl {
+			return nil, fmt.Errorf("thermal: power assigned to invalid layer %d", l)
+		}
+		w.layers[l] = p
+	}
+	return w.layers, nil
+}
+
 // SteadySolveInto computes the steady-state field into dst, reusing the
 // workspace buffers: no allocations after the buffers exist. init, when
 // non-nil and correctly sized, seeds the CG iteration (dst == init is
 // allowed and skips the copy); otherwise the solve starts from ambient.
+// It is the map-keyed wrapper over SteadySolveLayersInto.
 func (w *Workspace) SteadySolveInto(dst, init *Field, powerByLayer map[int][]float64, bc TopBoundary) error {
+	layers, err := w.layersFromMap(powerByLayer)
+	if err != nil {
+		return err
+	}
+	return w.SteadySolveLayersInto(dst, init, layers, bc)
+}
+
+// SteadySolveLayersInto is SteadySolveInto with the injected power as a
+// dense per-layer table: layers[l] is layer l's per-cell watts (nil
+// entries inject nothing; the table may be shorter than the stack). This
+// is the hot-path form — per-step callers keep a persistent table and
+// avoid the map allocation and lookup entirely.
+func (w *Workspace) SteadySolveLayersInto(dst, init *Field, layers [][]float64, bc TopBoundary) error {
 	m := w.m
 	if err := w.checkDst(dst); err != nil {
 		return err
@@ -173,7 +264,7 @@ func (w *Workspace) SteadySolveInto(dst, init *Field, powerByLayer map[int][]flo
 		return err
 	}
 	m.fillOperator(&w.op, bc, 0)
-	if err := m.rhsInto(w.rhs, powerByLayer, bc); err != nil {
+	if err := m.rhsLayersInto(w.rhs, layers, bc); err != nil {
 		return err
 	}
 	if init != nil && len(init.T) == m.n {
@@ -192,8 +283,20 @@ func (w *Workspace) SteadySolveInto(dst, init *Field, powerByLayer map[int][]flo
 // StepTransientInto advances prev by dt seconds with backward Euler into
 // dst, reusing the workspace buffers. dst == prev is allowed: the step
 // then updates the field in place (the previous temperatures are consumed
-// by the right-hand side before CG mutates the iterate).
+// by the right-hand side before CG mutates the iterate). It is the
+// map-keyed wrapper over StepTransientLayersInto.
 func (w *Workspace) StepTransientInto(dst, prev *Field, dt float64, powerByLayer map[int][]float64, bc TopBoundary) error {
+	layers, err := w.layersFromMap(powerByLayer)
+	if err != nil {
+		return err
+	}
+	return w.StepTransientLayersInto(dst, prev, dt, layers, bc)
+}
+
+// StepTransientLayersInto is StepTransientInto with the dense per-layer
+// power table of SteadySolveLayersInto — the allocation- and lookup-free
+// form transient simulations step on.
+func (w *Workspace) StepTransientLayersInto(dst, prev *Field, dt float64, layers [][]float64, bc TopBoundary) error {
 	m := w.m
 	if dt <= 0 {
 		return fmt.Errorf("thermal: non-positive dt %g", dt)
@@ -208,7 +311,7 @@ func (w *Workspace) StepTransientInto(dst, prev *Field, dt float64, powerByLayer
 		return err
 	}
 	m.fillOperator(&w.op, bc, 1/dt)
-	if err := m.rhsInto(w.rhs, powerByLayer, bc); err != nil {
+	if err := m.rhsLayersInto(w.rhs, layers, bc); err != nil {
 		return err
 	}
 	for i := range w.rhs {

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Parse `go test -bench` output into BENCH_5.json.
+
+Reads the raw benchmark log (argv[1]) and the benchtime used (argv[2]),
+emits a JSON document with one entry per benchmark and, for benchmarks
+named with a `threads=N` component, the speedup relative to the
+`threads=1` twin in the same family. Entries keep input order so the file
+is byte-stable for a given benchmark log.
+"""
+import json
+import re
+import sys
+
+LINE = re.compile(
+    r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op"
+    r"(?:\s+([\d.]+) MB/s)?"
+    r"(?:\s+(\d+) B/op\s+(\d+) allocs/op)?"
+)
+META = re.compile(r"^(goos|goarch|pkg|cpu): (.*)$")
+
+
+def main() -> None:
+    path, benchtime = sys.argv[1], sys.argv[2]
+    meta, entries = {}, []
+    with open(path) as f:
+        for line in f:
+            line = line.rstrip()
+            m = META.match(line)
+            if m and m.group(1) != "pkg":
+                meta[m.group(1)] = m.group(2)
+            m = LINE.match(line)
+            if not m:
+                continue
+            name = m.group(1).removeprefix("Benchmark")
+            entry = {
+                "name": name,
+                "iterations": int(m.group(2)),
+                "ns_per_op": float(m.group(3)),
+            }
+            if m.group(4) is not None:
+                entry["mb_per_s"] = float(m.group(4))
+            if m.group(5) is not None:
+                entry["bytes_per_op"] = int(m.group(5))
+                entry["allocs_per_op"] = int(m.group(6))
+            entries.append(entry)
+
+    # Speedup vs the serial twin for threads=N sub-benchmarks. The family
+    # key replaces the full `threads=<digits>` token, so e.g. threads=16
+    # can never be mistaken for the threads=1 baseline.
+    def family(name):
+        m = re.search(r"threads=(\d+)", name)
+        if not m:
+            return None, None
+        return name[: m.start()] + "threads={}" + name[m.end():], m.group(1)
+
+    serial = {}
+    for e in entries:
+        key, threads = family(e["name"])
+        if key and threads == "1" and e["ns_per_op"] > 0:
+            serial[key] = e["ns_per_op"]
+    for e in entries:
+        key, threads = family(e["name"])
+        if key and threads != "1" and key in serial and e["ns_per_op"] > 0:
+            e["speedup_vs_serial"] = round(serial[key] / e["ns_per_op"], 3)
+
+    doc = {
+        "schema": "bench.v1",
+        "benchtime": benchtime,
+        **meta,
+        "benchmarks": entries,
+    }
+    json.dump(doc, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()
