@@ -1,47 +1,63 @@
-// Command rackplan exercises the rack-level problem of §V end to end:
-// allocate a workload mix across blades, co-schedule the apps sharing each
-// CPU with the joint Algorithm 1 planner, simulate every blade, and cost
-// the shared chiller loop including the facility PUE.
+// Command rackplan plans a two-phase-cooled fleet end to end: build an
+// N-rack × M-blade topology over shared chiller water loops, load the
+// blades with the PARSEC roster, run the nested datacenter fixed point
+// (loop supply temperatures coupled to blade heat, leakage included), and
+// cost the chiller plant including the facility PUE.
 //
 // Usage:
 //
-//	rackplan -blades 4 -qos 2 -res coarse
+//	rackplan -racks 4 -blades 8 -loops 2 -water 27 -res coarse
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 
-	"repro/internal/chiller"
 	"repro/internal/core"
-	"repro/internal/cosim"
+	"repro/internal/datacenter"
 	"repro/internal/experiments"
+	"repro/internal/power"
 	"repro/internal/rack"
 	"repro/internal/render"
-	"repro/internal/sweep"
 	"repro/internal/thermal"
 	"repro/internal/thermosyphon"
 	"repro/internal/workload"
 )
 
 func main() {
-	blades := flag.Int("blades", 4, "number of CPU blades in the rack")
-	qosFlag := flag.Float64("qos", 2, "QoS degradation limit for every app")
+	racks := flag.Int("racks", 2, "number of racks in the fleet")
+	blades := flag.Int("blades", 4, "number of CPU blades per rack")
+	loops := flag.Int("loops", 1, "number of shared water loops (racks are assigned round-robin)")
+	waterC := flag.Float64("water", 27, "chiller supply setpoint at zero load (°C)")
 	resFlag := flag.String("res", "coarse", "thermal resolution: coarse|medium|full")
-	waterC := flag.Float64("water", 30, "shared loop water temperature (°C)")
 	solverFlag := flag.String("solver", "cg", "thermal linear solver: cg|mgpcg|mg (mgpcg pays off on fine grids)")
-	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial)")
-	threads := flag.Int("threads", 0, "intra-solve threads for the blade solves (0 = GOMAXPROCS, 1 = serial)")
+	workers := flag.Int("workers", 0, "parallel blade-class solves (0 = GOMAXPROCS, 1 = serial)")
+	threads := flag.Int("threads", 0, "intra-solve threads per blade solve (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
-	if err := run(*blades, workload.QoS(*qosFlag), *resFlag, *waterC, *solverFlag, *workers, *threads); err != nil {
+	if err := run(*racks, *blades, *loops, *resFlag, *waterC, *solverFlag, *workers, *threads); err != nil {
 		fmt.Fprintln(os.Stderr, "rackplan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(blades int, qos workload.QoS, resFlag string, waterC float64, solverFlag string, workers, threads int) error {
+// bladeRows caps the per-blade table: fleets past this size collapse to
+// one row per blade class (the rows would repeat anyway — identical
+// blades produce identical operating points).
+const bladeRows = 32
+
+func run(racks, blades, loops int, resFlag string, waterC float64, solverFlag string, workers, threads int) error {
+	if racks < 1 {
+		return fmt.Errorf("-racks must be at least 1, got %d", racks)
+	}
+	if blades < 1 {
+		return fmt.Errorf("-blades must be at least 1, got %d", blades)
+	}
+	if waterC < 0 {
+		return fmt.Errorf("-water must be non-negative, got %g °C", waterC)
+	}
 	res, err := experiments.ParseResolution(resFlag)
 	if err != nil {
 		return err
@@ -51,112 +67,120 @@ func run(blades int, qos workload.QoS, resFlag string, waterC float64, solverFla
 		return err
 	}
 
-	// 1. Allocate the PARSEC mix across blades (LPT balancing).
-	var apps []rack.App
-	for _, b := range workload.All() {
-		apps = append(apps, rack.App{Bench: b, QoS: qos})
+	// The fleet runs the PARSEC roster round-robin: each blade fully
+	// loaded with one benchmark at FMax, POLL idles.
+	wcfg := workload.Config{Cores: 8, Threads: 8, Freq: power.FMax}
+	m := experiments.FullLoadMapping(wcfg, power.POLL)
+	benches := workload.All()
+	states := make([]power.PackageState, len(benches))
+	for i, b := range benches {
+		states[i] = core.PackageState(b, m)
 	}
-	assignments, err := rack.Allocate(apps, blades)
+	loop := rack.SharedLoop{
+		SetpointC:       waterC,
+		ApproachKPerKW:  0.3,
+		PerBladeFlowKgH: 7,
+		AmbientC:        35,
+	}
+	topo, err := datacenter.Uniform(racks, blades, loops, loop, states)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d apps over %d blades, imbalance %.1f W\n\n", len(apps), blades, rack.Imbalance(assignments))
 
-	// 2. Joint-plan and simulate each blade. The blades share one design
-	// and are solved in a fixed serial order, so one warm-started solve
-	// session carries each blade's converged field into the next solve.
 	sys, err := experiments.NewSystem(thermosyphon.DefaultDesign(), res)
 	if err != nil {
 		return err
 	}
-	// The blade loop is serial by design (warm-start carry), so the
-	// intra-solve team is where this command's parallelism lives.
-	ses := sys.NewSession(cosim.WithSolver(solver), cosim.WithThreads(threads))
-	defer ses.Close()
-	op := thermosyphon.Operating{WaterInC: waterC, WaterFlowKgH: 7}
-	var (
-		rows      [][]string
-		bladeHeat []float64
-		totalIT   float64
-	)
-	for _, a := range assignments {
-		if len(a.Apps) == 0 {
-			bladeHeat = append(bladeHeat, 0)
-			continue
-		}
-		// Co-schedule as many apps as jointly fit the core budget and
-		// QoS constraints; the remainder queue behind them (batch
-		// semantics).
-		var (
-			specs []core.AppSpec
-			plan  core.MultiPlan
-		)
-		maxCo := len(a.Apps)
-		if maxCo > 4 {
-			maxCo = 4
-		}
-		for k := maxCo; k >= 1; k-- {
-			specs = specs[:0]
-			for _, app := range a.Apps[:k] {
-				specs = append(specs, core.AppSpec{Bench: app.Bench, QoS: app.QoS})
-			}
-			var perr error
-			plan, perr = core.PlanMulti(specs, sweep.Workers(workers))
-			if perr == nil {
-				break
-			}
-			if k == 1 {
-				return fmt.Errorf("blade %d: %w", a.CPU, perr)
-			}
-		}
-		st := core.PackageStateMulti(plan)
-		result, err := ses.SolveSteady(nil, st, op)
-		if err != nil {
-			return fmt.Errorf("blade %d: %w", a.CPU, err)
-		}
-		die, err := sys.DieStats(result)
-		if err != nil {
-			return err
-		}
-		bladeHeat = append(bladeHeat, result.TotalPowerW)
-		totalIT += result.TotalPowerW
-		names := ""
-		for i, s := range specs {
-			if i > 0 {
-				names += "+"
-			}
-			names += s.Bench.Name
-		}
-		rows = append(rows, []string{
-			strconv.Itoa(a.CPU), names,
-			fmt.Sprintf("%.1f GHz", float64(plan.Freq)),
-			strconv.Itoa(plan.UsedCores()),
-			fmt.Sprintf("%.1f", result.TotalPowerW),
-			fmt.Sprintf("%.1f", die.MaxC),
-			fmt.Sprintf("%.1f", sys.TCase(result)),
-		})
+	s, err := datacenter.New(sys, topo, datacenter.Options{
+		Solver:  solver,
+		Workers: workers,
+		Threads: threads,
+		Leakage: power.DefaultLeakage(),
+	})
+	if err != nil {
+		return err
 	}
-	if err := render.Table(os.Stdout,
-		[]string{"blade", "apps (first 4 co-run)", "freq", "cores", "W", "die θmax", "TCASE"}, rows); err != nil {
+	defer s.Close()
+	rep, err := s.Solve(context.Background())
+	if err != nil {
 		return err
 	}
 
-	// 3. Cost the shared loop and report PUE.
-	loop := rack.SharedLoop{WaterInC: waterC, PerBladeFlowKgH: 7, AmbientC: 35}
-	budget, err := loop.Cost(bladeHeat)
-	if err != nil {
+	fmt.Printf("%d blades in %d racks over %d loops (%d blade classes)\n",
+		topo.NumBlades(), racks, loops, rep.Classes)
+	fmt.Printf("outer fixed point: %d iterations, residual %.4f °C, converged %v\n\n",
+		rep.OuterIterations, rep.ResidualC, rep.Converged)
+
+	// Per-blade operating points; big fleets collapse to per-class rows.
+	if len(rep.Blades) <= bladeRows {
+		var rows [][]string
+		for i, b := range rep.Blades {
+			rows = append(rows, []string{
+				b.Name, benches[i%len(benches)].Name,
+				fmt.Sprintf("%.1f", b.HeatW),
+				fmt.Sprintf("%.1f", b.DieMaxC),
+				fmt.Sprintf("%.1f", b.TCaseC),
+			})
+		}
+		if err := render.Table(os.Stdout,
+			[]string{"blade", "bench", "W", "die θmax", "TCASE"}, rows); err != nil {
+			return err
+		}
+	} else {
+		type cls struct {
+			b     datacenter.BladeReport
+			bench string
+			count int
+		}
+		var (
+			order []string
+			byB   = map[string]*cls{}
+		)
+		for i, b := range rep.Blades {
+			bench := benches[i%len(benches)].Name
+			c, ok := byB[bench]
+			if !ok {
+				c = &cls{b: b, bench: bench}
+				byB[bench] = c
+				order = append(order, bench)
+			}
+			c.count++
+		}
+		var rows [][]string
+		for _, bench := range order {
+			c := byB[bench]
+			rows = append(rows, []string{
+				c.bench, strconv.Itoa(c.count),
+				fmt.Sprintf("%.1f", c.b.HeatW),
+				fmt.Sprintf("%.1f", c.b.DieMaxC),
+				fmt.Sprintf("%.1f", c.b.TCaseC),
+			})
+		}
+		if err := render.Table(os.Stdout,
+			[]string{"bench", "blades", "W each", "die θmax", "TCASE"}, rows); err != nil {
+			return err
+		}
+	}
+
+	// Per-loop converged water states.
+	fmt.Println()
+	var loopRows [][]string
+	for _, l := range rep.Loops {
+		loopRows = append(loopRows, []string{
+			l.Name, strconv.Itoa(l.Blades),
+			fmt.Sprintf("%.0f", l.State.HeatW),
+			fmt.Sprintf("%.2f", l.State.SupplyC),
+			fmt.Sprintf("%.2f", l.State.ReturnC),
+			fmt.Sprintf("%.0f", l.State.FlowKgH),
+		})
+	}
+	if err := render.Table(os.Stdout,
+		[]string{"loop", "blades", "heat W", "supply °C", "return °C", "flow kg/h"}, loopRows); err != nil {
 		return err
 	}
-	pue, err := chiller.ThermosyphonPUE(totalIT, waterC, 35)
-	if err != nil {
-		return err
-	}
-	air, err := chiller.AirCooledPUE(totalIT)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("\nshared loop: %.1f W heat, ΔT %.2f °C, Eq.(1) %.1f W, chiller %.1f W\n",
-		budget.HeatW, budget.WaterDeltaT, budget.Eq1PowerW, budget.ChillerPowerW)
-	fmt.Printf("rack PUE with thermosyphons: %.3f (air-cooled reference %.3f, paper's prototype 1.05)\n", pue, air)
+
+	fmt.Printf("\nplant: %.0f W IT, %.0f W chiller (mean COP %.0f), hottest die %.1f °C\n",
+		rep.ITPowerW, rep.Plant.ChillerPowerW, rep.Plant.MeanCOP, rep.MaxDieC)
+	fmt.Printf("facility PUE: %.3f (paper's prototype 1.05)\n", rep.Plant.PUE)
 	return nil
 }

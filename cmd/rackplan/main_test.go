@@ -5,8 +5,6 @@ import (
 	"os"
 	"strings"
 	"testing"
-
-	"repro/internal/workload"
 )
 
 // captureStdout runs f with os.Stdout redirected to a pipe and returns
@@ -32,12 +30,14 @@ func captureStdout(t *testing.T, f func() error) string {
 
 func TestRackplanRuns(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run(4, workload.QoS2x, "coarse", 30, "cg", 0, 1)
+		return run(2, 4, 1, "coarse", 27, "cg", 0, 1)
 	})
 	for _, want := range []string{
-		"13 apps over 4 blades",
-		"shared loop:",
-		"rack PUE with thermosyphons:",
+		"8 blades in 2 racks over 1 loops",
+		"outer fixed point:",
+		"converged true",
+		"plant:",
+		"facility PUE:",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
@@ -45,20 +45,49 @@ func TestRackplanRuns(t *testing.T) {
 	}
 }
 
-func TestRackplanBadResolution(t *testing.T) {
-	if err := run(4, workload.QoS2x, "nope", 30, "cg", 0, 1); err == nil {
-		t.Fatal("expected error for unknown resolution")
-	}
-	if err := run(4, workload.QoS2x, "coarse", 30, "nope", 0, 1); err == nil {
-		t.Fatal("expected error for unknown solver")
+// TestRackplanClassRollup: fleets past the per-blade table cap collapse
+// to one row per benchmark class, with populations summing to the fleet.
+func TestRackplanClassRollup(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(5, 8, 2, "coarse", 27, "cg", 0, 1)
+	})
+	for _, want := range []string{"40 blades in 5 racks over 2 loops", "blades", "W each"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
 	}
 }
 
-// TestRackplanWorkersFlag exercises the -workers knob the command passes
-// explicitly into the planner's sweep pool: a serial run and a pooled run
-// must print byte-identical reports (the sweep engine's determinism
-// contract). The knob is per-call — there is no process-wide state left
-// to set.
+// TestRackplanFlagValidation: every malformed flag combination must be
+// rejected with an error naming the offending flag, before any solving.
+func TestRackplanFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() error
+		want string
+	}{
+		{"zero racks", func() error { return run(0, 4, 1, "coarse", 27, "cg", 0, 1) }, "-racks"},
+		{"zero blades", func() error { return run(2, 0, 1, "coarse", 27, "cg", 0, 1) }, "-blades"},
+		{"negative water", func() error { return run(2, 4, 1, "coarse", -5, "cg", 0, 1) }, "-water"},
+		{"unknown resolution", func() error { return run(2, 4, 1, "nope", 27, "cg", 0, 1) }, "nope"},
+		{"unknown solver", func() error { return run(2, 4, 1, "coarse", 27, "nope", 0, 1) }, "nope"},
+		{"more loops than racks", func() error { return run(2, 4, 3, "coarse", 27, "cg", 0, 1) }, "loop count"},
+		{"zero loops", func() error { return run(2, 4, 0, "coarse", 27, "cg", 0, 1) }, "loop count"},
+	}
+	for _, tc := range cases {
+		err := tc.run()
+		if err == nil {
+			t.Fatalf("%s: expected an error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestRackplanWorkersFlag: a serial run and a pooled run (with
+// intra-solve threads) must print byte-identical reports — the datacenter
+// layer's outer-loop determinism contract, surfaced at the CLI.
 func TestRackplanWorkersFlag(t *testing.T) {
 	testRackplanWorkersFlag(t, "cg")
 }
@@ -73,7 +102,7 @@ func TestRackplanWorkersFlagMGPCG(t *testing.T) {
 func testRackplanWorkersFlag(t *testing.T, solver string) {
 	withWorkers := func(n int) string {
 		return captureStdout(t, func() error {
-			return run(2, workload.QoS2x, "coarse", 30, solver, n, 2)
+			return run(2, 4, 2, "coarse", 27, solver, n, 2)
 		})
 	}
 	serial := withWorkers(1)

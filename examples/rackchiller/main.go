@@ -78,23 +78,23 @@ func run(w io.Writer, res experiments.Resolution) error {
 
 	// Cost the shared loop: all blades get the same water temperature
 	// (one chiller per rack), so the hottest blade dictates it.
-	loop := rack.SharedLoop{WaterInC: 30, PerBladeFlowKgH: 7, AmbientC: 35}
+	loop := rack.SharedLoop{SetpointC: 30, PerBladeFlowKgH: 7, AmbientC: 35}
 	budget, err := loop.Cost(bladeHeat)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "shared loop at %.0f °C: heat %.1f W, water ΔT %.2f °C, Eq.(1) %.1f W, chiller %.1f W\n",
-		loop.WaterInC, budget.HeatW, budget.WaterDeltaT, budget.Eq1PowerW, budget.ChillerPowerW)
+		loop.SetpointC, budget.HeatW, budget.WaterDeltaT, budget.Eq1PowerW, budget.ChillerPowerW)
 
 	// What if the rack had to run 10 °C colder water because one blade
 	// used a thermal-unaware mapping? (§VIII-B's argument at rack scale.)
-	cold := rack.SharedLoop{WaterInC: 20, PerBladeFlowKgH: 7, AmbientC: 35}
+	cold := rack.SharedLoop{SetpointC: 20, PerBladeFlowKgH: 7, AmbientC: 35}
 	coldBudget, err := cold.Cost(bladeHeat)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "same rack at %.0f °C water: chiller %.1f W (%.0f%% more)\n",
-		cold.WaterInC, coldBudget.ChillerPowerW,
+		cold.SetpointC, coldBudget.ChillerPowerW,
 		(coldBudget.ChillerPowerW/budget.ChillerPowerW-1)*100)
 	return nil
 }

@@ -1,0 +1,83 @@
+package chiller
+
+import (
+	"fmt"
+	"math"
+)
+
+// The datacenter-scale nested solve aggregates many shared water loops
+// into one chiller plant: each loop returns warm water at its own flow and
+// temperatures, the plant removes the combined heat electrically, and the
+// facility is judged by the resulting PUE. This file provides that
+// aggregation on top of the per-loop Assess/COP models.
+
+// LoopLoad is one water loop's converged operating point as the plant
+// sees it: total flow, supply (what the plant must produce) and return
+// (what the blades send back) temperatures.
+type LoopLoad struct {
+	// Name labels the loop in the per-loop breakdown.
+	Name string
+	// FlowKgH is the total loop water flow.
+	FlowKgH float64
+	// SupplyC is the water temperature the plant delivers to the loop.
+	SupplyC float64
+	// ReturnC is the water temperature coming back from the blades.
+	ReturnC float64
+	// AmbientC is the heat-rejection temperature for this loop's chiller.
+	AmbientC float64
+}
+
+// LoopBudget is one loop's share of the plant assessment.
+type LoopBudget struct {
+	Name string
+	Budget
+	// COP is the chiller coefficient of performance at this loop's
+	// supply temperature.
+	COP float64
+}
+
+// PlantReport aggregates a chiller plant serving several water loops.
+type PlantReport struct {
+	// Loops is the per-loop breakdown, in input order.
+	Loops []LoopBudget
+	// HeatW is the total heat the plant removes.
+	HeatW float64
+	// ChillerPowerW is the total electrical draw of the chillers.
+	ChillerPowerW float64
+	// MeanCOP is the load-weighted coefficient of performance
+	// (HeatW / ChillerPowerW); effectively unbounded (or +Inf at zero
+	// load) when every loop is free-cooled.
+	MeanCOP float64
+	// PUE is the facility power usage effectiveness for the given IT load.
+	PUE float64
+}
+
+// PlantAssess prices a chiller plant cooling the given loops, for a
+// facility whose IT equipment draws itPowerW. Loops are priced
+// independently (each chiller produces its loop's supply temperature
+// against its loop's ambient) and summed in input order, so the report is
+// deterministic for a fixed loop list.
+func PlantAssess(itPowerW float64, loads []LoopLoad) (PlantReport, error) {
+	var rep PlantReport
+	rep.Loops = make([]LoopBudget, 0, len(loads))
+	for i, l := range loads {
+		b, err := Assess(l.FlowKgH, l.SupplyC, l.ReturnC, l.AmbientC)
+		if err != nil {
+			return PlantReport{}, fmt.Errorf("chiller: loop %d (%s): %w", i, l.Name, err)
+		}
+		rep.Loops = append(rep.Loops, LoopBudget{Name: l.Name, Budget: b, COP: COP(l.SupplyC, l.AmbientC)})
+		rep.HeatW += b.HeatW
+		rep.ChillerPowerW += b.ChillerPowerW
+	}
+	if rep.ChillerPowerW > 0 {
+		rep.MeanCOP = rep.HeatW / rep.ChillerPowerW
+	} else {
+		rep.MeanCOP = math.Inf(1) // free cooling everywhere
+	}
+	pue, err := PUE(itPowerW, rep.ChillerPowerW)
+	if err != nil {
+		return PlantReport{}, err
+	}
+	rep.PUE = pue
+	return rep, nil
+}

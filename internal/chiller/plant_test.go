@@ -1,0 +1,65 @@
+package chiller
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlantAssessAggregates(t *testing.T) {
+	loads := []LoopLoad{
+		{Name: "loop0", FlowKgH: 28, SupplyC: 30, ReturnC: 36, AmbientC: 35},
+		{Name: "loop1", FlowKgH: 14, SupplyC: 27, ReturnC: 35, AmbientC: 35},
+	}
+	rep, err := PlantAssess(2000, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Loops) != 2 {
+		t.Fatalf("got %d loop budgets", len(rep.Loops))
+	}
+	var heat, elec float64
+	for _, l := range rep.Loops {
+		heat += l.HeatW
+		elec += l.ChillerPowerW
+		if l.COP <= 0 {
+			t.Fatalf("loop %s COP %.3f", l.Name, l.COP)
+		}
+	}
+	if math.Abs(heat-rep.HeatW) > 1e-9 || math.Abs(elec-rep.ChillerPowerW) > 1e-9 {
+		t.Fatal("plant totals must equal the per-loop sums")
+	}
+	if rep.HeatW <= 0 || rep.ChillerPowerW <= 0 {
+		t.Fatalf("implausible plant: heat %.1f W, chiller %.1f W", rep.HeatW, rep.ChillerPowerW)
+	}
+	if rep.MeanCOP <= 0 || math.Abs(rep.MeanCOP-rep.HeatW/rep.ChillerPowerW) > 1e-9 {
+		t.Fatalf("mean COP %.3f inconsistent", rep.MeanCOP)
+	}
+	if rep.PUE <= 1 {
+		t.Fatalf("PUE %.3f must exceed 1", rep.PUE)
+	}
+}
+
+func TestPlantAssessFreeCooling(t *testing.T) {
+	// Supply above ambient: outside air does the job, no chiller power.
+	rep, err := PlantAssess(1000, []LoopLoad{{FlowKgH: 14, SupplyC: 45, ReturnC: 50, AmbientC: 35}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChillerPowerW > 1e-2 {
+		t.Fatalf("free cooling should cost ~nothing, got %.3f W", rep.ChillerPowerW)
+	}
+	if rep.MeanCOP < 1e5 {
+		t.Fatalf("free-cooled mean COP should be effectively unbounded, got %.3f", rep.MeanCOP)
+	}
+}
+
+func TestPlantAssessErrors(t *testing.T) {
+	// Inverted loop temperatures propagate the Assess error with the loop name.
+	if _, err := PlantAssess(1000, []LoopLoad{{Name: "bad", FlowKgH: 14, SupplyC: 40, ReturnC: 30, AmbientC: 35}}); err == nil {
+		t.Fatal("inverted loop temperatures must error")
+	}
+	// Non-positive IT power fails the PUE accounting.
+	if _, err := PlantAssess(0, []LoopLoad{{FlowKgH: 14, SupplyC: 30, ReturnC: 35, AmbientC: 35}}); err == nil {
+		t.Fatal("zero IT power must error")
+	}
+}

@@ -109,6 +109,26 @@ func (ses *Session) System() *System { return ses.sys }
 // Reset drops the carried warm-start state; the next solve starts cold.
 func (ses *Session) Reset() { ses.warm = false }
 
+// ReseatWater adapts the carried warm-start state to a change of the
+// cooling-water inlet temperature: to first order a uniform inlet shift
+// offsets the whole steady temperature field by the same amount and
+// leaves the heat-flux distribution unchanged, so shifting the carried
+// field by deltaC keeps the warm start tight when an outer loop (the
+// datacenter water-temperature fixed point) re-solves the same blade at a
+// slightly different water temperature. No system is rebuilt and nothing
+// re-converges here — the next solve still iterates to the same converged
+// answer (within solver tolerances), it just starts closer to it. A no-op
+// on sessions with no carried state.
+func (ses *Session) ReseatWater(deltaC float64) {
+	if !ses.warm || !ses.carry || deltaC == 0 {
+		return
+	}
+	f := ses.ws.FieldA()
+	for i := range f.T {
+		f.T[i] += deltaC
+	}
+}
+
 // SolveSteady is System.SolveSteady on the session: coupled steady state
 // for a CPU package state, warm-started from the previous solve when the
 // carry is enabled. Cancelling ctx aborts the coupled fixed point between

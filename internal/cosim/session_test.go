@@ -281,3 +281,73 @@ func TestSessionSingleTransient(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSessionReseatWater: re-seating the warm start for a water-inlet
+// change must (a) leave the converged answer where a cold solve puts it
+// (within solver tolerances) and (b) not cost more coupling iterations
+// than re-solving without the re-seat — it is the outer-fixed-point
+// optimization the datacenter solver leans on.
+func TestSessionReseatWater(t *testing.T) {
+	sys, err := NewSystem(coarseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := fullLoadState(2.2)
+
+	op := thermosyphon.DefaultOperating()
+	ref := sys.NewSession()
+	if _, err := ref.SolveSteady(nil, st, op); err != nil {
+		t.Fatal(err)
+	}
+	op2 := op
+	op2.WaterInC = op.WaterInC + 2
+	refRes, err := ref.SolveSteady(nil, st, op2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMax := maxT(refRes)
+
+	ses := sys.NewSession()
+	if _, err := ses.SolveSteady(nil, st, op); err != nil {
+		t.Fatal(err)
+	}
+	ses.ReseatWater(op2.WaterInC - op.WaterInC)
+	res, err := ses.SolveSteady(nil, st, op2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > refRes.Iterations {
+		t.Fatalf("re-seated solve took %d iterations, plain warm re-solve %d",
+			res.Iterations, refRes.Iterations)
+	}
+	if d := math.Abs(maxT(res) - refMax); d > 0.05 {
+		t.Fatalf("re-seated answer drifted %.4f °C from the warm reference", d)
+	}
+
+	// A cold or non-carrying session must be unaffected by a re-seat.
+	cold := sys.NewSession()
+	cold.ReseatWater(5)
+	coldRes, err := cold.SolveSteady(nil, st, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := sys.SolveSteady(st, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh.Field.T {
+		if fresh.Field.T[i] != coldRes.Field.T[i] {
+			t.Fatalf("re-seat on a cold session changed the solve (cell %d)", i)
+		}
+	}
+}
+
+func maxT(r *Result) float64 {
+	m := math.Inf(-1)
+	for _, v := range r.Field.T {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

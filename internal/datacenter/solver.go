@@ -1,0 +1,389 @@
+package datacenter
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/chiller"
+	"repro/internal/cosim"
+	"repro/internal/power"
+	"repro/internal/rack"
+	"repro/internal/sweep"
+	"repro/internal/thermal"
+	"repro/internal/thermosyphon"
+)
+
+// Options tunes the nested solve. The zero value is valid: CG solver,
+// auto worker pool, serial solves, warm starts on, no leakage feedback.
+type Options struct {
+	// Solver selects the thermal linear solver of every blade session.
+	Solver thermal.Solver
+	// Workers bounds the sweep pool fanning out the per-class blade
+	// solves (0 = GOMAXPROCS, 1 = serial). The pool never changes
+	// results; see the package comment's determinism contract.
+	Workers int
+	// Threads is the intra-solve team width of every blade session
+	// (0 or 1 = serial). Callers compose Workers × Threads under one core
+	// budget (experiments.RunConfig does the split).
+	Threads int
+	// Leakage scales each blade's static power with its die temperature,
+	// closing the power↔temperature loop that makes the outer fixed point
+	// more than a single feed-forward pass. The zero model (BetaPerC 0)
+	// disables the feedback.
+	Leakage power.LeakageModel
+	// NoWarmStart disables the cross-iteration warm-start carry (and the
+	// water re-seat); every blade solve then seeds cold. Pooled runs are
+	// byte-identical to serial either way — the knob exists to measure
+	// what the carry buys.
+	NoWarmStart bool
+	// Damping is the outer update factor α in T ← T + α·(T' − T).
+	// 0 selects the default 0.8; the loop gain (plant approach ×
+	// leakage sensitivity) is well below 1 for physical parameters, so
+	// mild damping is a robustness margin, not a convergence crutch.
+	Damping float64
+	// TolC is the convergence tolerance on the largest undamped per-loop
+	// supply-temperature update (°C). 0 selects the default 0.01.
+	TolC float64
+	// MaxOuter bounds the outer iterations. 0 selects the default 40.
+	MaxOuter int
+	// Progress, when non-nil, is called after every outer iteration with
+	// the iteration number (1-based) and the undamped residual (°C).
+	Progress func(outer int, maxDeltaC float64)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Damping == 0 {
+		o.Damping = 0.8
+	}
+	if o.TolC == 0 {
+		o.TolC = 0.01
+	}
+	if o.MaxOuter == 0 {
+		o.MaxOuter = 40
+	}
+	return o
+}
+
+// class is one equivalence class of blades: same package state, same
+// loop, therefore byte-identical solves. It owns the warm-started solve
+// session that represents every blade in the class.
+type class struct {
+	loop  int
+	st    power.PackageState
+	count int
+	ses   *cosim.Session
+	// lastWaterC is the supply temperature of the class's previous solve,
+	// the reference for the warm-start re-seat.
+	lastWaterC float64
+}
+
+// classKey identifies a class: blades are interchangeable exactly when
+// they run the same package state on the same loop.
+type classKey struct {
+	loop int
+	st   power.PackageState
+}
+
+// Solver runs the nested datacenter solve for one topology. It keeps
+// per-class sessions (and the converged loop temperatures) across Solve
+// calls, so a series of solves — the hours of a diurnal sweep, a
+// what-if re-plan — warm-starts from the previous converged fleet state.
+// A Solver is not safe for concurrent use; Close releases the sessions.
+type Solver struct {
+	topo Topology
+	sys  *cosim.System
+	opt  Options
+
+	classes    []*class
+	bladeClass []int // flat (rack-major) blade index → class index
+
+	temps []float64 // per-loop supply temperatures (carried across Solve calls)
+}
+
+// New builds a solver for the topology on the given blade system. All
+// blades share the system (one floorplan, stack and thermosyphon design);
+// each blade class gets its own solve session, so class solves are
+// independent and safely fan out across goroutines. The system must carry
+// the Xeon power model (leakage folding needs the static/dynamic split).
+func New(sys *cosim.System, topo Topology, opt Options) (*Solver, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if sys.Power == nil {
+		return nil, fmt.Errorf("datacenter: system has no power model")
+	}
+	s := &Solver{topo: topo, sys: sys, opt: opt.withDefaults()}
+
+	byKey := make(map[classKey]int)
+	for _, r := range topo.Racks {
+		for _, b := range r.Blades {
+			key := classKey{loop: r.Loop, st: b.State}
+			ci, ok := byKey[key]
+			if !ok {
+				ci = len(s.classes)
+				byKey[key] = ci
+				s.classes = append(s.classes, &class{loop: r.Loop, st: b.State})
+			}
+			s.classes[ci].count++
+			s.bladeClass = append(s.bladeClass, ci)
+		}
+	}
+	for _, c := range s.classes {
+		opts := []cosim.SessionOption{
+			cosim.WithSolver(s.opt.Solver),
+			cosim.CarryWarmStart(!s.opt.NoWarmStart),
+		}
+		if s.opt.Threads > 1 {
+			opts = append(opts, cosim.WithThreads(s.opt.Threads))
+		}
+		c.ses = sys.NewSession(opts...)
+	}
+	s.temps = make([]float64, len(topo.Loops))
+	for i, l := range topo.Loops {
+		s.temps[i] = l.SupplyC(0)
+		// Seed the re-seat reference so the first iteration's delta is zero.
+		for _, c := range s.classes {
+			if c.loop == i {
+				c.lastWaterC = s.temps[i]
+			}
+		}
+	}
+	return s, nil
+}
+
+// Classes returns the number of distinct blade classes the solver solves
+// per outer iteration.
+func (s *Solver) Classes() int { return len(s.classes) }
+
+// Close releases every class session's worker team.
+func (s *Solver) Close() error {
+	for _, c := range s.classes {
+		c.ses.Close()
+	}
+	return nil
+}
+
+// classResult is what one class solve contributes to the outer update.
+type classResult struct {
+	heatW      float64
+	dieMaxC    float64
+	tcaseC     float64
+	coupleIter int
+	leakIter   int
+}
+
+// Solve runs the nested fixed point at nominal load.
+func (s *Solver) Solve(ctx context.Context) (*Report, error) { return s.SolveScaled(ctx, 1) }
+
+// SolveScaled runs the nested fixed point with every blade's per-core
+// dynamic power scaled by dynScale — the fleet-wide load knob the diurnal
+// sweep drives from a workload trace. Scaling is applied to the class
+// states on entry; class identity (and with it the warm-start carry) is
+// stable across scales. Cancelling ctx aborts between outer iterations
+// and between (and inside) the fanned-out blade solves, returning
+// ctx.Err() promptly.
+func (s *Solver) SolveScaled(ctx context.Context, dynScale float64) (*Report, error) {
+	if dynScale < 0 {
+		return nil, fmt.Errorf("datacenter: negative load scale %g", dynScale)
+	}
+	opt := s.opt
+	states := make([]power.PackageState, len(s.classes))
+	for i, c := range s.classes {
+		states[i] = scaleState(c.st, dynScale)
+	}
+	idx := make([]int, len(s.classes))
+	for i := range idx {
+		idx[i] = i
+	}
+
+	var (
+		results   []classResult
+		loopHeat  = make([]float64, len(s.topo.Loops))
+		converged bool
+		outer     int
+		residual  = math.Inf(1)
+	)
+	for outer = 1; outer <= opt.MaxOuter; outer++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		// Inner level: one coupled (thermal ↔ thermosyphon ↔ leakage)
+		// solve per blade class at the current loop temperatures, fanned
+		// out across the worker pool. Results come back input-ordered.
+		res, err := sweep.RunState(ctx, idx,
+			func() (struct{}, error) { return struct{}{}, nil },
+			func(_ struct{}, ci int) (classResult, error) {
+				c := s.classes[ci]
+				waterC := s.temps[c.loop]
+				op := thermosyphon.Operating{
+					WaterInC:     waterC,
+					WaterFlowKgH: s.topo.Loops[c.loop].PerBladeFlowKgH,
+				}
+				if !opt.NoWarmStart {
+					c.ses.ReseatWater(waterC - c.lastWaterC)
+				}
+				c.lastWaterC = waterC
+				r, err := c.ses.SolveSteadyLeakage(ctx, states[ci], op, opt.Leakage)
+				if err != nil {
+					return classResult{}, fmt.Errorf("class %d (loop %d): %w", ci, c.loop, err)
+				}
+				die, err := s.sys.DieStats(&r.Result)
+				if err != nil {
+					return classResult{}, err
+				}
+				return classResult{
+					heatW:      r.TotalPowerW,
+					dieMaxC:    die.MaxC,
+					tcaseC:     s.sys.TCase(&r.Result),
+					coupleIter: r.Iterations,
+					leakIter:   r.LeakageIterations,
+				}, nil
+			},
+			sweep.Workers(opt.Workers))
+		if err != nil {
+			return nil, err
+		}
+		results = res
+
+		// Outer level: re-derive each loop's supply temperature from the
+		// heat its blades reject. Heats accumulate in class order, so the
+		// reduction is schedule-independent.
+		for l := range loopHeat {
+			loopHeat[l] = 0
+		}
+		for ci, r := range results {
+			loopHeat[s.classes[ci].loop] += float64(s.classes[ci].count) * r.heatW
+		}
+		residual = 0
+		for l, lp := range s.topo.Loops {
+			d := math.Abs(lp.SupplyC(loopHeat[l]) - s.temps[l])
+			if d > residual {
+				residual = d
+			}
+		}
+		if opt.Progress != nil {
+			opt.Progress(outer, residual)
+		}
+		if residual < opt.TolC {
+			converged = true
+			break
+		}
+		for l, lp := range s.topo.Loops {
+			s.temps[l] += opt.Damping * (lp.SupplyC(loopHeat[l]) - s.temps[l])
+		}
+	}
+	if outer > opt.MaxOuter {
+		outer = opt.MaxOuter
+	}
+	return s.report(results, outer, converged, residual)
+}
+
+// report assembles the converged fleet state into a Report.
+func (s *Solver) report(results []classResult, outer int, converged bool, residual float64) (*Report, error) {
+	rep := &Report{
+		OuterIterations: outer,
+		Converged:       converged,
+		ResidualC:       residual,
+		Classes:         len(s.classes),
+		BladeSolves:     outer * len(s.classes),
+	}
+	// Per-blade rows in flat (rack-major) order, expanded from the class
+	// results; per-loop heats re-accumulated in the same order so the
+	// report is independent of the class partition.
+	loopHeats := make([][]float64, len(s.topo.Loops))
+	flat := 0
+	for ri, r := range s.topo.Racks {
+		for bi, b := range r.Blades {
+			cr := results[s.bladeClass[flat]]
+			rep.Blades = append(rep.Blades, BladeReport{
+				Rack: ri, Slot: bi, Name: b.Name,
+				HeatW: cr.heatW, DieMaxC: cr.dieMaxC, TCaseC: cr.tcaseC,
+			})
+			rep.ITPowerW += cr.heatW
+			if cr.dieMaxC > rep.MaxDieC {
+				rep.MaxDieC = cr.dieMaxC
+			}
+			loopHeats[r.Loop] = append(loopHeats[r.Loop], cr.heatW)
+			flat++
+		}
+	}
+	loads := make([]chiller.LoopLoad, 0, len(s.topo.Loops))
+	for l, lp := range s.topo.Loops {
+		st, err := lp.Boundary(loopHeats[l])
+		if err != nil {
+			return nil, fmt.Errorf("datacenter: loop %d (%s): %w", l, lp.Name, err)
+		}
+		rep.Loops = append(rep.Loops, LoopReport{
+			Name: lp.Name, Blades: len(loopHeats[l]), State: st,
+		})
+		loads = append(loads, chiller.LoopLoad{
+			Name: lp.Name, FlowKgH: st.FlowKgH,
+			SupplyC: st.SupplyC, ReturnC: st.ReturnC, AmbientC: lp.AmbientC,
+		})
+	}
+	plant, err := chiller.PlantAssess(rep.ITPowerW, loads)
+	if err != nil {
+		return nil, err
+	}
+	rep.Plant = plant
+	return rep, nil
+}
+
+// scaleState scales the dynamic (workload) share of a package state;
+// static and idle shares are load-independent.
+func scaleState(st power.PackageState, dynScale float64) power.PackageState {
+	for i := range st.Cores {
+		if st.Cores[i].Active {
+			st.Cores[i].DynWatts *= dynScale
+		}
+	}
+	return st
+}
+
+// BladeReport is one blade's converged operating point.
+type BladeReport struct {
+	Rack, Slot int
+	Name       string
+	// HeatW is the blade's total package power (leakage included) — the
+	// heat it rejects into its loop.
+	HeatW   float64
+	DieMaxC float64
+	TCaseC  float64
+}
+
+// LoopReport is one loop's converged water state.
+type LoopReport struct {
+	Name   string
+	Blades int
+	// State holds the load-derived supply/return temperatures, flow and
+	// heat (consistent with the fixed point's final temperatures to
+	// within Options.TolC).
+	State rack.LoopState
+}
+
+// Report is the converged fleet steady state.
+type Report struct {
+	Blades []BladeReport
+	Loops  []LoopReport
+	// Plant prices the chiller plant serving the loops, including the
+	// facility PUE.
+	Plant chiller.PlantReport
+	// ITPowerW is the total blade heat (the facility IT load).
+	ITPowerW float64
+	// MaxDieC is the hottest die in the fleet.
+	MaxDieC float64
+	// OuterIterations is the number of outer fixed-point iterations run.
+	OuterIterations int
+	// Converged reports whether the residual fell below Options.TolC
+	// within Options.MaxOuter iterations.
+	Converged bool
+	// ResidualC is the final undamped residual (°C).
+	ResidualC float64
+	// Classes is the number of distinct blade classes; BladeSolves the
+	// total coupled solves performed (Classes × OuterIterations).
+	Classes     int
+	BladeSolves int
+}

@@ -112,7 +112,7 @@ func TestRegistryRoundTrip(t *testing.T) {
 func TestExperimentCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	for _, name := range []string{"fig2", "fig3", "tablei", "fig5", "fig6", "tableii", "design", "cooling", "scaling"} {
+	for _, name := range []string{"fig2", "fig3", "tablei", "fig5", "fig6", "tableii", "design", "cooling", "scaling", "datacenter", "diurnal"} {
 		e, ok := Lookup(name)
 		if !ok {
 			t.Fatalf("experiment %q missing", name)

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"repro/internal/chiller"
+	"repro/internal/refrigerant"
 	"repro/internal/workload"
 )
 
@@ -89,32 +90,78 @@ func Imbalance(assignments []Assignment) float64 {
 	return hi - lo
 }
 
-// SharedLoop sizes the rack's shared water loop: every blade receives the
-// same inlet temperature, so the loop must carry the total heat and the
-// chiller bills for the coldest temperature any blade requires.
+// SharedLoop models the shared water loop as a coupled thermal boundary:
+// every blade on the loop receives the same supply temperature, but that
+// temperature is no longer an assumed constant — the chiller plant holds
+// its setpoint only at zero load and backs off as the plant heat exchanger
+// loads up, so the supply (and with it every blade's cooling boundary) is
+// derived from the very blade heats it helps produce. The datacenter
+// solver closes this loop with a damped fixed point; SharedLoop provides
+// the loop-side physics.
 type SharedLoop struct {
-	// WaterInC is the shared inlet temperature.
-	WaterInC float64
+	// SetpointC is the chiller supply setpoint: the water temperature the
+	// loop delivers at zero heat load.
+	SetpointC float64
+	// ApproachKPerKW is the supply-temperature rise per kW of loop heat —
+	// the finite-UA approach of the plant heat exchanger. Zero reproduces
+	// the old fixed-water-temperature behaviour.
+	ApproachKPerKW float64
 	// PerBladeFlowKgH is the condenser flow each blade receives.
 	PerBladeFlowKgH float64
 	// AmbientC is the heat-rejection temperature.
 	AmbientC float64
 }
 
-// Cost aggregates the rack cooling cost for the given blade heats (W).
-func (l SharedLoop) Cost(bladeHeatW []float64) (chiller.Budget, error) {
+// SupplyC returns the loop supply (blade inlet) water temperature at the
+// given total heat load.
+func (l SharedLoop) SupplyC(totalHeatW float64) float64 {
+	return l.SetpointC + l.ApproachKPerKW*totalHeatW/1000
+}
+
+// LoopState is the water state of a loaded loop: both end temperatures are
+// derived from the blade heats, not assumed.
+type LoopState struct {
+	// SupplyC is the blade inlet temperature at this load.
+	SupplyC float64
+	// ReturnC is the mixed blade outlet temperature entering the chiller.
+	ReturnC float64
+	// FlowKgH is the total loop water flow.
+	FlowKgH float64
+	// HeatW is the total heat the loop carries.
+	HeatW float64
+}
+
+// Boundary derives the loop water state from the blade heats: the supply
+// follows the plant's load-dependent approach, the blades (plumbed in
+// parallel) heat the combined flow, and the return is the mixed outlet.
+func (l SharedLoop) Boundary(bladeHeatW []float64) (LoopState, error) {
 	var total float64
 	for _, q := range bladeHeatW {
 		if q < 0 {
-			return chiller.Budget{}, fmt.Errorf("rack: negative blade heat %g", q)
+			return LoopState{}, fmt.Errorf("rack: negative blade heat %g", q)
 		}
 		total += q
 	}
 	flow := l.PerBladeFlowKgH * float64(len(bladeHeatW))
 	if flow <= 0 {
-		return chiller.Budget{}, fmt.Errorf("rack: no water flow")
+		return LoopState{}, fmt.Errorf("rack: no water flow")
 	}
-	mdotCp := flow / 3600 * 4180
-	dT := total / mdotCp
-	return chiller.Assess(flow, l.WaterInC, l.WaterInC+dT, l.AmbientC)
+	supply := l.SupplyC(total)
+	mdotCp := flow / 3600 * refrigerant.WaterCp(supply)
+	return LoopState{
+		SupplyC: supply,
+		ReturnC: supply + total/mdotCp,
+		FlowKgH: flow,
+		HeatW:   total,
+	}, nil
+}
+
+// Cost aggregates the loop cooling cost for the given blade heats (W),
+// priced at the load-derived supply temperature.
+func (l SharedLoop) Cost(bladeHeatW []float64) (chiller.Budget, error) {
+	st, err := l.Boundary(bladeHeatW)
+	if err != nil {
+		return chiller.Budget{}, err
+	}
+	return chiller.Assess(st.FlowKgH, st.SupplyC, st.ReturnC, l.AmbientC)
 }

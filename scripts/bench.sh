@@ -1,29 +1,32 @@
 #!/usr/bin/env bash
-# bench.sh — run the canonical benchmarks and emit BENCH_5.json, the
+# bench.sh — run the canonical benchmarks and emit BENCH_6.json, the
 # machine-readable performance baseline of this repository.
 #
 # Usage:
-#   scripts/bench.sh                 # quick smoke (BENCHTIME=1x), writes BENCH_5.json
+#   scripts/bench.sh                 # quick smoke (BENCHTIME=1x), writes BENCH_6.json
 #   BENCHTIME=200ms scripts/bench.sh # steadier timings
 #   OUT=/tmp/b.json scripts/bench.sh
 #
-# The JSON records ns/op, B/op and allocs/op per benchmark plus, for every
-# benchmark family with threads=N sub-runs, the speedup of each threaded
-# variant over its threads=1 twin. CI runs this script on every push and
-# archives BENCH_5.json as a build artifact so future PRs can diff
-# against a baseline instead of eyeballing benchmark logs.
+# The JSON records ns/op, B/op and allocs/op per benchmark (plus any
+# custom ReportMetric columns, e.g. the datacenter solver's outer/op),
+# the GOMAXPROCS each benchmark ran at and the host core count, and, for
+# every benchmark family with threads=N sub-runs, the speedup of each
+# threaded variant over its threads=1 twin. CI runs this script on every
+# push and archives BENCH_6.json as a build artifact so future PRs can
+# diff against a baseline instead of eyeballing benchmark logs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
-OUT="${OUT:-BENCH_5.json}"
+OUT="${OUT:-BENCH_6.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-# The canonical benchmark set: solver and session hot paths (internal
-# packages) plus the sweep engine (root package).
-go test -run=NONE -bench='Solve|Session|MG|Stencil|Fused' -benchtime="$BENCHTIME" -benchmem \
-	./internal/thermal ./internal/cosim ./internal/linalg | tee "$raw"
+# The canonical benchmark set: solver and session hot paths, the nested
+# datacenter fleet solve (internal packages) plus the sweep engine (root
+# package).
+go test -run=NONE -bench='Solve|Session|MG|Stencil|Fused|Datacenter' -benchtime="$BENCHTIME" -benchmem \
+	./internal/thermal ./internal/cosim ./internal/linalg ./internal/datacenter | tee "$raw"
 go test -run=NONE -bench='Sweep' -benchtime="$BENCHTIME" -benchmem . | tee -a "$raw"
 
 python3 scripts/bench_json.py "$raw" "$BENCHTIME" > "$OUT"

@@ -1,22 +1,35 @@
 #!/usr/bin/env python3
-"""Parse `go test -bench` output into BENCH_5.json.
+"""Parse `go test -bench` output into BENCH_6.json.
 
 Reads the raw benchmark log (argv[1]) and the benchtime used (argv[2]),
 emits a JSON document with one entry per benchmark and, for benchmarks
 named with a `threads=N` component, the speedup relative to the
 `threads=1` twin in the same family. Entries keep input order so the file
 is byte-stable for a given benchmark log.
+
+Each entry records the GOMAXPROCS the benchmark ran at (the `-N` name
+suffix Go appends) and the document records the host's actual core count,
+so a baseline from a 1-core CI runner is never mistaken for a many-core
+measurement. Custom `b.ReportMetric` columns (e.g. the datacenter solver's
+`outer/op` and `solves/op`) are carried through generically under
+`metrics`.
 """
 import json
+import os
 import re
 import sys
 
-LINE = re.compile(
-    r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op"
-    r"(?:\s+([\d.]+) MB/s)?"
-    r"(?:\s+(\d+) B/op\s+(\d+) allocs/op)?"
-)
+LINE = re.compile(r"^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.*)$")
+PAIR = re.compile(r"([\d.]+(?:[eE][+-]?\d+)?)\s+(\S+)")
 META = re.compile(r"^(goos|goarch|pkg|cpu): (.*)$")
+
+# Units with first-class fields; anything else lands under "metrics".
+CANON = {
+    "ns/op": ("ns_per_op", float),
+    "MB/s": ("mb_per_s", float),
+    "B/op": ("bytes_per_op", int),
+    "allocs/op": ("allocs_per_op", int),
+}
 
 
 def main() -> None:
@@ -31,17 +44,24 @@ def main() -> None:
             m = LINE.match(line)
             if not m:
                 continue
-            name = m.group(1).removeprefix("Benchmark")
+            pairs = PAIR.findall(m.group(4))
+            units = {u: v for v, u in pairs}
+            if "ns/op" not in units:
+                continue  # not a benchmark result line
             entry = {
-                "name": name,
-                "iterations": int(m.group(2)),
-                "ns_per_op": float(m.group(3)),
+                "name": m.group(1).removeprefix("Benchmark"),
+                "gomaxprocs": int(m.group(2)) if m.group(2) else 1,
+                "iterations": int(m.group(3)),
             }
-            if m.group(4) is not None:
-                entry["mb_per_s"] = float(m.group(4))
-            if m.group(5) is not None:
-                entry["bytes_per_op"] = int(m.group(5))
-                entry["allocs_per_op"] = int(m.group(6))
+            metrics = {}
+            for value, unit in pairs:
+                if unit in CANON:
+                    field, cast = CANON[unit]
+                    entry[field] = cast(float(value))
+                else:
+                    metrics[unit] = float(value)
+            if metrics:
+                entry["metrics"] = metrics
             entries.append(entry)
 
     # Speedup vs the serial twin for threads=N sub-benchmarks. The family
@@ -64,8 +84,9 @@ def main() -> None:
             e["speedup_vs_serial"] = round(serial[key] / e["ns_per_op"], 3)
 
     doc = {
-        "schema": "bench.v1",
+        "schema": "bench.v2",
         "benchtime": benchtime,
+        "host_cpus": os.cpu_count(),
         **meta,
         "benchmarks": entries,
     }
