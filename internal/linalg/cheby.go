@@ -1,0 +1,176 @@
+package linalg
+
+import "math"
+
+// Chebyshev polynomial smoothing: an alternative to red-black
+// Gauss-Seidel for the V-cycle levels. A degree-d Chebyshev smoother is a
+// fixed sequence of damped-Jacobi steps
+//
+//	x ← x + ω_j · D⁻¹(b − A·x),   ω_j = 1/t_j,
+//
+// where the t_j are the roots of the degree-d Chebyshev polynomial on the
+// target interval [a, b] ⊂ (0, λmax(D⁻¹A)]. Two properties make it
+// attractive here: each step is ONE gather pass over the grid (one
+// barrier), where a red-black sweep needs two color phases (two barriers)
+// — so the synchronization cost per sweep halves; and the error
+// propagator is a fixed polynomial in D⁻¹A, which is self-adjoint in the
+// A-inner product, so the same polynomial serves as pre- and post-smoother
+// with the V-cycle staying a symmetric operator (no forward/reverse pair
+// needed — Smooth ignores its reverse flag).
+//
+// The interval comes from a power-iteration estimate of λmax(D⁻¹A) at
+// setup: b = 1.1·λ̂ (headroom for the estimate and for per-solve diagonal
+// drift — boundary and capacitive terms move the spectrum only toward 1),
+// a = 0.3·b (the classic smoothing split: modes below a belong to the
+// coarse grid). For the Jacobi-scaled M-matrices of the thermal stack,
+// λmax ≤ 2 by Gershgorin, so the headroom is safe at both ends.
+
+// JacobiStepper is optionally implemented by operators that can run one
+// damped-Jacobi step y = x + ω·D⁻¹(b − A·x) as a single fused gather pass
+// (the thermal stencil does: residual, scale and update in one sweep of
+// the coefficient arrays). x and y must not alias; x is read-only for the
+// pass, which is what keeps banded execution deterministic.
+type JacobiStepper interface {
+	JacobiStep(b, x, y Vector, omega float64)
+}
+
+// chebySetupIters is the fixed power-iteration count of the λmax estimate.
+// Fixed, so setup is a deterministic function of the operator.
+const chebySetupIters = 16
+
+// chebyLowerFrac positions the lower edge of the smoothing interval at
+// this fraction of the upper edge.
+const chebyLowerFrac = 0.3
+
+// chebyHeadroom scales the power-iteration λmax estimate up to the
+// interval's upper edge.
+const chebyHeadroom = 1.1
+
+// ChebySmoother wraps a level operator with Chebyshev polynomial
+// smoothing, implementing Smoother so it can stand in for the operator in
+// an MGLevel. Apply/Residual/Size delegate to the wrapped operator;
+// Smooth runs the degree-d Chebyshev iteration. The eigenvalue estimate
+// and root weights are computed once, lazily, on the first Smooth after
+// construction (by which time the caller has assembled the diagonal);
+// Reset discards them when the operator changes materially.
+//
+// A ChebySmoother owns scratch sized to the operator and is not safe for
+// concurrent use.
+type ChebySmoother struct {
+	a       Smoother
+	invDiag Vector // aliases the operator's inverse diagonal
+	degree  int
+
+	lambdaMax float64   // power-iteration estimate (0 = not yet set up)
+	omegas    []float64 // Chebyshev root weights 1/t_j, one per step
+
+	y, r Vector // ping-pong iterate and fallback residual scratch
+}
+
+// NewChebySmoother wraps a with degree-d Chebyshev smoothing (d < 1
+// selects the default degree 2). invDiag must alias the operator's
+// current inverse diagonal — the smoother re-reads it every step, so
+// in-place diagonal refreshes are picked up automatically.
+func NewChebySmoother(a Smoother, invDiag Vector, degree int) *ChebySmoother {
+	if degree < 1 {
+		degree = 2
+	}
+	n := a.Size()
+	return &ChebySmoother{
+		a:       a,
+		invDiag: invDiag,
+		degree:  degree,
+		y:       make(Vector, n),
+		r:       make(Vector, n),
+	}
+}
+
+// Size returns the dimension of the wrapped operator.
+func (c *ChebySmoother) Size() int { return c.a.Size() }
+
+// Apply computes y = A·x via the wrapped operator.
+func (c *ChebySmoother) Apply(x, y Vector) { c.a.Apply(x, y) }
+
+// Residual computes r = b − A·x via the wrapped operator.
+func (c *ChebySmoother) Residual(b, x, r Vector) { c.a.Residual(b, x, r) }
+
+// LambdaMax returns the power-iteration estimate of λmax(D⁻¹A), running
+// setup if it has not happened yet.
+func (c *ChebySmoother) LambdaMax() float64 {
+	c.ensureSetup()
+	return c.lambdaMax
+}
+
+// Reset discards the eigenvalue estimate and weights; the next Smooth
+// re-runs setup against the operator's current diagonal.
+func (c *ChebySmoother) Reset() { c.lambdaMax = 0; c.omegas = c.omegas[:0] }
+
+// ensureSetup estimates λmax(D⁻¹A) by fixed-count power iteration and
+// derives the Chebyshev root weights. Deterministic: fixed start vector,
+// fixed iteration count, and the matvec follows the operator's own
+// (thread-count-invariant) kernels while the normalizations are plain
+// serial loops.
+func (c *ChebySmoother) ensureSetup() {
+	if c.lambdaMax > 0 {
+		return
+	}
+	v, w := c.y, c.r
+	// Start vector with broad frequency content; the precise pattern only
+	// affects convergence speed of the estimate, never determinism.
+	for i := range v {
+		v[i] = 1 + float64(i%7)/7
+	}
+	lambda := 1.0
+	for it := 0; it < chebySetupIters; it++ {
+		c.a.Apply(v, w)
+		var norm float64
+		for i := range w {
+			wi := w[i] * c.invDiag[i]
+			w[i] = wi
+			if a := math.Abs(wi); a > norm {
+				norm = a
+			}
+		}
+		if norm == 0 {
+			break
+		}
+		lambda = norm // v is ∞-normalized, so ‖D⁻¹A·v‖∞ estimates λmax
+		inv := 1 / norm
+		for i := range v {
+			v[i] = w[i] * inv
+		}
+	}
+	c.lambdaMax = lambda
+	upper := chebyHeadroom * lambda
+	lower := chebyLowerFrac * upper
+	center, radius := (upper+lower)/2, (upper-lower)/2
+	c.omegas = c.omegas[:0]
+	for j := 0; j < c.degree; j++ {
+		root := center + radius*math.Cos(math.Pi*(2*float64(j)+1)/(2*float64(c.degree)))
+		c.omegas = append(c.omegas, 1/root)
+	}
+}
+
+// Smooth runs the degree-d Chebyshev iteration toward A·x = b, updating x
+// in place. The polynomial is self-adjoint in the A-inner product, so the
+// reverse flag is ignored — pre- and post-smoothing apply the identical
+// map and the V-cycle stays symmetric.
+func (c *ChebySmoother) Smooth(b, x Vector, _ bool) {
+	c.ensureSetup()
+	stepper, _ := c.a.(JacobiStepper)
+	cur, other := x, c.y
+	for _, omega := range c.omegas {
+		if stepper != nil {
+			stepper.JacobiStep(b, cur, other, omega)
+		} else {
+			c.a.Residual(b, cur, c.r)
+			for i := range other {
+				other[i] = cur[i] + omega*c.invDiag[i]*c.r[i]
+			}
+		}
+		cur, other = other, cur
+	}
+	if len(c.omegas)%2 == 1 {
+		copy(x, cur)
+	}
+}

@@ -134,7 +134,7 @@ func (ws *CGWorkspace) grow(n int) {
 // problem is big enough to pay for the barrier, inline otherwise. The
 // size gate depends only on n, so it cannot affect results.
 func (ws *CGWorkspace) run(tk Task, n int) {
-	if n < parMinN {
+	if n < ParMin {
 		tk.Do(0, 1)
 		return
 	}

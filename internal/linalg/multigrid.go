@@ -20,6 +20,24 @@ type Smoother interface {
 	Residual(b, x, r Vector)
 }
 
+// FusedSmoother is optionally implemented by level operators that can run
+// a forward Smooth and the trailing Residual as one fused, temporally
+// blocked pass over the grid. The contract is strict bit-equality: for any
+// (b, x), SmoothResidual must leave x and r with exactly the bytes that
+//
+//	A.Smooth(b, x, false); A.Residual(b, x, r)
+//
+// would produce — fusion is a pure memory-traffic optimization (the field
+// and coefficients are streamed once less), never a numerical variant. The
+// V-cycle uses it for the pre-smooth/residual pair on every level that
+// provides it.
+type FusedSmoother interface {
+	Smoother
+	// SmoothResidual performs one forward red-black sweep toward A·x = b
+	// and computes r = b - A·x for the updated x, in one fused pass.
+	SmoothResidual(b, x, r Vector)
+}
+
 // Transfer moves vectors between a fine level and the next coarser one.
 // Restrict must be (a scaling of) the transpose of Prolong, or the V-cycle
 // stops being symmetric.
@@ -113,10 +131,20 @@ func (mg *Multigrid) vcycle(k int, b, x Vector) {
 		}
 		return
 	}
-	for s := 0; s < mg.Pre; s++ {
-		a.Smooth(b, x, false)
+	// Pre-smooth, with the last forward sweep fused into the residual
+	// evaluation when the level supports it (bit-identical by the
+	// FusedSmoother contract, one less pass over the level's memory).
+	if fa, ok := a.(FusedSmoother); ok && mg.Pre >= 1 {
+		for s := 0; s < mg.Pre-1; s++ {
+			a.Smooth(b, x, false)
+		}
+		fa.SmoothResidual(b, x, mg.r[k])
+	} else {
+		for s := 0; s < mg.Pre; s++ {
+			a.Smooth(b, x, false)
+		}
+		a.Residual(b, x, mg.r[k])
 	}
-	a.Residual(b, x, mg.r[k])
 	down := mg.levels[k].Down
 	down.Restrict(mg.r[k], mg.b[k+1])
 	mg.x[k+1].Fill(0)

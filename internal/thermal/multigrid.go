@@ -96,7 +96,7 @@ func (t *transfer) setTeam(tm *linalg.Team) { t.team = tm }
 
 // parallel reports whether this transfer's passes should use the team.
 func (t *transfer) parallel() bool {
-	return t.team.Workers() > 1 && t.nl*t.cellsF >= parMinStencil
+	return t.team.Workers() > 1 && t.nl*t.cellsF >= linalg.ParMin
 }
 
 // transferJob adapts one transfer pass to linalg.Task.

@@ -1,0 +1,230 @@
+package thermal
+
+import (
+	"repro/internal/linalg"
+)
+
+// This file mirrors the multigrid ladder in float32 for the
+// mixed-precision V-cycle preconditioner (SolverMGPCG32). The float64
+// hierarchy stays the source of truth: geometry, interpolation weights
+// and the per-solve diagonal assembly all happen there, and the mirror
+// only converts the results — conductances and weights once at
+// construction, diagonals once per solve in refresh(). That keeps the
+// quantization a pure representation change (float32(x) is exact
+// rounding of the float64 value), with no separately-maintained float32
+// assembly that could drift from the real operator.
+
+// transfer32 is the float32 twin of transfer: same axis maps (shared,
+// they are pure index patterns), same operator-induced weights rounded
+// to float32, same banding (Prolong gathers fine rows; Restrict
+// scatters into write-disjoint layer-slabs). blockSum has no float32
+// twin — extensive-diagonal restriction stays in the float64 ladder.
+type transfer32 struct {
+	nxf, nyf, nl int
+	cellsF       int
+	nxc, nyc     int
+	cellsC       int
+	xm, ym       axisMap
+	wx, wy       []float32
+
+	team *linalg.Team
+	job  transfer32Job
+}
+
+var _ linalg.Transfer32 = (*transfer32)(nil)
+
+// newTransfer32 mirrors a float64 transfer's maps and weights.
+func newTransfer32(t *transfer) *transfer32 {
+	t32 := &transfer32{
+		nxf: t.nxf, nyf: t.nyf, nl: t.nl, cellsF: t.cellsF,
+		nxc: t.nxc, nyc: t.nyc, cellsC: t.cellsC,
+		xm: t.xm, ym: t.ym,
+		wx: make([]float32, len(t.wx)),
+		wy: make([]float32, len(t.wy)),
+	}
+	for i, v := range t.wx {
+		t32.wx[i] = float32(v)
+	}
+	for i, v := range t.wy {
+		t32.wy[i] = float32(v)
+	}
+	return t32
+}
+
+// setTeam attaches the worker team the transfer kernels dispatch on.
+func (t *transfer32) setTeam(tm *linalg.Team) { t.team = tm }
+
+// parallel reports whether this transfer's passes should use the team.
+func (t *transfer32) parallel() bool {
+	return t.team.Workers() > 1 && t.nl*t.cellsF >= linalg.ParMin
+}
+
+// transfer32Job adapts one float32 transfer pass to linalg.Task.
+type transfer32Job struct {
+	t        *transfer32
+	mode     int
+	src, dst []float32
+}
+
+// Do implements linalg.Task.
+func (j *transfer32Job) Do(worker, workers int) {
+	switch j.mode {
+	case jobRestrict:
+		lo, hi := linalg.Band(j.t.nl, worker, workers)
+		j.t.restrictLayers(j.src, j.dst, lo, hi)
+	case jobProlong:
+		lo, hi := linalg.Band(j.t.nl*j.t.nyf, worker, workers)
+		j.t.prolongRows(j.src, j.dst, lo, hi)
+	}
+}
+
+// Restrict projects a fine residual onto the coarse grid by full
+// weighting, overwriting coarse.
+func (t *transfer32) Restrict(fine, coarse []float32) {
+	if t.parallel() {
+		t.job = transfer32Job{t: t, mode: jobRestrict, src: fine, dst: coarse}
+		t.team.Run(&t.job)
+		return
+	}
+	t.restrictLayers(fine, coarse, 0, t.nl)
+}
+
+// restrictLayers restricts the layer-slab [lLo, lHi); like the float64
+// kernel, the scatter never leaves the layer, so slabs are
+// write-disjoint across workers.
+func (t *transfer32) restrictLayers(fine, coarse []float32, lLo, lHi int) {
+	for i := lLo * t.cellsC; i < lHi*t.cellsC; i++ {
+		coarse[i] = 0
+	}
+	for l := lLo; l < lHi; l++ {
+		baseF := l * t.cellsF
+		baseC := l * t.cellsC
+		for iy := 0; iy < t.nyf; iy++ {
+			py, oy := t.ym.parent[iy], t.ym.other[iy]
+			rowP := baseC + py*t.nxc
+			rowO := baseC + oy*t.nxc
+			rowF := baseF + iy*t.nxf
+			for ix := 0; ix < t.nxf; ix++ {
+				i := rowF + ix
+				px, ox := t.xm.parent[ix], t.xm.other[ix]
+				wx, wy := t.wx[i], t.wy[i]
+				wpx, wpy := 1-wx, 1-wy
+				v := fine[i]
+				coarse[rowP+px] += wpx * wpy * v
+				if ox >= 0 {
+					coarse[rowP+ox] += wx * wpy * v
+				}
+				if oy >= 0 {
+					coarse[rowO+px] += wpx * wy * v
+					if ox >= 0 {
+						coarse[rowO+ox] += wx * wy * v
+					}
+				}
+			}
+		}
+	}
+}
+
+// Prolong interpolates a coarse correction and adds it into the fine
+// iterate; fine rows band across the team freely (pure gather).
+func (t *transfer32) Prolong(coarse, fine []float32) {
+	if t.parallel() {
+		t.job = transfer32Job{t: t, mode: jobProlong, src: coarse, dst: fine}
+		t.team.Run(&t.job)
+		return
+	}
+	t.prolongRows(coarse, fine, 0, t.nl*t.nyf)
+}
+
+// prolongRows interpolates the fine global rows [rowLo, rowHi).
+func (t *transfer32) prolongRows(coarse, fine []float32, rowLo, rowHi int) {
+	for g := rowLo; g < rowHi; g++ {
+		l, iy := g/t.nyf, g%t.nyf
+		baseC := l * t.cellsC
+		py, oy := t.ym.parent[iy], t.ym.other[iy]
+		rowP := baseC + py*t.nxc
+		rowO := baseC + oy*t.nxc
+		rowF := l*t.cellsF + iy*t.nxf
+		for ix := 0; ix < t.nxf; ix++ {
+			i := rowF + ix
+			px, ox := t.xm.parent[ix], t.xm.other[ix]
+			wx, wy := t.wx[i], t.wy[i]
+			wpx, wpy := 1-wx, 1-wy
+			v := wpx * wpy * coarse[rowP+px]
+			if ox >= 0 {
+				v += wx * wpy * coarse[rowP+ox]
+			}
+			if oy >= 0 {
+				v += wpx * wy * coarse[rowO+px]
+				if ox >= 0 {
+					v += wx * wy * coarse[rowO+ox]
+				}
+			}
+			fine[i] += v
+		}
+	}
+}
+
+// hierarchy32 is the float32 mirror of a hierarchy: one stencil32 per
+// level, one transfer32 per inter-level gap, and the Multigrid32 cycle
+// driver over them. It is built lazily (only when a workspace first
+// solves with SolverMGPCG32) and refreshed per solve after the float64
+// hierarchy, from which every number is converted.
+type hierarchy32 struct {
+	src    *hierarchy
+	levels []*stencil32
+	downs  []*transfer32 // one per level, nil on the coarsest
+	mg     *linalg.Multigrid32
+}
+
+// newHierarchy32 mirrors an assembled float64 hierarchy.
+func newHierarchy32(h *hierarchy) (*hierarchy32, error) {
+	h32 := &hierarchy32{src: h}
+	for _, lv := range h.levels {
+		h32.levels = append(h32.levels, newStencil32(lv.st))
+		var d32 *transfer32
+		if lv.down != nil {
+			d32 = newTransfer32(lv.down)
+		}
+		h32.downs = append(h32.downs, d32)
+	}
+	mls := make([]linalg.MGLevel32, len(h32.levels))
+	for i, st := range h32.levels {
+		mls[i] = linalg.MGLevel32{A: st}
+		if h32.downs[i] != nil {
+			mls[i].Down = h32.downs[i]
+		}
+	}
+	mg, err := linalg.NewMultigrid32(mls)
+	if err != nil {
+		return nil, err
+	}
+	h32.mg = mg
+	return h32, nil
+}
+
+// setTeam attaches the worker team to every mirrored level and transfer.
+func (h32 *hierarchy32) setTeam(t *linalg.Team) {
+	for i, st := range h32.levels {
+		st.setTeam(t)
+		if h32.downs[i] != nil {
+			h32.downs[i].setTeam(t)
+		}
+	}
+}
+
+// refresh re-converts every level's diagonal from the float64 ladder.
+// Call it after hierarchy.refresh() (and after fillOperator on the fine
+// level) so the mirror sees this solve's boundary and capacitive terms.
+// Allocation-free.
+func (h32 *hierarchy32) refresh() {
+	for k, st := range h32.levels {
+		src := h32.src.levels[k].st
+		for i, d := range src.diag {
+			st.diag[i] = float32(d)
+		}
+		for i, d := range src.invDiag {
+			st.invDiag[i] = float32(d)
+		}
+	}
+}

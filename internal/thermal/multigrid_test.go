@@ -76,7 +76,7 @@ func TestSolverCrossValidation(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			m, power, bc := xvalModel(t, c.pg, c.nx, c.ny)
 			ref, _ := solveWithTol(t, m, SolverCG, power, bc, 1e-12)
-			for _, s := range []Solver{SolverMGPCG, SolverMG} {
+			for _, s := range []Solver{SolverMGPCG, SolverMG, SolverMGPCG32, SolverMGPCGCheb} {
 				got, _ := solveWithTol(t, m, s, power, bc, 1e-12)
 				var maxAbs float64
 				for i := range ref {
@@ -137,7 +137,7 @@ func TestMGPCGAppliesAdvantage(t *testing.T) {
 // pooled sweeps rely on.
 func TestMGSolversDeterministic(t *testing.T) {
 	m, power, bc := xvalModel(t, floorplan.XeonE5Package(), 38, 30)
-	for _, s := range []Solver{SolverMGPCG, SolverMG} {
+	for _, s := range []Solver{SolverMGPCG, SolverMG, SolverMGPCG32, SolverMGPCGCheb} {
 		a, _ := solveWithTol(t, m, s, power, bc, 1e-10)
 		b, _ := solveWithTol(t, m, s, power, bc, 1e-10)
 		for i := range a {
@@ -152,7 +152,7 @@ func TestMGSolversDeterministic(t *testing.T) {
 // buffers sized) must perform zero heap allocations, for both the MG-PCG
 // and standalone-MG solvers, steady and transient.
 func TestWorkspaceMGZeroAllocs(t *testing.T) {
-	for _, s := range []Solver{SolverMGPCG, SolverMG} {
+	for _, s := range []Solver{SolverMGPCG, SolverMG, SolverMGPCG32, SolverMGPCGCheb} {
 		t.Run(s.String(), func(t *testing.T) {
 			m, power, bc := workspaceFixture(t)
 			w := m.NewWorkspace()

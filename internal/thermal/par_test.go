@@ -28,7 +28,7 @@ func parModel(t testing.TB) (*Model, map[int][]float64, TopBoundary) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.n < parMinStencil {
+	if m.n < linalg.ParMin {
 		t.Fatalf("fixture too small to exercise the parallel path: n=%d", m.n)
 	}
 	p := make([]float64, m.Cells())
@@ -81,6 +81,11 @@ func TestStencilKernelsByteIdenticalAcrossThreads(t *testing.T) {
 	ref.op.Smooth(b, wantFwd, false)
 	wantRev := x.Clone()
 	ref.op.Smooth(b, wantRev, true)
+	wantSRx := x.Clone()
+	wantSRr := make(linalg.Vector, m.n)
+	ref.op.SmoothResidual(b, wantSRx, wantSRr)
+	wantJac := make(linalg.Vector, m.n)
+	ref.op.JacobiStep(b, x, wantJac, 0.7)
 
 	for _, threads := range []int{2, 3, 8} {
 		w := m.NewWorkspace()
@@ -98,6 +103,14 @@ func TestStencilKernelsByteIdenticalAcrossThreads(t *testing.T) {
 		rev := x.Clone()
 		w.op.Smooth(b, rev, true)
 		vecsEqual(t, "Smooth reverse", rev, wantRev)
+		srx := x.Clone()
+		srr := make(linalg.Vector, m.n)
+		w.op.SmoothResidual(b, srx, srr)
+		vecsEqual(t, "SmoothResidual iterate", srx, wantSRx)
+		vecsEqual(t, "SmoothResidual residual", srr, wantSRr)
+		jac := make(linalg.Vector, m.n)
+		w.op.JacobiStep(b, x, jac, 0.7)
+		vecsEqual(t, "JacobiStep", jac, wantJac)
 		w.Close()
 	}
 }
@@ -109,7 +122,7 @@ func TestStencilKernelsByteIdenticalAcrossThreads(t *testing.T) {
 // stencil and the layer-slab multigrid transfers together.
 func TestSolvesByteIdenticalAcrossThreads(t *testing.T) {
 	m, power, bc := parModel(t)
-	for _, solver := range []Solver{SolverCG, SolverMGPCG, SolverMG} {
+	for _, solver := range []Solver{SolverCG, SolverMGPCG, SolverMG, SolverMGPCG32, SolverMGPCGCheb} {
 		ref := m.NewWorkspace()
 		ref.SetSolver(solver)
 		steady := ref.FieldA()

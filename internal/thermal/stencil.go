@@ -40,17 +40,17 @@ type stencil struct {
 	job  stencilJob
 }
 
-// parMinStencil is the unknown count below which a stencil pass runs on
-// the calling goroutine: the coarse multigrid levels stay serial, the
-// fine levels fan out. Size-gated, so results cannot depend on it.
-const parMinStencil = 4096
+// The stencil and transfer kernels share linalg.ParMin as their size
+// gate: below it a pass runs on the calling goroutine (the coarse
+// multigrid levels stay serial, the fine levels fan out). Size-gated, so
+// results cannot depend on it; see the derivation on linalg.ParMin.
 
 // setTeam attaches the worker team the row kernels dispatch on.
 func (s *stencil) setTeam(t *linalg.Team) { s.team = t }
 
 // parallel reports whether a pass over this stencil should use the team.
 func (s *stencil) parallel() bool {
-	return s.team.Workers() > 1 && s.n >= parMinStencil
+	return s.team.Workers() > 1 && s.n >= linalg.ParMin
 }
 
 // stencilJob adapts one stencil pass to linalg.Task: workers band the
@@ -60,12 +60,16 @@ type stencilJob struct {
 	mode    int
 	b, x, y linalg.Vector
 	color   int
+	omega   float64
 }
 
 const (
 	jobApply = iota
 	jobResidual
 	jobSmooth
+	jobSmoothResidual
+	jobResidualColor
+	jobJacobiStep
 )
 
 // Do implements linalg.Task.
@@ -78,8 +82,21 @@ func (j *stencilJob) Do(worker, workers int) {
 		j.s.residualRows(j.b, j.x, j.y, lo, hi)
 	case jobSmooth:
 		j.s.smoothRows(j.b, j.x, j.color, lo, hi)
+	case jobSmoothResidual:
+		j.s.smoothResidualRows(j.b, j.x, j.y, j.color, lo, hi)
+	case jobResidualColor:
+		j.s.residualColorRows(j.b, j.x, j.y, j.color, lo, hi)
+	case jobJacobiStep:
+		j.s.jacobiStepRows(j.b, j.x, j.y, j.omega, lo, hi)
 	}
 }
+
+// The stencil provides the fused and polynomial smoothing kernels the
+// V-cycle drivers dispatch on when available.
+var (
+	_ linalg.FusedSmoother = (*stencil)(nil)
+	_ linalg.JacobiStepper = (*stencil)(nil)
+)
 
 // Size returns the dimension of the operator.
 func (s *stencil) Size() int { return s.n }
@@ -285,6 +302,197 @@ func (s *stencil) smoothRows(b, x linalg.Vector, color, rowLo, rowHi int) {
 				}
 			}
 			x[i] = su * s.invDiag[i]
+		}
+	}
+}
+
+// SmoothResidual implements linalg.FusedSmoother: one forward red-black
+// sweep plus the residual of the updated iterate, bit-identical to
+// Smooth(b, x, false) followed by Residual(b, x, r) but with one less
+// full pass over the field and coefficient arrays. The fusion exploits
+// the coloring: every neighbor of a black cell is red, so once the red
+// half-sweep is done, relaxing a black cell leaves its entire stencil
+// neighborhood final — its residual can be evaluated in the same visit,
+// while the coefficients and neighbor temperatures are still hot. Only
+// the red residuals need a trailing half-pass (they read the black values
+// the second phase just wrote). Barriers sit exactly where gather order
+// requires them: after the red half-sweep and after the black phase.
+func (s *stencil) SmoothResidual(b, x, r linalg.Vector) {
+	if s.parallel() {
+		s.job = stencilJob{s: s, mode: jobSmooth, b: b, x: x, color: 0}
+		s.team.Run(&s.job)
+		s.job = stencilJob{s: s, mode: jobSmoothResidual, b: b, x: x, y: r, color: 1}
+		s.team.Run(&s.job)
+		s.job = stencilJob{s: s, mode: jobResidualColor, b: b, x: x, y: r, color: 0}
+		s.team.Run(&s.job)
+		return
+	}
+	rows := s.nl * s.ny
+	s.smoothRows(b, x, 0, 0, rows)
+	s.smoothResidualRows(b, x, r, 1, 0, rows)
+	s.residualColorRows(b, x, r, 0, 0, rows)
+}
+
+// smoothResidualRows relaxes one color of a red-black sweep over a row
+// band and evaluates the residual at the relaxed cells in the same visit.
+// The relaxation reproduces smoothRows bit for bit; the residual
+// reproduces residualRows bit for bit (same gather expression on the
+// just-updated x), so the fused pass changes no bytes anywhere.
+func (s *stencil) smoothResidualRows(b, x, r linalg.Vector, color, rowLo, rowHi int) {
+	nx, ny, cells := s.nx, s.ny, s.cells
+	for g := rowLo; g < rowHi; g++ {
+		l, iy := g/ny, g%ny
+		row := l*cells + iy*nx
+		for ix := (color + iy + l) & 1; ix < nx; ix += 2 {
+			i := row + ix
+			su := b[i]
+			if ix > 0 {
+				su += s.gx[i-1] * x[i-1]
+			}
+			if g := s.gx[i]; g != 0 {
+				su += g * x[i+1]
+			}
+			if iy > 0 {
+				su += s.gy[i-nx] * x[i-nx]
+			}
+			if g := s.gy[i]; g != 0 {
+				su += g * x[i+nx]
+			}
+			if l > 0 {
+				su += s.gz[i-cells] * x[i-cells]
+			}
+			if l < s.nl-1 {
+				if g := s.gz[i]; g != 0 {
+					su += g * x[i+cells]
+				}
+			}
+			x[i] = su * s.invDiag[i]
+
+			// Residual of the relaxed cell, in residualRows' exact gather
+			// order — every neighbor is the opposite color and final.
+			v := s.diag[i] * x[i]
+			if l > 0 {
+				if gz := s.gz[i-cells]; gz != 0 {
+					v -= gz * x[i-cells]
+				}
+			}
+			if iy > 0 {
+				if gy := s.gy[i-nx]; gy != 0 {
+					v -= gy * x[i-nx]
+				}
+			}
+			if ix > 0 {
+				if gx := s.gx[i-1]; gx != 0 {
+					v -= gx * x[i-1]
+				}
+			}
+			if gx := s.gx[i]; gx != 0 {
+				v -= gx * x[i+1]
+			}
+			if gy := s.gy[i]; gy != 0 {
+				v -= gy * x[i+nx]
+			}
+			if l < s.nl-1 {
+				if gz := s.gz[i]; gz != 0 {
+					v -= gz * x[i+cells]
+				}
+			}
+			r[i] = b[i] - v
+		}
+	}
+}
+
+// residualColorRows evaluates r = b - A·x at the cells of one color over
+// a row band — the trailing half-pass of SmoothResidual.
+func (s *stencil) residualColorRows(b, x, r linalg.Vector, color, rowLo, rowHi int) {
+	nx, ny, cells := s.nx, s.ny, s.cells
+	for g := rowLo; g < rowHi; g++ {
+		l, iy := g/ny, g%ny
+		row := l*cells + iy*nx
+		for ix := (color + iy + l) & 1; ix < nx; ix += 2 {
+			i := row + ix
+			v := s.diag[i] * x[i]
+			if l > 0 {
+				if gz := s.gz[i-cells]; gz != 0 {
+					v -= gz * x[i-cells]
+				}
+			}
+			if iy > 0 {
+				if gy := s.gy[i-nx]; gy != 0 {
+					v -= gy * x[i-nx]
+				}
+			}
+			if ix > 0 {
+				if gx := s.gx[i-1]; gx != 0 {
+					v -= gx * x[i-1]
+				}
+			}
+			if gx := s.gx[i]; gx != 0 {
+				v -= gx * x[i+1]
+			}
+			if gy := s.gy[i]; gy != 0 {
+				v -= gy * x[i+nx]
+			}
+			if l < s.nl-1 {
+				if gz := s.gz[i]; gz != 0 {
+					v -= gz * x[i+cells]
+				}
+			}
+			r[i] = b[i] - v
+		}
+	}
+}
+
+// JacobiStep implements linalg.JacobiStepper for the Chebyshev smoother:
+// y = x + ω·D⁻¹(b − A·x) in one gather pass — residual, diagonal scale
+// and update fused, one barrier per polynomial degree (a red-black sweep
+// costs two). x is read-only for the pass and y is written once per cell,
+// so banding the rows across the team is deterministic by construction.
+func (s *stencil) JacobiStep(b, x, y linalg.Vector, omega float64) {
+	if s.parallel() {
+		s.job = stencilJob{s: s, mode: jobJacobiStep, b: b, x: x, y: y, omega: omega}
+		s.team.Run(&s.job)
+		return
+	}
+	s.jacobiStepRows(b, x, y, omega, 0, s.nl*s.ny)
+}
+
+// jacobiStepRows is the fused damped-Jacobi gather kernel over a row band.
+func (s *stencil) jacobiStepRows(b, x, y linalg.Vector, omega float64, rowLo, rowHi int) {
+	nx, ny, cells := s.nx, s.ny, s.cells
+	for g := rowLo; g < rowHi; g++ {
+		l, iy := g/ny, g%ny
+		i := l*cells + iy*nx
+		for ix := 0; ix < nx; ix++ {
+			v := s.diag[i] * x[i]
+			if l > 0 {
+				if gz := s.gz[i-cells]; gz != 0 {
+					v -= gz * x[i-cells]
+				}
+			}
+			if iy > 0 {
+				if gy := s.gy[i-nx]; gy != 0 {
+					v -= gy * x[i-nx]
+				}
+			}
+			if ix > 0 {
+				if gx := s.gx[i-1]; gx != 0 {
+					v -= gx * x[i-1]
+				}
+			}
+			if gx := s.gx[i]; gx != 0 {
+				v -= gx * x[i+1]
+			}
+			if gy := s.gy[i]; gy != 0 {
+				v -= gy * x[i+nx]
+			}
+			if l < s.nl-1 {
+				if gz := s.gz[i]; gz != 0 {
+					v -= gz * x[i+cells]
+				}
+			}
+			y[i] = x[i] + omega*s.invDiag[i]*(b[i]-v)
+			i++
 		}
 	}
 }

@@ -1,0 +1,316 @@
+package thermal
+
+import (
+	"repro/internal/linalg"
+)
+
+// stencil32 is the float32 mirror of the 7-point stencil, the level
+// operator of the mixed-precision V-cycle preconditioner (SolverMGPCG32).
+// Geometry, indexing, banding and barrier placement are identical to the
+// float64 stencil; only the element type changes, halving every byte the
+// smoothing sweeps and residual evaluations move. The conductances are
+// converted once at construction (they never change); the diagonals are
+// re-converted from the float64 hierarchy per solve by hierarchy32.
+//
+// The determinism contract carries over unchanged: every kernel is a
+// gather over banded grid rows with per-color barriers, so results are
+// byte-identical at any thread count for a given build. float32 results
+// differ from the float64 ladder, of course — that is confined to the
+// preconditioner; the CG outer loop stays float64.
+type stencil32 struct {
+	nx, ny, nl int
+	cells      int
+	n          int
+
+	gx, gy, gz []float32
+	diag       []float32
+	invDiag    []float32
+
+	team *linalg.Team
+	job  stencil32Job
+}
+
+var _ linalg.FusedSmoother32 = (*stencil32)(nil)
+
+// newStencil32 mirrors a float64 stencil's geometry and conductances in
+// float32. The diagonal buffers start zero; refresh32 fills them.
+func newStencil32(f *stencil) *stencil32 {
+	s := &stencil32{
+		nx: f.nx, ny: f.ny, nl: f.nl, cells: f.cells, n: f.n,
+		gx:      make([]float32, len(f.gx)),
+		gy:      make([]float32, len(f.gy)),
+		gz:      make([]float32, len(f.gz)),
+		diag:    make([]float32, f.n),
+		invDiag: make([]float32, f.n),
+	}
+	for i, v := range f.gx {
+		s.gx[i] = float32(v)
+	}
+	for i, v := range f.gy {
+		s.gy[i] = float32(v)
+	}
+	for i, v := range f.gz {
+		s.gz[i] = float32(v)
+	}
+	return s
+}
+
+// setTeam attaches the worker team the row kernels dispatch on.
+func (s *stencil32) setTeam(t *linalg.Team) { s.team = t }
+
+// parallel reports whether a pass should use the team (same linalg.ParMin
+// size gate as the float64 kernels).
+func (s *stencil32) parallel() bool {
+	return s.team.Workers() > 1 && s.n >= linalg.ParMin
+}
+
+// stencil32Job adapts one float32 stencil pass to linalg.Task.
+type stencil32Job struct {
+	s       *stencil32
+	mode    int
+	b, x, y []float32
+	color   int
+}
+
+// Do implements linalg.Task.
+func (j *stencil32Job) Do(worker, workers int) {
+	lo, hi := linalg.Band(j.s.nl*j.s.ny, worker, workers)
+	switch j.mode {
+	case jobResidual:
+		j.s.residualRows(j.b, j.x, j.y, lo, hi)
+	case jobSmooth:
+		j.s.smoothRows(j.b, j.x, j.color, lo, hi)
+	case jobSmoothResidual:
+		j.s.smoothResidualRows(j.b, j.x, j.y, j.color, lo, hi)
+	case jobResidualColor:
+		j.s.residualColorRows(j.b, j.x, j.y, j.color, lo, hi)
+	}
+}
+
+// Size returns the dimension of the operator.
+func (s *stencil32) Size() int { return s.n }
+
+// Residual computes r = b - A·x in float32.
+func (s *stencil32) Residual(b, x, r []float32) {
+	if s.parallel() {
+		s.job = stencil32Job{s: s, mode: jobResidual, b: b, x: x, y: r}
+		s.team.Run(&s.job)
+		return
+	}
+	s.residualRows(b, x, r, 0, s.nl*s.ny)
+}
+
+func (s *stencil32) residualRows(b, x, r []float32, rowLo, rowHi int) {
+	nx, ny, cells := s.nx, s.ny, s.cells
+	for g := rowLo; g < rowHi; g++ {
+		l, iy := g/ny, g%ny
+		i := l*cells + iy*nx
+		for ix := 0; ix < nx; ix++ {
+			v := s.diag[i] * x[i]
+			if l > 0 {
+				if gz := s.gz[i-cells]; gz != 0 {
+					v -= gz * x[i-cells]
+				}
+			}
+			if iy > 0 {
+				if gy := s.gy[i-nx]; gy != 0 {
+					v -= gy * x[i-nx]
+				}
+			}
+			if ix > 0 {
+				if gx := s.gx[i-1]; gx != 0 {
+					v -= gx * x[i-1]
+				}
+			}
+			if gx := s.gx[i]; gx != 0 {
+				v -= gx * x[i+1]
+			}
+			if gy := s.gy[i]; gy != 0 {
+				v -= gy * x[i+nx]
+			}
+			if l < s.nl-1 {
+				if gz := s.gz[i]; gz != 0 {
+					v -= gz * x[i+cells]
+				}
+			}
+			r[i] = b[i] - v
+			i++
+		}
+	}
+}
+
+// Smooth performs one red-black Gauss-Seidel sweep (forward: red then
+// black; reverse: black then red), one barrier per color.
+func (s *stencil32) Smooth(b, x []float32, reverse bool) {
+	colors := [2]int{0, 1}
+	if reverse {
+		colors = [2]int{1, 0}
+	}
+	if s.parallel() {
+		for _, color := range colors {
+			s.job = stencil32Job{s: s, mode: jobSmooth, b: b, x: x, color: color}
+			s.team.Run(&s.job)
+		}
+		return
+	}
+	for _, color := range colors {
+		s.smoothRows(b, x, color, 0, s.nl*s.ny)
+	}
+}
+
+func (s *stencil32) smoothRows(b, x []float32, color, rowLo, rowHi int) {
+	nx, ny, cells := s.nx, s.ny, s.cells
+	for g := rowLo; g < rowHi; g++ {
+		l, iy := g/ny, g%ny
+		row := l*cells + iy*nx
+		for ix := (color + iy + l) & 1; ix < nx; ix += 2 {
+			i := row + ix
+			su := b[i]
+			if ix > 0 {
+				su += s.gx[i-1] * x[i-1]
+			}
+			if g := s.gx[i]; g != 0 {
+				su += g * x[i+1]
+			}
+			if iy > 0 {
+				su += s.gy[i-nx] * x[i-nx]
+			}
+			if g := s.gy[i]; g != 0 {
+				su += g * x[i+nx]
+			}
+			if l > 0 {
+				su += s.gz[i-cells] * x[i-cells]
+			}
+			if l < s.nl-1 {
+				if g := s.gz[i]; g != 0 {
+					su += g * x[i+cells]
+				}
+			}
+			x[i] = su * s.invDiag[i]
+		}
+	}
+}
+
+// SmoothResidual implements linalg.FusedSmoother32: forward sweep plus
+// residual in one fused pass, the float32 twin of the float64 kernel —
+// same phases, same barriers, bit-identical to Smooth(false)+Residual.
+func (s *stencil32) SmoothResidual(b, x, r []float32) {
+	if s.parallel() {
+		s.job = stencil32Job{s: s, mode: jobSmooth, b: b, x: x, color: 0}
+		s.team.Run(&s.job)
+		s.job = stencil32Job{s: s, mode: jobSmoothResidual, b: b, x: x, y: r, color: 1}
+		s.team.Run(&s.job)
+		s.job = stencil32Job{s: s, mode: jobResidualColor, b: b, x: x, y: r, color: 0}
+		s.team.Run(&s.job)
+		return
+	}
+	rows := s.nl * s.ny
+	s.smoothRows(b, x, 0, 0, rows)
+	s.smoothResidualRows(b, x, r, 1, 0, rows)
+	s.residualColorRows(b, x, r, 0, 0, rows)
+}
+
+// smoothResidualRows relaxes one color and evaluates the relaxed cells'
+// residuals in the same visit (all their neighbors are the frozen
+// opposite color).
+func (s *stencil32) smoothResidualRows(b, x, r []float32, color, rowLo, rowHi int) {
+	nx, ny, cells := s.nx, s.ny, s.cells
+	for g := rowLo; g < rowHi; g++ {
+		l, iy := g/ny, g%ny
+		row := l*cells + iy*nx
+		for ix := (color + iy + l) & 1; ix < nx; ix += 2 {
+			i := row + ix
+			su := b[i]
+			if ix > 0 {
+				su += s.gx[i-1] * x[i-1]
+			}
+			if g := s.gx[i]; g != 0 {
+				su += g * x[i+1]
+			}
+			if iy > 0 {
+				su += s.gy[i-nx] * x[i-nx]
+			}
+			if g := s.gy[i]; g != 0 {
+				su += g * x[i+nx]
+			}
+			if l > 0 {
+				su += s.gz[i-cells] * x[i-cells]
+			}
+			if l < s.nl-1 {
+				if g := s.gz[i]; g != 0 {
+					su += g * x[i+cells]
+				}
+			}
+			x[i] = su * s.invDiag[i]
+
+			v := s.diag[i] * x[i]
+			if l > 0 {
+				if gz := s.gz[i-cells]; gz != 0 {
+					v -= gz * x[i-cells]
+				}
+			}
+			if iy > 0 {
+				if gy := s.gy[i-nx]; gy != 0 {
+					v -= gy * x[i-nx]
+				}
+			}
+			if ix > 0 {
+				if gx := s.gx[i-1]; gx != 0 {
+					v -= gx * x[i-1]
+				}
+			}
+			if gx := s.gx[i]; gx != 0 {
+				v -= gx * x[i+1]
+			}
+			if gy := s.gy[i]; gy != 0 {
+				v -= gy * x[i+nx]
+			}
+			if l < s.nl-1 {
+				if gz := s.gz[i]; gz != 0 {
+					v -= gz * x[i+cells]
+				}
+			}
+			r[i] = b[i] - v
+		}
+	}
+}
+
+// residualColorRows evaluates r = b - A·x at one color's cells.
+func (s *stencil32) residualColorRows(b, x, r []float32, color, rowLo, rowHi int) {
+	nx, ny, cells := s.nx, s.ny, s.cells
+	for g := rowLo; g < rowHi; g++ {
+		l, iy := g/ny, g%ny
+		row := l*cells + iy*nx
+		for ix := (color + iy + l) & 1; ix < nx; ix += 2 {
+			i := row + ix
+			v := s.diag[i] * x[i]
+			if l > 0 {
+				if gz := s.gz[i-cells]; gz != 0 {
+					v -= gz * x[i-cells]
+				}
+			}
+			if iy > 0 {
+				if gy := s.gy[i-nx]; gy != 0 {
+					v -= gy * x[i-nx]
+				}
+			}
+			if ix > 0 {
+				if gx := s.gx[i-1]; gx != 0 {
+					v -= gx * x[i-1]
+				}
+			}
+			if gx := s.gx[i]; gx != 0 {
+				v -= gx * x[i+1]
+			}
+			if gy := s.gy[i]; gy != 0 {
+				v -= gy * x[i+nx]
+			}
+			if l < s.nl-1 {
+				if gz := s.gz[i]; gz != 0 {
+					v -= gz * x[i+cells]
+				}
+			}
+			r[i] = b[i] - v
+		}
+	}
+}

@@ -27,9 +27,21 @@ type Workspace struct {
 
 	// solver selects the linear solver; hier is the multigrid ladder the
 	// MG and MG-PCG solvers use, built lazily on their first solve (the
-	// default CG path never pays for it).
+	// default CG path never pays for it). hier32 mirrors it in float32 for
+	// SolverMGPCG32; mgCheb/chebs are the Chebyshev-smoothed V-cycle of
+	// SolverMGPCGCheb over the same float64 ladder.
 	solver Solver
 	hier   *hierarchy
+	hier32 *hierarchy32
+	mgCheb *linalg.Multigrid
+	chebs  []*linalg.ChebySmoother
+	// chebDt is the capacitive regime (0 = steady, else the transient dt)
+	// the Chebyshev eigenvalue estimates were made in; solveDt is the
+	// current solve's regime. When they differ the estimates are reset —
+	// the capacitive diagonal term C/dt shifts the spectrum of D⁻¹A enough
+	// that an interval fitted to one regime can exclude the other's λmax.
+	chebDt  float64
+	solveDt float64
 
 	// team is the intra-solve worker team SetThreads owns; threads is the
 	// configured width (0 = never set, serial).
@@ -116,6 +128,9 @@ func (w *Workspace) wireTeam() {
 	if w.hier != nil {
 		w.hier.setTeam(w.team)
 	}
+	if w.hier32 != nil {
+		w.hier32.setTeam(w.team)
+	}
 }
 
 // Stats returns cumulative linear-solver effort since the workspace was
@@ -138,6 +153,56 @@ func (w *Workspace) ensureHierarchy() error {
 	}
 	h.setTeam(w.team)
 	w.hier = h
+	return nil
+}
+
+// ensureHierarchy32 lazily mirrors the multigrid ladder in float32.
+func (w *Workspace) ensureHierarchy32() error {
+	if w.hier32 != nil {
+		return nil
+	}
+	if err := w.ensureHierarchy(); err != nil {
+		return err
+	}
+	h32, err := newHierarchy32(w.hier)
+	if err != nil {
+		return err
+	}
+	h32.setTeam(w.team)
+	w.hier32 = h32
+	return nil
+}
+
+// ensureCheb lazily builds the Chebyshev-smoothed V-cycle over the
+// float64 ladder: every level but the coarsest swaps red-black
+// Gauss-Seidel for a degree-2 Chebyshev polynomial smoother wrapping the
+// same stencil (the smoothers alias the stencils' inverse diagonals, so
+// per-solve refreshes flow through). The coarsest level keeps plain
+// Gauss-Seidel — there the V-cycle runs an exhaustive symmetric solve,
+// not smoothing, and GS converges faster per sweep.
+func (w *Workspace) ensureCheb() error {
+	if w.mgCheb != nil {
+		return nil
+	}
+	if err := w.ensureHierarchy(); err != nil {
+		return err
+	}
+	mls := make([]linalg.MGLevel, len(w.hier.levels))
+	for i, lv := range w.hier.levels {
+		if lv.down != nil {
+			c := linalg.NewChebySmoother(lv.st, lv.st.invDiag, 2)
+			w.chebs = append(w.chebs, c)
+			mls[i] = linalg.MGLevel{A: c, Down: lv.down}
+		} else {
+			mls[i] = linalg.MGLevel{A: lv.st}
+		}
+	}
+	mg, err := linalg.NewMultigrid(mls)
+	if err != nil {
+		return err
+	}
+	w.mgCheb = mg
+	w.chebDt = -1 // force eigenvalue setup on the first solve
 	return nil
 }
 
@@ -166,6 +231,33 @@ func (w *Workspace) solve(x linalg.Vector, tol float64) error {
 				Precond: w.hier.mg,
 			}, &w.cg)
 		}
+	case SolverMGPCG32:
+		if err = w.ensureHierarchy32(); err != nil {
+			return err
+		}
+		w.hier.refresh()
+		w.hier32.refresh()
+		res, err = linalg.CGWith(&w.op, w.rhs, x, linalg.CGOptions{
+			Tol:     tol,
+			MaxIter: 40 * w.m.n,
+			Precond: w.hier32.mg,
+		}, &w.cg)
+	case SolverMGPCGCheb:
+		if err = w.ensureCheb(); err != nil {
+			return err
+		}
+		w.hier.refresh()
+		if w.solveDt != w.chebDt {
+			for _, c := range w.chebs {
+				c.Reset()
+			}
+			w.chebDt = w.solveDt
+		}
+		res, err = linalg.CGWith(&w.op, w.rhs, x, linalg.CGOptions{
+			Tol:     tol,
+			MaxIter: 40 * w.m.n,
+			Precond: w.mgCheb,
+		}, &w.cg)
 	default:
 		res, err = linalg.CGWith(&w.op, w.rhs, x, linalg.CGOptions{
 			Tol:     tol,
@@ -264,6 +356,7 @@ func (w *Workspace) SteadySolveLayersInto(dst, init *Field, layers [][]float64, 
 		return err
 	}
 	m.fillOperator(&w.op, bc, 0)
+	w.solveDt = 0
 	if err := m.rhsLayersInto(w.rhs, layers, bc); err != nil {
 		return err
 	}
@@ -311,6 +404,7 @@ func (w *Workspace) StepTransientLayersInto(dst, prev *Field, dt float64, layers
 		return err
 	}
 	m.fillOperator(&w.op, bc, 1/dt)
+	w.solveDt = dt
 	if err := m.rhsLayersInto(w.rhs, layers, bc); err != nil {
 		return err
 	}

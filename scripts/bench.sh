@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# bench.sh — run the canonical benchmarks and emit BENCH_6.json, the
+# bench.sh — run the canonical benchmarks and emit BENCH_7.json, the
 # machine-readable performance baseline of this repository.
 #
 # Usage:
-#   scripts/bench.sh                 # quick smoke (BENCHTIME=1x), writes BENCH_6.json
+#   scripts/bench.sh                 # quick smoke (BENCHTIME=1x), writes BENCH_7.json
 #   BENCHTIME=200ms scripts/bench.sh # steadier timings
 #   OUT=/tmp/b.json scripts/bench.sh
 #
@@ -11,21 +11,29 @@
 # custom ReportMetric columns, e.g. the datacenter solver's outer/op),
 # the GOMAXPROCS each benchmark ran at and the host core count, and, for
 # every benchmark family with threads=N sub-runs, the speedup of each
-# threaded variant over its threads=1 twin. CI runs this script on every
-# push and archives BENCH_6.json as a build artifact so future PRs can
-# diff against a baseline instead of eyeballing benchmark logs.
+# threaded variant over its threads=1 twin (threads=N runs with
+# N > GOMAXPROCS are tagged "oversubscribed" and excluded). Since
+# schema bench.v3 the run is STREAM-calibrated: BenchmarkStreamTriad's
+# measured rate becomes the document's `stream_triad_mb_s`, and every
+# bandwidth-reporting kernel bench gets `fraction_of_peak` — its MB/s as
+# a fraction of the triad ceiling — so a baseline reads as "kernel X at
+# Y% of this host's memory bandwidth" instead of a bare ns/op. CI runs
+# this script on every push and archives BENCH_7.json as a build
+# artifact so future PRs can diff against a baseline instead of
+# eyeballing benchmark logs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
-OUT="${OUT:-BENCH_6.json}"
+OUT="${OUT:-BENCH_7.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-# The canonical benchmark set: solver and session hot paths, the nested
-# datacenter fleet solve (internal packages) plus the sweep engine (root
-# package).
-go test -run=NONE -bench='Solve|Session|MG|Stencil|Fused|Datacenter' -benchtime="$BENCHTIME" -benchmem \
+# The canonical benchmark set: solver and session hot paths, the fused
+# and Chebyshev smoother kernels with the STREAM triad they are judged
+# against, the nested datacenter fleet solve (internal packages) plus
+# the sweep engine (root package).
+go test -run=NONE -bench='Solve|Session|MG|Stencil|Fused|Cheb|Triad|Datacenter' -benchtime="$BENCHTIME" -benchmem \
 	./internal/thermal ./internal/cosim ./internal/linalg ./internal/datacenter | tee "$raw"
 go test -run=NONE -bench='Sweep' -benchtime="$BENCHTIME" -benchmem . | tee -a "$raw"
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Parse `go test -bench` output into BENCH_6.json.
+"""Parse `go test -bench` output into BENCH_7.json (schema bench.v3).
 
 Reads the raw benchmark log (argv[1]) and the benchtime used (argv[2]),
 emits a JSON document with one entry per benchmark and, for benchmarks
@@ -13,6 +13,18 @@ so a baseline from a 1-core CI runner is never mistaken for a many-core
 measurement. Custom `b.ReportMetric` columns (e.g. the datacenter solver's
 `outer/op` and `solves/op`) are carried through generically under
 `metrics`.
+
+bench.v3 adds two calibrations:
+
+- STREAM anchoring: BenchmarkStreamTriad's MB/s is lifted to the
+  document-level `stream_triad_mb_s`, and every other entry that reports
+  MB/s gains `fraction_of_peak` — its rate over the triad ceiling. A
+  kernel near 1.0 is memory-bound and done; one far below has headroom.
+- Oversubscription tagging: a `threads=N` entry with N above the
+  GOMAXPROCS it ran at gets `"oversubscribed": true` and is excluded
+  from `speedup_vs_serial` — its worker team time-slices cores, so its
+  timing measures scheduler contention, not kernel scaling, and folding
+  it into speedups would poison baselines from narrow CI runners.
 """
 import json
 import os
@@ -64,9 +76,32 @@ def main() -> None:
                 entry["metrics"] = metrics
             entries.append(entry)
 
+    def threads_of(name):
+        m = re.search(r"threads=(\d+)", name)
+        return int(m.group(1)) if m else None
+
+    # Oversubscription: a worker team wider than the scheduler's core
+    # budget measures time-slicing, not scaling.
+    for e in entries:
+        threads = threads_of(e["name"])
+        if threads is not None and threads > e["gomaxprocs"]:
+            e["oversubscribed"] = True
+
+    # STREAM calibration: the triad rate is this host's effective memory
+    # bandwidth ceiling; every kernel's MB/s becomes a fraction of it.
+    triad = next((e for e in entries if e["name"] == "StreamTriad"), None)
+    triad_rate = triad.get("mb_per_s", 0.0) if triad else 0.0
+    if triad_rate > 0:
+        for e in entries:
+            if e is triad or "mb_per_s" not in e:
+                continue
+            e["fraction_of_peak"] = round(e["mb_per_s"] / triad_rate, 4)
+
     # Speedup vs the serial twin for threads=N sub-benchmarks. The family
     # key replaces the full `threads=<digits>` token, so e.g. threads=16
-    # can never be mistaken for the threads=1 baseline.
+    # can never be mistaken for the threads=1 baseline. Oversubscribed
+    # entries never enter the aggregate — neither as a baseline nor as a
+    # threaded variant.
     def family(name):
         m = re.search(r"threads=(\d+)", name)
         if not m:
@@ -75,18 +110,23 @@ def main() -> None:
 
     serial = {}
     for e in entries:
+        if e.get("oversubscribed"):
+            continue
         key, threads = family(e["name"])
         if key and threads == "1" and e["ns_per_op"] > 0:
             serial[key] = e["ns_per_op"]
     for e in entries:
+        if e.get("oversubscribed"):
+            continue
         key, threads = family(e["name"])
         if key and threads != "1" and key in serial and e["ns_per_op"] > 0:
             e["speedup_vs_serial"] = round(serial[key] / e["ns_per_op"], 3)
 
     doc = {
-        "schema": "bench.v2",
+        "schema": "bench.v3",
         "benchtime": benchtime,
         "host_cpus": os.cpu_count(),
+        **({"stream_triad_mb_s": round(triad_rate, 2)} if triad_rate > 0 else {}),
         **meta,
         "benchmarks": entries,
     }
