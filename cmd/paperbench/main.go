@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/render"
 	"repro/internal/report"
 	"repro/internal/thermal"
@@ -40,6 +41,7 @@ func main() {
 	out := flag.String("outdir", "", "directory for SVG/CSV map artifacts (optional)")
 	reportPath := flag.String("report", "", "write a markdown reproduction report of the -exp selection to this file and exit")
 	solverFlag := flag.String("solver", "cg", "thermal linear solver for every experiment: cg|mgpcg|mg|mgpcg32|mgpcg-cheb")
+	faultFlag := flag.String("fault", "", "cooling-fault scenario, e.g. pump:0.5 or pump:0.4,fouling:0.3:loop0 (the faults experiment adds it to its sweep)")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = auto; unset cores from the GOMAXPROCS budget flow to -threads)")
 	threads := flag.Int("threads", 0, "intra-solve threads per solve session (0 = auto-split GOMAXPROCS with -workers; set both to 1 for a fully serial run)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
@@ -61,6 +63,13 @@ func main() {
 		fatal(err)
 	}
 	cfg := experiments.RunConfig{Resolution: res, Solver: solver, Workers: *workers, Threads: *threads}
+	if *faultFlag != "" {
+		sc, err := faults.Parse(*faultFlag)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Scenario = &sc
+	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datacenter"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/power"
 	"repro/internal/rack"
 	"repro/internal/render"
@@ -36,8 +37,9 @@ func main() {
 	solverFlag := flag.String("solver", "cg", "thermal linear solver: cg|mgpcg|mg|mgpcg32|mgpcg-cheb (mgpcg pays off on fine grids)")
 	workers := flag.Int("workers", 0, "parallel blade-class solves (0 = GOMAXPROCS, 1 = serial)")
 	threads := flag.Int("threads", 0, "intra-solve threads per blade solve (0 = GOMAXPROCS, 1 = serial)")
+	faultFlag := flag.String("fault", "", "cooling-fault scenario, e.g. pump:0.5 or bladeloss:0.6:loop0:r0b0 (see internal/faults)")
 	flag.Parse()
-	if err := run(*racks, *blades, *loops, *resFlag, *waterC, *solverFlag, *workers, *threads); err != nil {
+	if err := run(*racks, *blades, *loops, *resFlag, *waterC, *solverFlag, *workers, *threads, *faultFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "rackplan:", err)
 		os.Exit(1)
 	}
@@ -48,7 +50,7 @@ func main() {
 // blades produce identical operating points).
 const bladeRows = 32
 
-func run(racks, blades, loops int, resFlag string, waterC float64, solverFlag string, workers, threads int) error {
+func run(racks, blades, loops int, resFlag string, waterC float64, solverFlag string, workers, threads int, faultFlag string) error {
 	if racks < 1 {
 		return fmt.Errorf("-racks must be at least 1, got %d", racks)
 	}
@@ -65,6 +67,10 @@ func run(racks, blades, loops int, resFlag string, waterC float64, solverFlag st
 	solver, err := thermal.ParseSolver(solverFlag)
 	if err != nil {
 		return err
+	}
+	scenario, err := faults.Parse(faultFlag)
+	if err != nil {
+		return fmt.Errorf("-fault: %w", err)
 	}
 
 	// The fleet runs the PARSEC roster round-robin: each blade fully
@@ -92,10 +98,11 @@ func run(racks, blades, loops int, resFlag string, waterC float64, solverFlag st
 		return err
 	}
 	s, err := datacenter.New(sys, topo, datacenter.Options{
-		Solver:  solver,
-		Workers: workers,
-		Threads: threads,
-		Leakage: power.DefaultLeakage(),
+		Solver:   solver,
+		Workers:  workers,
+		Threads:  threads,
+		Leakage:  power.DefaultLeakage(),
+		Scenario: &scenario,
 	})
 	if err != nil {
 		return err
@@ -108,8 +115,20 @@ func run(racks, blades, loops int, resFlag string, waterC float64, solverFlag st
 
 	fmt.Printf("%d blades in %d racks over %d loops (%d blade classes)\n",
 		topo.NumBlades(), racks, loops, rep.Classes)
-	fmt.Printf("outer fixed point: %d iterations, residual %.4f °C, converged %v\n\n",
+	fmt.Printf("outer fixed point: %d iterations, residual %.4f °C, converged %v\n",
 		rep.OuterIterations, rep.ResidualC, rep.Converged)
+	if !scenario.Empty() {
+		fmt.Printf("fault scenario %q: damping %.2f after %d halving(s), %d solver escalation(s)\n",
+			rep.Scenario, rep.FinalDamping, rep.DampingHalvings, rep.Escalations)
+		if rep.ThrottledBlades > 0 {
+			fmt.Printf("degraded mode: %d blade(s) throttled, deepest %d DVFS step(s)\n",
+				rep.ThrottledBlades, rep.MaxThrottleSteps)
+		}
+		for _, b := range rep.Infeasible {
+			fmt.Printf("INFEASIBLE %s (%s, rack %d slot %d): %s\n", b.Name, b.Loop, b.Rack, b.Slot, b.Reason)
+		}
+	}
+	fmt.Println()
 
 	// Per-blade operating points; big fleets collapse to per-class rows.
 	if len(rep.Blades) <= bladeRows {

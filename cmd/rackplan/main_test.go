@@ -30,7 +30,7 @@ func captureStdout(t *testing.T, f func() error) string {
 
 func TestRackplanRuns(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run(2, 4, 1, "coarse", 27, "cg", 0, 1)
+		return run(2, 4, 1, "coarse", 27, "cg", 0, 1, "")
 	})
 	for _, want := range []string{
 		"8 blades in 2 racks over 1 loops",
@@ -49,7 +49,7 @@ func TestRackplanRuns(t *testing.T) {
 // to one row per benchmark class, with populations summing to the fleet.
 func TestRackplanClassRollup(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run(5, 8, 2, "coarse", 27, "cg", 0, 1)
+		return run(5, 8, 2, "coarse", 27, "cg", 0, 1, "")
 	})
 	for _, want := range []string{"40 blades in 5 racks over 2 loops", "blades", "W each"} {
 		if !strings.Contains(out, want) {
@@ -66,13 +66,15 @@ func TestRackplanFlagValidation(t *testing.T) {
 		run  func() error
 		want string
 	}{
-		{"zero racks", func() error { return run(0, 4, 1, "coarse", 27, "cg", 0, 1) }, "-racks"},
-		{"zero blades", func() error { return run(2, 0, 1, "coarse", 27, "cg", 0, 1) }, "-blades"},
-		{"negative water", func() error { return run(2, 4, 1, "coarse", -5, "cg", 0, 1) }, "-water"},
-		{"unknown resolution", func() error { return run(2, 4, 1, "nope", 27, "cg", 0, 1) }, "nope"},
-		{"unknown solver", func() error { return run(2, 4, 1, "coarse", 27, "nope", 0, 1) }, "nope"},
-		{"more loops than racks", func() error { return run(2, 4, 3, "coarse", 27, "cg", 0, 1) }, "loop count"},
-		{"zero loops", func() error { return run(2, 4, 0, "coarse", 27, "cg", 0, 1) }, "loop count"},
+		{"zero racks", func() error { return run(0, 4, 1, "coarse", 27, "cg", 0, 1, "") }, "-racks"},
+		{"zero blades", func() error { return run(2, 0, 1, "coarse", 27, "cg", 0, 1, "") }, "-blades"},
+		{"negative water", func() error { return run(2, 4, 1, "coarse", -5, "cg", 0, 1, "") }, "-water"},
+		{"unknown resolution", func() error { return run(2, 4, 1, "nope", 27, "cg", 0, 1, "") }, "nope"},
+		{"unknown solver", func() error { return run(2, 4, 1, "coarse", 27, "nope", 0, 1, "") }, "nope"},
+		{"more loops than racks", func() error { return run(2, 4, 3, "coarse", 27, "cg", 0, 1, "") }, "loop count"},
+		{"zero loops", func() error { return run(2, 4, 0, "coarse", 27, "cg", 0, 1, "") }, "loop count"},
+		{"bad fault spec", func() error { return run(2, 4, 1, "coarse", 27, "cg", 0, 1, "meteor:0.5") }, "-fault"},
+		{"fault severity 1", func() error { return run(2, 4, 1, "coarse", 27, "cg", 0, 1, "pump:1.0") }, "-fault"},
 	}
 	for _, tc := range cases {
 		err := tc.run()
@@ -81,6 +83,25 @@ func TestRackplanFlagValidation(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestRackplanFaultFlag: a -fault scenario must print the scenario
+// summary (damping, halvings, escalations) and still reach the plant
+// section — and a blade-scoped fault must heat the fleet.
+func TestRackplanFaultFlag(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(2, 4, 1, "coarse", 27, "cg", 0, 1, "pump:0.5,fouling:0.3")
+	})
+	for _, want := range []string{
+		`fault scenario "pump:0.5,fouling:0.3"`,
+		"halving(s)",
+		"solver escalation(s)",
+		"facility PUE:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
 		}
 	}
 }
@@ -102,7 +123,7 @@ func TestRackplanWorkersFlagMGPCG(t *testing.T) {
 func testRackplanWorkersFlag(t *testing.T, solver string) {
 	withWorkers := func(n int) string {
 		return captureStdout(t, func() error {
-			return run(2, 4, 2, "coarse", 27, solver, n, 2)
+			return run(2, 4, 2, "coarse", 27, solver, n, 2, "")
 		})
 	}
 	serial := withWorkers(1)

@@ -78,7 +78,7 @@ func (ses *Session) SolveSteadyLeakage(ctx context.Context, st power.PackageStat
 		}
 		temps, err := res.Field.LayerByName(thermal.LayerDie)
 		if err != nil {
-			return nil, err
+			return nil, ses.fail(err)
 		}
 		blockT := make(map[string]float64, len(static))
 		var maxDelta, scaledStatic float64
@@ -106,7 +106,9 @@ func (ses *Session) SolveSteadyLeakage(ctx context.Context, st power.PackageStat
 			return &out, nil
 		}
 		if maxDelta > prev*1.5 && it > 3 {
-			return nil, fmt.Errorf("cosim: leakage coupling diverging (Δ %.2f W after %d iterations) — thermal runaway", maxDelta, it+1)
+			// The carried field belongs to a diverging operating point;
+			// invalidate it so a retry (e.g. after throttling) starts cold.
+			return nil, ses.fail(fmt.Errorf("cosim: leakage coupling diverging (Δ %.2f W after %d iterations) — thermal runaway", maxDelta, it+1))
 		}
 		prev = maxDelta
 	}

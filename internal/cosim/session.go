@@ -37,6 +37,11 @@ type Session struct {
 	warm      bool
 	transient bool // a TransientSim owns the workspace's B-side buffers
 
+	// design, when non-nil, replaces the system's thermosyphon design for
+	// this session's solves (WithDesign) — how faulted blades share one
+	// System with healthy ones.
+	design *thermosyphon.Design
+
 	res        Result
 	syph       *thermosyphon.State
 	pCells     []float64
@@ -65,6 +70,16 @@ func WithSolver(s thermal.Solver) SessionOption {
 	return func(ses *Session) { ses.ws.SetSolver(s) }
 }
 
+// WithDesign overrides the thermosyphon design for this session's solves:
+// the session evaporates with d instead of the system's design, while the
+// thermal model, power model, and every buffer stay shared. This is how a
+// fault scenario gives some blades a degraded cooling loop (reduced fill,
+// fouled condenser, eroded HTC) without rebuilding a System per blade. The
+// design must already be validated by the caller.
+func WithDesign(d thermosyphon.Design) SessionOption {
+	return func(ses *Session) { ses.design = &d }
+}
+
 // WithThreads sets the intra-solve thread count for every thermal solve
 // the session performs: the stencil and fused CG kernels fan out across a
 // persistent worker team of this width (n <= 0 selects GOMAXPROCS).
@@ -88,6 +103,30 @@ func (ses *Session) Close() error {
 // SolverStats returns the cumulative linear-solver effort (solves,
 // iterations, operator applications) this session has spent.
 func (ses *Session) SolverStats() thermal.SolveStats { return ses.ws.Stats() }
+
+// Escalations returns every solver-ladder descent this session's solves
+// have taken, in order (see thermal.Workspace.Escalations). Surfacing
+// them is part of the graceful-degradation contract: a solve that had to
+// fall back to a safer solver is reported, never hidden.
+func (ses *Session) Escalations() []thermal.Escalation { return ses.ws.Escalations() }
+
+// Design returns the thermosyphon design this session solves with: the
+// WithDesign override when set, the system's design otherwise.
+func (ses *Session) Design() *thermosyphon.Design {
+	if ses.design != nil {
+		return ses.design
+	}
+	return &ses.sys.Design
+}
+
+// fail invalidates the warm-start carry and passes err through: after any
+// failed solve the carried field/flux may be half-converged or
+// NaN-contaminated, so the next solve on this session must start cold
+// rather than warm-start from poisoned state.
+func (ses *Session) fail(err error) error {
+	ses.warm = false
+	return err
+}
 
 // NewSession returns a reusable solve session for the system.
 func (s *System) NewSession(opts ...SessionOption) *Session {
@@ -151,6 +190,8 @@ func (ses *Session) SolveSteady(ctx context.Context, st power.PackageState, op t
 // means "not cancellable".
 func (ses *Session) SolveSteadyPower(ctx context.Context, blockPower map[string]float64, op thermosyphon.Operating) (*Result, error) {
 	s := ses.sys
+	// The solver escalation ladder observes ctx between rungs.
+	ses.ws.SetContext(ctx)
 	pCells, err := s.coverage.PowerMapInto(ses.pCells, blockPower)
 	if err != nil {
 		return nil, err
@@ -186,17 +227,17 @@ func (ses *Session) SolveSteadyPower(ctx context.Context, blockPower map[string]
 	for it := 0; it < maxOuter; it++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return nil, ses.fail(err)
 			}
 		}
-		syph, err := s.Design.EvaporateInto(ses.syph, grid, q, op)
+		syph, err := ses.Design().EvaporateInto(ses.syph, grid, q, op)
 		if err != nil {
-			return nil, fmt.Errorf("cosim: iteration %d: %w", it, err)
+			return nil, ses.fail(fmt.Errorf("cosim: iteration %d: %w", it, err))
 		}
 		ses.syph = syph
 		bc := thermal.TopBoundary{H: syph.H, TFluid: syph.TFluid}
 		if err := ses.ws.SteadySolveLayersInto(field, init, ses.layerPower, bc); err != nil {
-			return nil, fmt.Errorf("cosim: iteration %d: %w", it, err)
+			return nil, ses.fail(fmt.Errorf("cosim: iteration %d: %w", it, err))
 		}
 		init = field
 		ses.qNew = field.TopHeatPerCellInto(ses.qNew, bc)

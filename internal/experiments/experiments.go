@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cosim"
+	"repro/internal/faults"
 	"repro/internal/floorplan"
 	"repro/internal/metrics"
 	"repro/internal/power"
@@ -120,6 +121,10 @@ type RunConfig struct {
 	// Artifacts, when non-nil, receives every map artifact the experiment
 	// emits, as it is produced. The maps are also attached to the Result.
 	Artifacts ArtifactSink
+	// Scenario, when non-nil, is a custom cooling-fault scenario (the
+	// -fault flag). The failure-scenarios experiment appends it to its
+	// sweep; experiments that do not model faults ignore it.
+	Scenario *faults.Scenario
 }
 
 // At is the short-form RunConfig for a resolution with the default solver

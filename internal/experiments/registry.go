@@ -149,6 +149,11 @@ func init() {
 		Description: "extension — 24 h diurnal fleet transient, quasi-static hourly solves",
 		Run:         runDiurnal,
 	})
+	Register(Experiment{
+		Name:        "faults",
+		Description: "extension — cooling-failure survival sweep, fault kind × severity on the 1000-blade fleet",
+		Run:         runFaults,
+	})
 }
 
 func runFig2(ctx context.Context, cfg RunConfig) (*Result, error) {
@@ -477,6 +482,41 @@ func runDiurnal(ctx context.Context, cfg RunConfig) (*Result, error) {
 	out.notef("daily swing: die %.1f → %.1f °C, IT %.2f → %.2f kW (valley %02d:00, peak %02d:00)",
 		valley.MaxDieC, peak.MaxDieC, valley.ITPowerW/1000, peak.ITPowerW/1000, valley.Hour, peak.Hour)
 	return out, nil
+}
+
+func runFaults(ctx context.Context, cfg RunConfig) (*Result, error) {
+	points, err := ExtFailureScenarios(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return faultsResult(points, cfg), nil
+}
+
+// faultsResult renders survival points into the uniform Result — split
+// from runFaults so the table contract is testable without solving the
+// 1000-blade fleet.
+func faultsResult(points []FailurePoint, cfg RunConfig) *Result {
+	out := newResult("faults", "extension — cooling-failure survival sweep (1000-blade fleet, graceful degradation)", cfg)
+	t := Table{Name: "survival", Columns: []Column{
+		Col("scenario", -1), Col("feasible", -1), Col("converged", -1),
+		Col("outer", -1), Col("halvings", -1), Col("damping", 2), Col("escalations", -1),
+		Col("throttled", -1), Col("max steps", -1), Col("infeasible", -1),
+		Col("IT kW", 2), Col("die θmax", 1), Col("supply θmax", 2), Col("PUE", 3),
+	}}
+	var worst FailurePoint
+	for _, p := range points {
+		t.AddRow(p.Scenario, p.Feasible, p.Converged,
+			p.OuterIterations, p.DampingHalvings, p.FinalDamping, p.Escalations,
+			p.ThrottledBlades, p.MaxThrottleSteps, p.InfeasibleBlades,
+			p.ITPowerW/1000, p.MaxDieC, p.MaxSupplyC, p.PUE)
+		if p.MaxDieC > worst.MaxDieC {
+			worst = p
+		}
+	}
+	out.Tables = append(out.Tables, t)
+	out.notef("hottest scenario: %s (die %.1f °C, %d throttled, %d infeasible)",
+		worst.Scenario, worst.MaxDieC, worst.ThrottledBlades, worst.InfeasibleBlades)
+	return out
 }
 
 func runRuntime(ctx context.Context, cfg RunConfig) (*Result, error) {

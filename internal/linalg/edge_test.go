@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -20,8 +21,13 @@ func TestCGRejectsNonSPD(t *testing.T) {
 	b := make(Vector, n)
 	b.Fill(1)
 	x := make(Vector, n)
-	if _, err := CG(negOperator{n}, b, x, CGOptions{}); err != ErrNotConverged {
+	_, err := CG(negOperator{n}, b, x, CGOptions{})
+	if !errors.Is(err, ErrNotConverged) {
 		t.Fatalf("non-SPD operator should abort with ErrNotConverged, got %v", err)
+	}
+	var se *SolveError
+	if !errors.As(err, &se) || se.Cause != CauseBreakdown {
+		t.Fatalf("non-SPD operator should report CauseBreakdown, got %v", err)
 	}
 }
 

@@ -218,6 +218,11 @@ func CGWith(a Operator, b, x Vector, opt CGOptions, ws *CGWorkspace) (CGResult, 
 	// the convergence check rides on the norm the update just produced
 	// instead of recomputing it at the top of the next iteration.
 	res.Residual = r.Norm2() / bNorm
+	if badFloat(res.Residual) {
+		// NaN/Inf before the first iteration: the initial guess (typically
+		// a warm-start seed) or b itself is poisoned.
+		return res, failure("cg", CauseNaN, res)
+	}
 	if res.Residual < opt.Tol {
 		return res, nil
 	}
@@ -241,14 +246,22 @@ func CGWith(a Operator, b, x Vector, opt CGOptions, ws *CGWorkspace) (CGResult, 
 		a.Apply(p, ap)
 		res.Applies++
 		pap := ws.dot(p, ap)
-		if pap <= 0 || math.IsNaN(pap) {
+		if badFloat(pap) {
+			// A NaN/Inf reached the recurrence (overflow, or a poisoned
+			// preconditioner output last iteration); the iterate is unusable.
+			return res, failure("cg", CauseNaN, res)
+		}
+		if pap <= 0 {
 			// Operator is not SPD along p; bail out with the current iterate.
-			return res, ErrNotConverged
+			return res, failure("cg", CauseBreakdown, res)
 		}
 		alpha := rz / pap
 		rNormSq := ws.fusedUpdate(x, r, p, ap, alpha)
 		res.Iterations = k + 1
 		res.Residual = math.Sqrt(rNormSq) / bNorm
+		if badFloat(res.Residual) {
+			return res, failure("cg", CauseNaN, res)
+		}
 		if res.Residual < opt.Tol {
 			return res, nil
 		}
@@ -269,7 +282,7 @@ func CGWith(a Operator, b, x Vector, opt CGOptions, ws *CGWorkspace) (CGResult, 
 		rz = rzNew
 		ws.xpby(p, z, beta)
 	}
-	return res, ErrNotConverged
+	return res, failure("cg", CauseMaxIter, res)
 }
 
 // SOROptions configures the successive-over-relaxation solver.
@@ -315,11 +328,14 @@ func SOR(a StencilSweeper, b, x Vector, opt SOROptions) (CGResult, error) {
 		res.Applies = res.Iterations // one sweep costs one operator pass
 		delta := a.SweepSOR(b, x, opt.Omega)
 		res.Residual = delta / scale
+		if badFloat(res.Residual) {
+			return res, failure("sor", CauseNaN, res)
+		}
 		if res.Residual < opt.Tol {
 			return res, nil
 		}
 	}
-	return res, ErrNotConverged
+	return res, failure("sor", CauseMaxIter, res)
 }
 
 // Bisect finds a root of f in [lo, hi] assuming f(lo) and f(hi) bracket a

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -134,8 +135,15 @@ func TestCGNonConvergenceBudget(t *testing.T) {
 	b := poissonRHS(n, want)
 	x := make(Vector, n)
 	_, err := CG(op, b, x, CGOptions{Tol: 1e-14, MaxIter: 3})
-	if err != ErrNotConverged {
+	if !errors.Is(err, ErrNotConverged) {
 		t.Fatalf("expected ErrNotConverged with tiny budget, got %v", err)
+	}
+	var se *SolveError
+	if !errors.As(err, &se) {
+		t.Fatalf("expected a *SolveError diagnostic, got %T: %v", err, err)
+	}
+	if se.Cause != CauseMaxIter || se.Iterations != 3 || !se.Recoverable() {
+		t.Fatalf("expected recoverable maxiter after 3 iterations, got %+v", se)
 	}
 }
 

@@ -202,6 +202,9 @@ func MGSolve(mg *Multigrid, b, x Vector, opt MGOptions) (CGResult, error) {
 	a.Residual(b, x, r)
 	res.Applies = 1
 	res.Residual = r.Norm2() / bNorm
+	if badFloat(res.Residual) {
+		return res, failure("mg", CauseNaN, res)
+	}
 	if res.Residual < opt.Tol {
 		return res, nil
 	}
@@ -211,9 +214,12 @@ func MGSolve(mg *Multigrid, b, x Vector, opt MGOptions) (CGResult, error) {
 		res.Iterations = k + 1
 		res.Applies += mg.Pre + mg.Post + 2
 		res.Residual = r.Norm2() / bNorm
+		if badFloat(res.Residual) {
+			return res, failure("mg", CauseNaN, res)
+		}
 		if res.Residual < opt.Tol {
 			return res, nil
 		}
 	}
-	return res, ErrNotConverged
+	return res, failure("mg", CauseMaxIter, res)
 }

@@ -9,7 +9,17 @@ import (
 )
 
 func TestGenerate(t *testing.T) {
-	md, err := Generate(context.Background(), experiments.At(experiments.Coarse), nil)
+	// Every registered experiment except the cooling-failure survival
+	// sweep, which solves the 1000-blade fleet under throttle re-runs
+	// (minutes even at Coarse; its Result/markdown contract is covered by
+	// the experiments package's TestFaultsResultShape).
+	var selected []experiments.Experiment
+	for _, e := range experiments.All() {
+		if e.Name != "faults" {
+			selected = append(selected, e)
+		}
+	}
+	md, err := Generate(context.Background(), experiments.At(experiments.Coarse), selected)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,9 +40,9 @@ func TestGenerate(t *testing.T) {
 			t.Fatalf("report missing %q", want)
 		}
 	}
-	// Every registered experiment contributes a section.
-	if got, want := strings.Count(md, "\n## "), len(experiments.All()); got < want {
-		t.Fatalf("report has %d sections for %d registered experiments", got, want)
+	// Every selected experiment contributes a section.
+	if got, want := strings.Count(md, "\n## "), len(selected); got < want {
+		t.Fatalf("report has %d sections for %d selected experiments", got, want)
 	}
 	// Well-formed markdown tables: every table row has balanced pipes.
 	for _, line := range strings.Split(md, "\n") {

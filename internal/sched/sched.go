@@ -151,6 +151,28 @@ func lowerFreq(f power.Frequency) (power.Frequency, bool) {
 	return f, false
 }
 
+// ThrottleStep lowers a package state by one DVFS level, rescaling every
+// active core's dynamic power by the paper's frequency-power law
+// (power.DynScale). ok is false when the state is already at the lowest
+// level — the blade cannot be throttled further and must be treated as
+// infeasible. This is the degraded-mode actuator the datacenter solver
+// applies to blades whose cooling loop cannot hold TCASE at full speed.
+func ThrottleStep(st power.PackageState) (out power.PackageState, ok bool) {
+	lower, ok := lowerFreq(st.Freq)
+	if !ok {
+		return st, false
+	}
+	scale := power.DynScale(lower) / power.DynScale(st.Freq)
+	out = st
+	out.Freq = lower
+	for i := range out.Cores {
+		if out.Cores[i].Active {
+			out.Cores[i].DynWatts *= scale
+		}
+	}
+	return out, true
+}
+
 // RegulatePlan is a convenience wrapper: run Algorithm 1 for the benchmark
 // and then regulate the resulting mapping.
 func (c *Controller) RegulatePlan(ctx context.Context, b workload.Benchmark, q workload.QoS) (*Outcome, error) {

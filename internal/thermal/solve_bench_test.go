@@ -11,6 +11,7 @@ package thermal
 // from the previous converged field — the session steady-state.
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -122,14 +123,14 @@ func BenchmarkFusedCGIteration(b *testing.B) {
 		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
 			w.SetThreads(threads)
 			x.Fill(0)
-			if _, err := linalg.CGWith(&w.op, w.rhs, x, opt, &w.cg); err != nil && err != linalg.ErrNotConverged {
+			if _, err := linalg.CGWith(&w.op, w.rhs, x, opt, &w.cg); err != nil && !errors.Is(err, linalg.ErrNotConverged) {
 				b.Fatal(err) // warm-up
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				x.Fill(0)
-				if _, err := linalg.CGWith(&w.op, w.rhs, x, opt, &w.cg); err != nil && err != linalg.ErrNotConverged {
+				if _, err := linalg.CGWith(&w.op, w.rhs, x, opt, &w.cg); err != nil && !errors.Is(err, linalg.ErrNotConverged) {
 					b.Fatal(err)
 				}
 			}

@@ -73,6 +73,44 @@ func ParseSolver(s string) (Solver, error) {
 	}
 }
 
+// nextRung returns the solver the escalation ladder falls back to after s
+// fails, and whether a rung below s exists. The ladder funnels every mode
+// toward the terminal Jacobi-CG rung — the solver with the least numerical
+// machinery (no float32 mirror, no V-cycle, no eigenvalue estimates) and
+// hence the least that can break:
+//
+//	mgpcg32    → mgpcg → cg
+//	mgpcg-cheb → mgpcg → cg
+//	mg         → mgpcg → cg
+//	mgpcg      → cg
+//	cg         (terminal)
+func nextRung(s Solver) (Solver, bool) {
+	switch s {
+	case SolverMGPCG32, SolverMGPCGCheb, SolverMG:
+		return SolverMGPCG, true
+	case SolverMGPCG:
+		return SolverCG, true
+	default:
+		return s, false
+	}
+}
+
+// Escalation records one rung descent of the solver escalation ladder: the
+// solver that failed, the one the solve retried on, and the linalg cause
+// of the failure. Escalations are surfaced, never hidden — workspaces
+// accumulate them (Workspace.Escalations) and SolveStats counts them.
+type Escalation struct {
+	From, To Solver
+	// Cause is the linalg failure cause of the abandoned rung
+	// (maxiter / nan / breakdown).
+	Cause string
+}
+
+// String renders the descent, e.g. "mgpcg32→mgpcg (breakdown)".
+func (e Escalation) String() string {
+	return fmt.Sprintf("%s→%s (%s)", e.From, e.To, e.Cause)
+}
+
 // SolveStats accumulates linear-solver effort over a workspace's lifetime,
 // letting experiments compare solvers by work rather than wall time.
 type SolveStats struct {
@@ -83,4 +121,7 @@ type SolveStats struct {
 	// Applies counts fine-grid operator applications as reported by the
 	// linalg drivers (see linalg.CGResult.Applies).
 	Applies int
+	// Escalations counts ladder descents: solves that abandoned the
+	// configured solver for a lower rung after a failure.
+	Escalations int
 }
