@@ -77,12 +77,8 @@ func main() {
 		cfg.Artifacts = dirSink(*out)
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := experiments.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
 	selected, err := selectExperiments(*exp)
 	if err != nil {

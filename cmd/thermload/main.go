@@ -1,0 +1,83 @@
+// Command thermload is a deterministic open-loop load generator for
+// thermservd: a fixed-seed key sequence over a configurable proposal pool
+// (uniform or Zipf-skewed), paced at a target QPS, reporting latency
+// percentiles, sustained throughput, and the warm-cache hit rate.
+//
+// Usage:
+//
+//	thermload -addr http://127.0.0.1:8080 -n 500 -qps 200 -c 8 -keys 16 -skew 1.2
+//	thermload -addr http://127.0.0.1:8080 -n 200 -json
+//
+// Open-loop means arrivals are scheduled by the clock, not by responses:
+// an arrival that finds every client slot busy is dropped and counted, so
+// an overloaded server shows up as drops and 429s instead of silently
+// stretching the arrival process (no coordinated omission).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "thermservd base URL")
+	n := flag.Int("n", 200, "total requests")
+	qps := flag.Float64("qps", 0, "open-loop arrival rate (0 = as fast as -c allows)")
+	c := flag.Int("c", 4, "max in-flight requests")
+	keys := flag.Int("keys", 16, "distinct proposals in the pool")
+	skew := flag.Float64("skew", 0, "key popularity: >1 = Zipf exponent (hot head), else uniform")
+	seed := flag.Int64("seed", 1, "PRNG seed for the key sequence")
+	resFlag := flag.String("res", "", "proposal resolution override (empty = server default)")
+	solverFlag := flag.String("solver", "", "proposal solver override (empty = server default)")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	rep, err := run(serve.LoadConfig{
+		BaseURL:     *addr,
+		Requests:    *n,
+		QPS:         *qps,
+		Concurrency: *c,
+		Keys:        *keys,
+		Skew:        *skew,
+		Seed:        *seed,
+		Resolution:  *resFlag,
+		Solver:      *solverFlag,
+	}, *asJSON, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermload:", err)
+		os.Exit(1)
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// run executes the load and renders the report to out.
+func run(cfg serve.LoadConfig, asJSON bool, out io.Writer) (*serve.LoadReport, error) {
+	rep, err := serve.RunLoad(context.Background(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if asJSON {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(out, string(b))
+		return rep, nil
+	}
+	fmt.Fprintf(out, "requests   %d (completed %d, rejected %d, dropped %d, errors %d)\n",
+		rep.Requests, rep.Completed, rep.Rejected, rep.Dropped, rep.Errors)
+	fmt.Fprintf(out, "throughput %.1f req/s over %.2f s\n", rep.QPS, rep.WallS)
+	fmt.Fprintf(out, "latency    p50 %.3f ms   p95 %.3f ms   p99 %.3f ms   max %.3f ms\n",
+		rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.MaxMs)
+	fmt.Fprintf(out, "cache      %d hits / %d misses (hit rate %.1f%%)\n",
+		rep.Hits, rep.Misses, 100*rep.HitRate)
+	return rep, nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestLoadAgainstInProcessServer drives the load client against an
+// in-process thermservd handler and checks both report renderings.
+func TestLoadAgainstInProcessServer(t *testing.T) {
+	s, err := serve.New(serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cfg := serve.LoadConfig{
+		BaseURL:     ts.URL,
+		Requests:    30,
+		Concurrency: 4,
+		Keys:        3,
+		Seed:        5,
+	}
+	var text bytes.Buffer
+	rep, err := run(cfg, false, &text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Completed == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	for _, want := range []string{"requests", "throughput", "latency", "cache"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if _, err := run(cfg, true, &js); err != nil {
+		t.Fatal(err)
+	}
+	var parsed serve.LoadReport
+	if err := json.Unmarshal(js.Bytes(), &parsed); err != nil {
+		t.Fatalf("JSON report: %v\n%s", err, js.String())
+	}
+	// A replay over the warmed 3-key pool is all hits.
+	if parsed.Misses != 0 || parsed.HitRate != 1 {
+		t.Fatalf("replay should be all hits: %+v", parsed)
+	}
+}
+
+func TestLoadRejectsBadConfig(t *testing.T) {
+	if _, err := run(serve.LoadConfig{Requests: 0}, false, &bytes.Buffer{}); err == nil {
+		t.Fatal("zero requests accepted")
+	}
+}

@@ -1,0 +1,137 @@
+// Command thermservd is the thermal digital-twin daemon: a long-running
+// HTTP/JSON service over the warm solve stack, with session leasing,
+// response memoization, bounded admission (429 backpressure), and
+// graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	thermservd -addr :8080 -res medium -solver mgpcg
+//	curl -s localhost:8080/v1/steady -d '{"benchmark":"x264"}'
+//	curl -s localhost:8080/v1/experiments
+//	curl -s -X POST localhost:8080/v1/experiments/tablei
+//
+// Endpoints:
+//
+//	POST /v1/steady                steady what-if proposal → θ, cooling, feasibility
+//	POST /v1/transient             register a blade for transient stepping
+//	GET  /v1/transient             list registered blades
+//	GET  /v1/transient/{b}         blade status
+//	POST /v1/transient/{b}/step    advance a power-trace chunk
+//	DELETE /v1/transient/{b}       release a blade
+//	GET  /v1/experiments           the experiment catalog
+//	POST /v1/experiments/{name}    run one experiment, Result JSON
+//	GET  /v1/stats                 cache/admission counters
+//	GET  /healthz                  liveness (503 while draining)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/serve"
+	"repro/internal/thermal"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	resFlag := flag.String("res", "coarse", "default thermal resolution: coarse|medium|full")
+	solverFlag := flag.String("solver", "cg", "default linear solver: cg|mgpcg|mg|mgpcg32|mgpcg-cheb")
+	workers := flag.Int("workers", 0, "max concurrent solves (0 = auto split of GOMAXPROCS)")
+	threads := flag.Int("threads", 0, "threads per solve session (0 = auto split)")
+	queue := flag.Int("queue", 0, "admission queue depth before 429 (0 = 2×workers)")
+	sessions := flag.Int("sessions", 0, "warm session cache capacity (0 = 64)")
+	memoN := flag.Int("memo", 0, "response memo capacity (0 = 4096)")
+	transients := flag.Int("transients", 0, "max registered transient blades (0 = 16)")
+	carry := flag.Bool("carry", false, "carry warm starts across solves on a session (faster nearby re-solves, recomputed bodies only tolerance-identical)")
+	timeout := flag.Duration("timeout", 0, "per-request solve deadline (0 = none), e.g. 30s")
+	drainWait := flag.Duration("drain", 30*time.Second, "max wait for in-flight requests on shutdown")
+	flag.Parse()
+
+	if err := run(*addr, *resFlag, *solverFlag, *workers, *threads, *queue,
+		*sessions, *memoN, *transients, *carry, *timeout, *drainWait, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "thermservd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until SIGTERM/SIGINT (or ready is
+// closed with a test-driven shutdown; ready, when non-nil, receives the
+// bound address once the listener is up).
+func run(addr, resFlag, solverFlag string, workers, threads, queue,
+	sessions, memoN, transients int, carry bool, timeout, drainWait time.Duration,
+	ready chan<- string) error {
+	res, err := experiments.ParseResolution(resFlag)
+	if err != nil {
+		return err
+	}
+	solver, err := thermal.ParseSolver(solverFlag)
+	if err != nil {
+		return err
+	}
+	s, err := serve.New(serve.Config{
+		Resolution:     res,
+		Solver:         solver,
+		Workers:        workers,
+		Threads:        threads,
+		QueueDepth:     queue,
+		Sessions:       sessions,
+		MemoEntries:    memoN,
+		Transients:     transients,
+		CarryWarmStart: carry,
+		RequestTimeout: timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	cfg := s.Config()
+	fmt.Printf("thermservd listening on %s (res=%s solver=%s workers=%d threads=%d)\n",
+		ln.Addr(), res, solver, cfg.Workers, cfg.Threads)
+
+	// Register the signal handler before announcing readiness: a SIGTERM
+	// racing the startup must drain, not kill.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigc)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case sig := <-sigc:
+		fmt.Printf("thermservd: %v, draining\n", sig)
+	case err := <-errc:
+		return err
+	}
+
+	// Drain: refuse new work first so kept-alive clients see 503 instead
+	// of a reset, then let Shutdown wait out in-flight requests, then
+	// retire the cached sessions.
+	s.BeginDrain()
+	ctx, cancel := experiments.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	fmt.Println("thermservd: drained, bye")
+	return nil
+}

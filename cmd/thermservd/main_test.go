@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonEndToEnd boots the daemon on an ephemeral port, exercises the
+// steady and experiments endpoints over a real socket, then drives the
+// SIGTERM drain path to a clean exit.
+func TestDaemonEndToEnd(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", "coarse", "cg", 1, 1, 4, 0, 0, 0, false,
+			time.Minute, 30*time.Second, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/steady", "application/json",
+		strings.NewReader(`{"benchmark":"x264"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("steady: %d %s", resp.StatusCode, body)
+	}
+	var steady struct {
+		DieMaxC  float64 `json:"die_max_c"`
+		Feasible bool    `json:"feasible"`
+	}
+	if err := json.Unmarshal(body, &steady); err != nil {
+		t.Fatalf("steady JSON: %v", err)
+	}
+	if steady.DieMaxC <= 30 {
+		t.Fatalf("die max %.1f", steady.DieMaxC)
+	}
+
+	resp, err = http.Get(base + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var list struct {
+		Experiments []struct{ Name string } `json:"experiments"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("experiments JSON: %v", err)
+	}
+	if len(list.Experiments) == 0 {
+		t.Fatal("empty experiment catalog")
+	}
+
+	// SIGTERM → drain → clean exit.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+}
+
+func TestDaemonRejectsBadFlags(t *testing.T) {
+	if err := run("127.0.0.1:0", "ultra", "cg", 0, 0, 0, 0, 0, 0, false, 0, time.Second, nil); err == nil {
+		t.Fatal("bad resolution accepted")
+	}
+	if err := run("127.0.0.1:0", "coarse", "gauss", 0, 0, 0, 0, 0, 0, false, 0, time.Second, nil); err == nil {
+		t.Fatal("bad solver accepted")
+	}
+	if err := run("256.0.0.1:99999", "coarse", "cg", 0, 0, 0, 0, 0, 0, false, 0, time.Second, nil); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -8,6 +8,7 @@ package cosim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/floorplan"
 	"repro/internal/metrics"
@@ -165,6 +166,51 @@ func (s *System) PackageStats(r *Result) (metrics.MapStats, error) {
 		return metrics.MapStats{}, err
 	}
 	return metrics.Analyze(s.Thermal.Grid(), temps)
+}
+
+// BlockTemp is the temperature summary of one floorplan block on the die
+// layer: the block-area-weighted mean and the hottest cell the block
+// touches.
+type BlockTemp struct {
+	Name  string
+	MeanC float64
+	MaxC  float64
+}
+
+// BlockTemps summarizes the die-layer temperatures of a result per
+// floorplan block, in floorplan order (deterministic — the order blocks
+// were rasterized in, never map order). Cells are weighted by the area
+// fraction of the block they carry, so a block straddling cell boundaries
+// is averaged exactly the same way its power was spread.
+func (s *System) BlockTemps(r *Result) ([]BlockTemp, error) {
+	temps, err := r.Field.LayerByName(thermal.LayerDie)
+	if err != nil {
+		return nil, err
+	}
+	blocks := s.coverage.Blocks()
+	out := make([]BlockTemp, 0, len(blocks))
+	for _, name := range blocks {
+		frac := s.coverage.BlockFraction(name)
+		var wsum, tsum float64
+		max := math.Inf(-1)
+		for i, f := range frac {
+			if f <= 0 {
+				continue
+			}
+			wsum += f
+			tsum += f * temps[i]
+			if temps[i] > max {
+				max = temps[i]
+			}
+		}
+		bt := BlockTemp{Name: name}
+		if wsum > 0 {
+			bt.MeanC = tsum / wsum
+			bt.MaxC = max
+		}
+		out = append(out, bt)
+	}
+	return out, nil
 }
 
 // TCase returns the case temperature: the heat-spreader temperature at the

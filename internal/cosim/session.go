@@ -95,6 +95,12 @@ func WithThreads(n int) SessionOption {
 // usable afterwards, solving serially. It implements io.Closer so the
 // sweep engine can retire worker-state sessions; the returned error is
 // always nil.
+//
+// Close is idempotent: closing an already-closed session is a no-op.
+// That is a load-bearing guarantee, not a convenience — the thermservd
+// lease manager's LRU-eviction path and its drain path can both reach the
+// same cached session, and the loser of that race must not corrupt the
+// worker team the winner already tore down.
 func (ses *Session) Close() error {
 	ses.ws.Close()
 	return nil

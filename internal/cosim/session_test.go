@@ -2,6 +2,8 @@ package cosim
 
 import (
 	"math"
+	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/power"
@@ -350,4 +352,96 @@ func maxT(r *Result) float64 {
 		}
 	}
 	return m
+}
+
+// TestSessionCloseIdempotent: Close must be a no-op the second time, and
+// must be safe in any interleaving with eviction — the thermservd lease
+// manager's LRU-eviction path and drain path can both close the same
+// cached session. A closed session must also stay usable (serially) and
+// keep returning byte-identical results.
+func TestSessionCloseIdempotent(t *testing.T) {
+	sys, err := NewSystem(coarseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := sys.NewSession(CarryWarmStart(false), WithThreads(2))
+	op := thermosyphon.DefaultOperating()
+	st := fullLoadState(2.2)
+	before, err := ses.SolveSteady(nil, st, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxBefore := maxT(before)
+	for i := 0; i < 3; i++ {
+		if err := ses.Close(); err != nil {
+			t.Fatalf("Close #%d returned %v, want nil", i+1, err)
+		}
+	}
+	after, err := ses.SolveSteady(nil, st, op)
+	if err != nil {
+		t.Fatalf("solve after double Close: %v", err)
+	}
+	if got := maxT(after); got != maxBefore {
+		t.Fatalf("solve after Close differs: %v vs %v", got, maxBefore)
+	}
+	// And concurrent double-close must be race-free (exercised under
+	// -race): the two paths of the lease manager can collide.
+	ses2 := sys.NewSession(WithThreads(2))
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ses2.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBlockTemps: per-block die temperatures must be deterministic, in
+// floorplan order, and consistent with the die layer (every block mean
+// within [min, max] of the layer; the hottest block max equal to the die
+// hot spot over covered cells).
+func TestBlockTemps(t *testing.T) {
+	sys, err := NewSystem(coarseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.SolveSteady(fullLoadState(2.5), thermosyphon.DefaultOperating())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := sys.BlockTemps(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bt) != len(sys.FP.Blocks) {
+		t.Fatalf("got %d block temps for %d blocks", len(bt), len(sys.FP.Blocks))
+	}
+	var hottest float64
+	for i, b := range bt {
+		if b.Name != sys.FP.Blocks[i].Name {
+			t.Fatalf("block %d is %q, want floorplan order %q", i, b.Name, sys.FP.Blocks[i].Name)
+		}
+		if b.MeanC <= 0 || b.MaxC < b.MeanC {
+			t.Fatalf("block %s: implausible mean %.2f / max %.2f", b.Name, b.MeanC, b.MaxC)
+		}
+		if b.MaxC > hottest {
+			hottest = b.MaxC
+		}
+	}
+	die, err := sys.DieStats(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hottest > die.MaxC+1e-9 {
+		t.Fatalf("hottest block %.3f exceeds die max %.3f", hottest, die.MaxC)
+	}
+	again, err := sys.BlockTemps(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bt, again) {
+		t.Fatal("BlockTemps is not deterministic")
+	}
 }

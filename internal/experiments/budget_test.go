@@ -45,7 +45,7 @@ func TestSplitBudget(t *testing.T) {
 			t.Errorf("%s: non-positive resolution %+v", c.name, got)
 		}
 		// Re-splitting a resolved config is a no-op: both fields explicit.
-		again := got.splitBudget(c.points)
+		again := got.SplitBudget(c.points)
 		if again.Workers != got.Workers || again.Threads != got.Threads {
 			t.Errorf("%s: resolve not idempotent: %+v vs %+v", c.name, again, got)
 		}

@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"context"
+	"time"
+)
+
+// WithTimeout bounds ctx by the given timeout when it is positive and
+// returns ctx unchanged (with a no-op cancel) otherwise. It is the one
+// implementation of the "-timeout 0 means no limit" contract every
+// command and the thermservd request-deadline path share, so the
+// zero-disables convention cannot drift between callers. The returned
+// cancel must always be called, exactly like context.WithTimeout's.
+func WithTimeout(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, timeout)
+}

@@ -63,7 +63,7 @@ func CoolingPowerStudy(ctx context.Context, cfg RunConfig) (*CoolingResult, erro
 	// (systems and plans only), and the bisection that dominates this
 	// experiment solves one session at a time — so the whole core budget
 	// belongs to each solve's worker team.
-	cfg = cfg.splitBudgetDepthFirst(2)
+	cfg = cfg.SplitBudgetDepthFirst(2)
 	setups, err := sweep.Run(ctx, []Approach{Proposed, SoACoskun}, func(a Approach) (setup, error) {
 		sys, err := NewSystem(a.design(), cfg.Resolution)
 		if err != nil {

@@ -95,7 +95,7 @@ func ExtDatacenterScale(ctx context.Context, cfg RunConfig) ([]DatacenterScalePo
 		if err != nil {
 			return nil, err
 		}
-		rcfg := cfg.splitBudget(topo.NumClasses())
+		rcfg := cfg.SplitBudget(topo.NumClasses())
 		s, err := datacenter.New(sys, topo, datacenter.Options{
 			Solver:  rcfg.Solver,
 			Workers: rcfg.Workers,
@@ -158,7 +158,7 @@ func ExtDatacenterDiurnal(ctx context.Context, cfg RunConfig) ([]DatacenterHour,
 	if err != nil {
 		return nil, err
 	}
-	rcfg := cfg.splitBudget(topo.NumClasses())
+	rcfg := cfg.SplitBudget(topo.NumClasses())
 	s, err := datacenter.New(sys, topo, datacenter.Options{
 		Solver:  rcfg.Solver,
 		Workers: rcfg.Workers,

@@ -30,7 +30,7 @@ type OrientationResult struct {
 func Fig5Orientation(ctx context.Context, cfg RunConfig) ([]OrientationResult, error) {
 	bench, wcfg := workload.WorstCase()
 	m := FullLoadMapping(wcfg, power.POLL)
-	cfg = cfg.splitBudget(len(thermosyphon.Orientations()))
+	cfg = cfg.SplitBudget(len(thermosyphon.Orientations()))
 	return sweep.Run(ctx, thermosyphon.Orientations(), func(o thermosyphon.Orientation) (OrientationResult, error) {
 		d := thermosyphon.DefaultDesign()
 		d.Orientation = o
@@ -113,7 +113,7 @@ func DesignSpaceStudy(ctx context.Context, cfg RunConfig) (*DesignSpaceResult, e
 	// stack a dozen times, and the session reuses one workspace for all of
 	// those inner solves.
 	grid := sweep.Cross(refrigerant.Candidates(), designFills)
-	cfg = cfg.splitBudget(len(grid))
+	cfg = cfg.SplitBudget(len(grid))
 	points, err := sweep.Run(ctx, grid, func(p sweep.Pair[*refrigerant.Fluid, float64]) (DesignPoint, error) {
 		fl, fr := p.A, p.B
 		d := thermosyphon.DefaultDesign()

@@ -131,7 +131,7 @@ type RunConfig struct {
 // and worker pool — what tests and benchmarks use.
 func At(res Resolution) RunConfig { return RunConfig{Resolution: res} }
 
-// splitBudget resolves the (Workers, Threads) pair for a sweep over the
+// SplitBudget resolves the (Workers, Threads) pair for a sweep over the
 // given number of points under the shared GOMAXPROCS core budget.
 // Explicit non-zero settings are honored as-is (setting both lets a
 // caller deliberately oversubscribe); a zero field is derived from the
@@ -139,15 +139,21 @@ func At(res Resolution) RunConfig { return RunConfig{Resolution: res} }
 // width-first fills the worker pool up to the point count and hands the
 // leftover cores to each solve's team — a 13-point sweep on 8 cores runs
 // 8 workers × 1 thread, a 2-point study runs 2 workers × 4 threads.
-func (cfg RunConfig) splitBudget(points int) RunConfig {
+//
+// Beyond the sweep studies, this is the one budget rule every consumer of
+// the solve stack shares: the thermservd lease manager resolves its
+// concurrent-solve bound (Workers) and per-session team width (Threads)
+// through the same split, so a daemon and a batch sweep divide a machine
+// identically.
+func (cfg RunConfig) SplitBudget(points int) RunConfig {
 	return cfg.split(points, false)
 }
 
-// splitBudgetDepthFirst is splitBudget for sweeps whose individual solves
+// SplitBudgetDepthFirst is SplitBudget for sweeps whose individual solves
 // are large enough to use the whole machine (the resolution-scaling
 // study's 256×256 grids): all cores go to the solve team and the points
 // run serially through one worker.
-func (cfg RunConfig) splitBudgetDepthFirst(points int) RunConfig {
+func (cfg RunConfig) SplitBudgetDepthFirst(points int) RunConfig {
 	return cfg.split(points, true)
 }
 

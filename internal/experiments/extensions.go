@@ -41,7 +41,7 @@ func ExtOrientationMapping(ctx context.Context, cfg RunConfig) ([]OrientationMap
 	}
 	wcfg := workload.Config{Cores: 4, Threads: 8, Freq: power.FMax}
 	cells := sweep.Cross(thermosyphon.Orientations(), Fig6Scenarios())
-	cfg = cfg.splitBudget(len(cells))
+	cfg = cfg.SplitBudget(len(cells))
 	return sweep.RunState(ctx, cells,
 		func() (sessionCache[thermosyphon.Orientation], error) {
 			return sessionCache[thermosyphon.Orientation]{}, nil

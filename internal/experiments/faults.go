@@ -131,7 +131,7 @@ func failureSweep(ctx context.Context, cfg RunConfig, racks, perRack, loops int)
 		return nil, err
 	}
 	scenarios := failureScenarios(cfg.Resolution, cfg.Scenario)
-	rcfg := cfg.splitBudget(len(scenarios))
+	rcfg := cfg.SplitBudget(len(scenarios))
 	states := datacenterStates()
 
 	return sweep.RunState(ctx, scenarios,

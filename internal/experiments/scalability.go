@@ -87,7 +87,7 @@ func ExtResolutionScaling(ctx context.Context, cfg RunConfig, sizes []int, solve
 	// Depth-first core split: the biggest grid dominates the study's wall
 	// time, so the budget goes to each solve's worker team rather than to
 	// sweep fan-out — "all cores inside one big solve".
-	cfg = cfg.splitBudgetDepthFirst(len(points))
+	cfg = cfg.SplitBudgetDepthFirst(len(points))
 	return sweep.Run(ctx, points, func(p sweep.Pair[int, thermal.Solver]) (ResolutionCell, error) {
 		n, solver := p.A, p.B
 		ccfg := cosim.DefaultConfig()
@@ -148,7 +148,7 @@ func (c scaledCache) Close() error {
 // dimension.
 func ExtScalability(ctx context.Context, cfg RunConfig) ([]ScalabilityCell, error) {
 	cells := sweep.Cross([][2]int{{4, 2}, {4, 4}}, []string{"staggered", "clustered"})
-	cfg = cfg.splitBudget(len(cells))
+	cfg = cfg.SplitBudget(len(cells))
 	return sweep.RunState(ctx, cells,
 		func() (scaledCache, error) { return scaledCache{}, nil },
 		func(cache scaledCache, p sweep.Pair[[2]int, string]) (ScalabilityCell, error) {

@@ -63,7 +63,7 @@ func Fig6MappingScenarios(ctx context.Context, cfg RunConfig) ([]Fig6Result, err
 	}
 	wcfg := workload.Config{Cores: 4, Threads: 8, Freq: power.FMax}
 	cells := sweep.Cross([]power.CState{power.POLL, power.C1}, Fig6Scenarios())
-	cfg = cfg.splitBudget(len(cells))
+	cfg = cfg.SplitBudget(len(cells))
 	return sweep.RunState(ctx, cells,
 		func() (*cosim.Session, error) { return cfg.NewSweepSession(thermosyphon.DefaultDesign()) },
 		func(ses *cosim.Session, p sweep.Pair[power.CState, Fig6Scenario]) (Fig6Result, error) {

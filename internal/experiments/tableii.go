@@ -120,7 +120,7 @@ func TableIIPolicyComparison(ctx context.Context, cfg RunConfig, benches []workl
 			}
 		}
 	}
-	cfg = cfg.splitBudget(len(cells))
+	cfg = cfg.SplitBudget(len(cells))
 	vals, err := sweep.RunState(ctx, cells,
 		func() (sessionCache[Approach], error) { return sessionCache[Approach]{}, nil },
 		func(sessions sessionCache[Approach], c cellKey) (cellVal, error) {
@@ -193,7 +193,7 @@ func Fig7ThermalMaps(ctx context.Context, cfg RunConfig) (*Fig7Result, error) {
 	}
 	const q = workload.QoS2x
 	out := &Fig7Result{ProposedBench: bench.Name}
-	cfg = cfg.splitBudgetDepthFirst(1)
+	cfg = cfg.SplitBudgetDepthFirst(1)
 	for _, a := range []Approach{Proposed, SoACoskun} {
 		ses, err := cfg.NewSweepSession(a.design())
 		if err != nil {

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errBusy is the backpressure refusal: every solve slot is taken and the
+// wait queue is full. Handlers translate it to 429 + Retry-After.
+var errBusy = errors.New("serve: all solve slots busy and queue full")
+
+// admission bounds the compute the server accepts: at most workers
+// concurrent solves, at most depth requests waiting for a slot. Memo hits
+// bypass admission entirely — backpressure protects the solver, not the
+// byte copier.
+type admission struct {
+	sem     chan struct{}
+	depth   int64
+	waiting atomic.Int64
+}
+
+func newAdmission(workers, depth int) *admission {
+	return &admission{sem: make(chan struct{}, workers), depth: int64(depth)}
+}
+
+// acquire takes a solve slot, waiting in the bounded queue if none is
+// free. It returns a release func, errBusy when the queue is full, or
+// ctx.Err() when the request deadline fires first.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	select {
+	case a.sem <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	if a.waiting.Add(1) > a.depth {
+		a.waiting.Add(-1)
+		return nil, errBusy
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.sem }

@@ -1,0 +1,48 @@
+package serve
+
+import "sync"
+
+// flight is one in-progress solve for a memo key. Followers arriving
+// while the leader solves wait on done and then share the leader's
+// outcome — body bytes on success, a relayed status otherwise. This is
+// what makes concurrent identical proposals cost one solve and one
+// admission slot instead of N: duplicates add no solver work, so they
+// never compete for the backpressure budget.
+type flight struct {
+	done   chan struct{}
+	body   []byte // nil when the solve failed
+	status int
+	errMsg string
+}
+
+type flights struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlights() *flights {
+	return &flights{m: make(map[string]*flight)}
+}
+
+// join returns the in-progress flight for the key, or registers a new one
+// with leader=true. The leader must call finish exactly once.
+func (fs *flights) join(key string) (f *flight, leader bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f, ok := fs.m[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	fs.m[key] = f
+	return f, true
+}
+
+// finish publishes the flight's outcome: the key is unregistered first
+// (later arrivals re-check the memo, which the leader filled before
+// finishing), then waiters are released.
+func (fs *flights) finish(key string, f *flight) {
+	fs.mu.Lock()
+	delete(fs.m, key)
+	fs.mu.Unlock()
+	close(f.done)
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/cosim"
+)
+
+// leaseKey identifies one warm solve session: everything that shapes the
+// system and its solver, excluding the per-request operating point (water
+// temperature/flow, power levels) — those vary across the what-if queries
+// a warm session exists to amortize.
+type leaseKey struct {
+	floorplan  string
+	mapping    string
+	solver     string
+	resolution string
+	fault      string
+}
+
+func (k leaseKey) shard() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(k.floorplan))
+	h.Write([]byte{0})
+	h.Write([]byte(k.mapping))
+	h.Write([]byte{0})
+	h.Write([]byte(k.solver))
+	h.Write([]byte{0})
+	h.Write([]byte(k.resolution))
+	h.Write([]byte{0})
+	h.Write([]byte(k.fault))
+	return h.Sum64()
+}
+
+// lease is one cached session. Solves on it serialize through mu (a
+// Session is not safe for concurrent use); refs and dead are guarded by
+// the owning shard's lock. A lease evicted or drained while referenced is
+// marked dead and closed by its last releaser — both paths may race, and
+// both are safe because Session.Close is idempotent.
+type lease struct {
+	key  leaseKey
+	sys  *cosim.System
+	ses  *cosim.Session
+	mu   sync.Mutex
+	refs int
+	dead bool
+}
+
+const leaseShardCount = 8
+
+type leaseShard struct {
+	mu    sync.Mutex
+	byKey map[leaseKey]*list.Element
+	lru   *list.List // front = most recently used; element values are *lease
+}
+
+// leaseCache is the sharded LRU of warm sessions. Capacity is divided
+// evenly across shards (at least one per shard), so the worst case holds
+// a few more sessions than the configured cap rather than serializing
+// every acquire on one lock.
+type leaseCache struct {
+	shards   [leaseShardCount]leaseShard
+	perShard int
+	build    func(k leaseKey) (*cosim.System, *cosim.Session, error)
+	stats    *counters
+}
+
+func newLeaseCache(capacity int, build func(k leaseKey) (*cosim.System, *cosim.Session, error), stats *counters) *leaseCache {
+	per := (capacity + leaseShardCount - 1) / leaseShardCount
+	if per < 1 {
+		per = 1
+	}
+	c := &leaseCache{perShard: per, build: build, stats: stats}
+	for i := range c.shards {
+		c.shards[i] = leaseShard{byKey: make(map[leaseKey]*list.Element), lru: list.New()}
+	}
+	return c
+}
+
+// acquire returns the cached lease for the key, building a fresh
+// system+session on a miss, with the reference count bumped. Release with
+// release. A build on a miss happens under the shard lock: concurrent
+// misses for the same key must collapse onto one session, and stalling
+// the 1/8th of the key space that shares the shard for one system build
+// is the cheapest way to guarantee that.
+func (c *leaseCache) acquire(key leaseKey) (*lease, error) {
+	sh := &c.shards[key.shard()%leaseShardCount]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.byKey[key]; ok {
+		sh.lru.MoveToFront(el)
+		l := el.Value.(*lease)
+		l.refs++
+		c.stats.sessionReuses.Add(1)
+		return l, nil
+	}
+	sys, ses, err := c.build(key)
+	if err != nil {
+		return nil, err
+	}
+	l := &lease{key: key, sys: sys, ses: ses, refs: 1}
+	sh.byKey[key] = sh.lru.PushFront(l)
+	c.stats.sessionBuilds.Add(1)
+	// Evict past capacity, least recently used first, skipping leases
+	// still referenced by an in-flight request (they close on release).
+	for el := sh.lru.Back(); el != nil && sh.lru.Len() > c.perShard; {
+		prev := el.Prev()
+		v := el.Value.(*lease)
+		if v.refs == 0 {
+			sh.lru.Remove(el)
+			delete(sh.byKey, v.key)
+			v.dead = true
+			v.ses.Close()
+			c.stats.evictions.Add(1)
+		}
+		el = prev
+	}
+	return l, nil
+}
+
+// release returns a lease. A poisoned release (the solve failed) evicts
+// the lease so the next request builds a clean session — the PR 8
+// warm-start-invalidation rule applied at the cache layer; the session's
+// own carry invalidation is not enough, because a session that produced a
+// SolveError may hold a team whose owner we no longer trust to be cheap
+// to rescue, and cache hits must never pay an escalation ladder the
+// client didn't cause.
+func (c *leaseCache) release(l *lease, poisoned bool) {
+	sh := &c.shards[l.key.shard()%leaseShardCount]
+	sh.mu.Lock()
+	l.refs--
+	if poisoned && !l.dead {
+		if el, ok := sh.byKey[l.key]; ok && el.Value.(*lease) == l {
+			sh.lru.Remove(el)
+			delete(sh.byKey, l.key)
+		}
+		l.dead = true
+		c.stats.evictions.Add(1)
+	}
+	closeNow := l.dead && l.refs == 0
+	sh.mu.Unlock()
+	if closeNow {
+		l.ses.Close()
+	}
+}
+
+// closeAll empties the cache. Unreferenced leases are closed here;
+// referenced ones are marked dead and closed by their releaser.
+func (c *leaseCache) closeAll() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		var toClose []*lease
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			l := el.Value.(*lease)
+			l.dead = true
+			if l.refs == 0 {
+				toClose = append(toClose, l)
+			}
+		}
+		sh.lru.Init()
+		sh.byKey = make(map[leaseKey]*list.Element)
+		sh.mu.Unlock()
+		for _, l := range toClose {
+			l.ses.Close()
+		}
+	}
+}
+
+// len returns the number of cached sessions.
+func (c *leaseCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -129,6 +129,7 @@ func (w *Workspace) Threads() int {
 
 // Close releases the workspace's worker team. The workspace stays usable
 // afterwards — solves simply run serially (with identical results).
+// Close is idempotent: a second Close finds a nil team and is a no-op.
 func (w *Workspace) Close() {
 	w.team.Close()
 	w.team = nil

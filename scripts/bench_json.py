@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Parse `go test -bench` output into BENCH_7.json (schema bench.v3).
+"""Parse `go test -bench` output into BENCH_8.json (schema bench.v3).
 
 Reads the raw benchmark log (argv[1]) and the benchtime used (argv[2]),
 emits a JSON document with one entry per benchmark and, for benchmarks
