@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/serve"
 )
@@ -33,6 +35,7 @@ func main() {
 	keys := flag.Int("keys", 16, "distinct proposals in the pool")
 	skew := flag.Float64("skew", 0, "key popularity: >1 = Zipf exponent (hot head), else uniform")
 	seed := flag.Int64("seed", 1, "PRNG seed for the key sequence")
+	retries := flag.Int("retries", 0, "max retries per request for 429/503 refusals (0 = none)")
 	resFlag := flag.String("res", "", "proposal resolution override (empty = server default)")
 	solverFlag := flag.String("solver", "", "proposal solver override (empty = server default)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
@@ -46,6 +49,7 @@ func main() {
 		Keys:        *keys,
 		Skew:        *skew,
 		Seed:        *seed,
+		MaxRetries:  *retries,
 		Resolution:  *resFlag,
 		Solver:      *solverFlag,
 	}, *asJSON, os.Stdout)
@@ -79,5 +83,23 @@ func run(cfg serve.LoadConfig, asJSON bool, out io.Writer) (*serve.LoadReport, e
 		rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.MaxMs)
 	fmt.Fprintf(out, "cache      %d hits / %d misses (hit rate %.1f%%)\n",
 		rep.Hits, rep.Misses, 100*rep.HitRate)
+	fmt.Fprintf(out, "statuses   %s   retries %d\n", formatStatuses(rep.StatusCounts), rep.Retries)
 	return rep, nil
+}
+
+// formatStatuses renders the final-status breakdown sorted by code.
+func formatStatuses(counts map[string]int) string {
+	if len(counts) == 0 {
+		return "none"
+	}
+	codes := make([]string, 0, len(counts))
+	for c := range counts {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	parts := make([]string, 0, len(codes))
+	for _, c := range codes {
+		parts = append(parts, fmt.Sprintf("%s×%d", c, counts[c]))
+	}
+	return strings.Join(parts, "  ")
 }

@@ -36,10 +36,13 @@ func TestLoadAgainstInProcessServer(t *testing.T) {
 	if rep.Errors != 0 || rep.Completed == 0 {
 		t.Fatalf("report: %+v", rep)
 	}
-	for _, want := range []string{"requests", "throughput", "latency", "cache"} {
+	for _, want := range []string{"requests", "throughput", "latency", "cache", "statuses"} {
 		if !strings.Contains(text.String(), want) {
 			t.Fatalf("text report missing %q:\n%s", want, text.String())
 		}
+	}
+	if rep.StatusCounts["200"] != rep.Completed {
+		t.Fatalf("status breakdown disagrees with completed count: %+v", rep)
 	}
 
 	var js bytes.Buffer

@@ -4,23 +4,34 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
 )
 
-// TestDaemonEndToEnd boots the daemon on an ephemeral port, exercises the
-// steady and experiments endpoints over a real socket, then drives the
-// SIGTERM drain path to a clean exit.
-func TestDaemonEndToEnd(t *testing.T) {
+// testOptions is the coarse single-worker daemon config the end-to-end
+// tests boot with.
+func testOptions() options {
+	return options{
+		Addr:       "127.0.0.1:0",
+		Resolution: "coarse",
+		Solver:     "cg",
+		Workers:    1,
+		Threads:    1,
+		Queue:      4,
+		Timeout:    time.Minute,
+		DrainWait:  30 * time.Second,
+	}
+}
+
+// bootDaemon starts run(o) in a goroutine and waits for the bound address.
+func bootDaemon(t *testing.T, o options) (addr string, done chan error) {
+	t.Helper()
 	ready := make(chan string, 1)
-	done := make(chan error, 1)
-	go func() {
-		done <- run("127.0.0.1:0", "coarse", "cg", 1, 1, 4, 0, 0, 0, false,
-			time.Minute, 30*time.Second, ready)
-	}()
-	var addr string
+	done = make(chan error, 1)
+	go func() { done <- run(o, ready) }()
 	select {
 	case addr = <-ready:
 	case err := <-done:
@@ -28,6 +39,30 @@ func TestDaemonEndToEnd(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon never became ready")
 	}
+	return addr, done
+}
+
+// sigtermDrain drives the SIGTERM drain path to a clean exit.
+func sigtermDrain(t *testing.T, done chan error) {
+	t.Helper()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+}
+
+// TestDaemonEndToEnd boots the daemon on an ephemeral port, exercises the
+// steady and experiments endpoints over a real socket, then drives the
+// SIGTERM drain path to a clean exit.
+func TestDaemonEndToEnd(t *testing.T) {
+	addr, done := bootDaemon(t, testOptions())
 	base := "http://" + addr
 
 	resp, err := http.Get(base + "/healthz")
@@ -76,28 +111,81 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatal("empty experiment catalog")
 	}
 
-	// SIGTERM → drain → clean exit.
-	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+	sigtermDrain(t, done)
+}
+
+// TestDaemonCheckpointRestore runs the operator workflow end to end: boot
+// with a checkpoint path, register a blade and stream a chunk, drain (the
+// final snapshot), then boot a second daemon with -restore and check the
+// blade resumes at its exact checkpointed time.
+func TestDaemonCheckpointRestore(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ckpt.json")
+	o := testOptions()
+	o.CheckpointPath = ckpt
+
+	addr, done := bootDaemon(t, o)
+	base := "http://" + addr
+	resp, err := http.Post(base+"/v1/transient", "application/json",
+		strings.NewReader(`{"blade":"b0","benchmark":"x264"}`))
+	if err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("drain exit: %v", err)
-		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("daemon did not drain after SIGTERM")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d", resp.StatusCode)
 	}
+	resp, err = http.Post(base+"/v1/transient/b0/step", "application/json",
+		strings.NewReader(`{"seq":1,"dt_s":0.25,"steps":[{},{}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("step: %d", resp.StatusCode)
+	}
+	sigtermDrain(t, done)
+
+	o.Restore = true
+	addr, done = bootDaemon(t, o)
+	base = "http://" + addr
+	resp, err = http.Get(base + "/v1/transient/b0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restored blade status: %d %s", resp.StatusCode, body)
+	}
+	var st struct {
+		TimeS float64 `json:"time_s"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TimeS != 0.5 {
+		t.Fatalf("restored time_s = %v, want 0.5", st.TimeS)
+	}
+	sigtermDrain(t, done)
 }
 
 func TestDaemonRejectsBadFlags(t *testing.T) {
-	if err := run("127.0.0.1:0", "ultra", "cg", 0, 0, 0, 0, 0, 0, false, 0, time.Second, nil); err == nil {
+	bad := func(mutate func(*options)) options {
+		o := testOptions()
+		o.Workers, o.Threads, o.Queue, o.Timeout = 0, 0, 0, 0
+		mutate(&o)
+		return o
+	}
+	if err := run(bad(func(o *options) { o.Resolution = "ultra" }), nil); err == nil {
 		t.Fatal("bad resolution accepted")
 	}
-	if err := run("127.0.0.1:0", "coarse", "gauss", 0, 0, 0, 0, 0, 0, false, 0, time.Second, nil); err == nil {
+	if err := run(bad(func(o *options) { o.Solver = "gauss" }), nil); err == nil {
 		t.Fatal("bad solver accepted")
 	}
-	if err := run("256.0.0.1:99999", "coarse", "cg", 0, 0, 0, 0, 0, 0, false, 0, time.Second, nil); err == nil {
+	if err := run(bad(func(o *options) { o.Addr = "256.0.0.1:99999" }), nil); err == nil {
 		t.Fatal("bad address accepted")
+	}
+	if err := run(bad(func(o *options) { o.Restore = true }), nil); err == nil {
+		t.Fatal("-restore without -checkpoint accepted")
 	}
 }

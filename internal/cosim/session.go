@@ -116,6 +116,14 @@ func (ses *Session) SolverStats() thermal.SolveStats { return ses.ws.Stats() }
 // fall back to a safer solver is reported, never hidden.
 func (ses *Session) Escalations() []thermal.Escalation { return ses.ws.Escalations() }
 
+// InjectMGFault arms (or disarms) the workspace's solver fault-injection
+// hook (thermal.Workspace.InjectMGFault): while armed, multigrid-family
+// solves poison their preconditioner and the escalation ladder has to
+// rescue them. It exists for chaos drills — the thermservd chaos harness
+// sabotages leased sessions through it to prove the breaker and the
+// ladder telemetry behave under solver faults.
+func (ses *Session) InjectMGFault(on bool) { ses.ws.InjectMGFault(on) }
+
 // Design returns the thermosyphon design this session solves with: the
 // WithDesign override when set, the system's design otherwise.
 func (ses *Session) Design() *thermosyphon.Design {

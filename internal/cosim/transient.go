@@ -2,6 +2,7 @@ package cosim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/thermal"
 	"repro/internal/thermosyphon"
@@ -165,6 +166,83 @@ func (ts *TransientSim) Step(dt float64, blockPower map[string]float64) error {
 		return err
 	}
 	ts.time += dt
+	return nil
+}
+
+// TransientState is the complete dynamic state of a TransientSim: the
+// temperature field, the damped thermosyphon boundary, the simulated
+// time, and the loop-inertia lag. It is everything Step reads that
+// persists across steps — the thermosyphon state, the flux buffer and
+// the rasterized power map are recomputed from scratch inside every
+// Step, so they are not part of the state. A sim restored from an
+// exported state therefore continues exactly where the exporter stopped:
+// restore-then-step is bit-identical to an uninterrupted run on the same
+// system, solver, and thread count (the checkpoint/restore contract the
+// thermservd crash-recovery path leans on, asserted by
+// TestTransientExportImportExact).
+//
+// All fields are exported and JSON-tagged so the state serializes with
+// encoding/json; float64 values round-trip exactly (Go marshals the
+// shortest representation that parses back to the same bits).
+type TransientState struct {
+	// TimeS is the elapsed simulated time (s).
+	TimeS float64 `json:"time_s"`
+	// FieldT is the full temperature field (°C), layer-major.
+	FieldT []float64 `json:"field_t"`
+	// BCH / BCTFluid are the damped top-boundary HTC (W/m²·K) and fluid
+	// temperature (°C) per cell — the blended boundary Step carries.
+	BCH      []float64 `json:"bc_h"`
+	BCTFluid []float64 `json:"bc_t_fluid"`
+	// LoopTau / MdotKgS capture the loop-inertia model: the time
+	// constant and the current lagged refrigerant mass flow.
+	LoopTau float64 `json:"loop_tau,omitempty"`
+	MdotKgS float64 `json:"mdot_kgs,omitempty"`
+}
+
+// ExportState deep-copies the sim's dynamic state for serialization. The
+// sim remains usable; the returned state does not alias its buffers.
+func (ts *TransientSim) ExportState() *TransientState {
+	st := &TransientState{
+		TimeS:   ts.time,
+		LoopTau: ts.LoopTau,
+		MdotKgS: ts.mdot,
+	}
+	st.FieldT = append([]float64(nil), ts.field.T...)
+	st.BCH = append([]float64(nil), ts.bc.H...)
+	st.BCTFluid = append([]float64(nil), ts.bc.TFluid...)
+	return st
+}
+
+// ImportState overwrites the sim's dynamic state with an exported one.
+// The sim must have been created on a system with the same grid and
+// layer stack (the slice lengths are validated); the operating point and
+// solver configuration come from the sim's own construction, not the
+// state — they are configuration, not dynamics. After a successful
+// import the next Step continues bit-identically to a sim that never
+// stopped.
+func (ts *TransientSim) ImportState(st *TransientState) error {
+	if len(st.FieldT) != len(ts.field.T) {
+		return fmt.Errorf("cosim: state field has %d cells, sim expects %d (grid or stack mismatch)",
+			len(st.FieldT), len(ts.field.T))
+	}
+	if len(st.BCH) != len(ts.bc.H) || len(st.BCTFluid) != len(ts.bc.TFluid) {
+		return fmt.Errorf("cosim: state boundary has %d/%d cells, sim expects %d",
+			len(st.BCH), len(st.BCTFluid), len(ts.bc.H))
+	}
+	for i, v := range st.FieldT {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("cosim: state field cell %d is %g", i, v)
+		}
+	}
+	if st.TimeS < 0 {
+		return fmt.Errorf("cosim: negative state time %g s", st.TimeS)
+	}
+	copy(ts.field.T, st.FieldT)
+	copy(ts.bc.H, st.BCH)
+	copy(ts.bc.TFluid, st.BCTFluid)
+	ts.time = st.TimeS
+	ts.LoopTau = st.LoopTau
+	ts.mdot = st.MdotKgS
 	return nil
 }
 

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// breakerState is one circuit-breaker position. The machine is the
+// classic three-state one: closed (requests flow, consecutive bad
+// outcomes counted), open (requests refused with 503 + Retry-After until
+// the cooldown elapses), half-open (exactly one probe request is let
+// through; its outcome decides between closing and re-opening).
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (st breakerState) String() string {
+	switch st {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is the per-lease-key trip state. A "bad" outcome is a solver
+// failure or a solve the escalation ladder had to rescue — an escalation
+// storm on a key is a leading indicator that its sessions are expensive
+// or about to fail, so consecutive escalated solves trip the breaker
+// just like consecutive hard failures do.
+type breaker struct {
+	state    breakerState
+	bad      int // consecutive bad outcomes
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// BreakerInfo describes one tripped (non-closed) breaker in /v1/stats.
+type BreakerInfo struct {
+	Key            string `json:"key"`
+	State          string `json:"state"`
+	ConsecutiveBad int    `json:"consecutive_bad"`
+}
+
+// BreakerStats is the breaker section of /v1/stats: instantaneous state
+// counts plus every non-closed breaker by key, so an operator can see
+// which proposal class is failing without scraping logs.
+type BreakerStats struct {
+	Closed   int           `json:"closed"`
+	Open     int           `json:"open"`
+	HalfOpen int           `json:"half_open"`
+	Tripped  []BreakerInfo `json:"tripped,omitempty"`
+}
+
+// breakerSet owns one breaker per lease key. Keys whose breaker returns
+// to a clean closed state are pruned, so the map tracks only keys with
+// recent trouble.
+type breakerSet struct {
+	mu        sync.Mutex
+	m         map[leaseKey]*breaker
+	threshold int           // consecutive bad outcomes that trip
+	cooldown  time.Duration // open → half-open delay
+	now       func() time.Time
+	trips     atomic.Int64 // cumulative transitions to open
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
+	return &breakerSet{
+		m:         make(map[leaseKey]*breaker),
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+	}
+}
+
+// admit asks whether a solve for the key may proceed. A refusal returns
+// the Retry-After hint in whole seconds: the remaining cooldown for an
+// open breaker, one second while a half-open probe is already in flight.
+func (bs *breakerSet) admit(key leaseKey) (ok bool, retryAfterSecs int) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[key]
+	if b == nil {
+		return true, 0
+	}
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		remaining := b.openedAt.Add(bs.cooldown).Sub(bs.now())
+		if remaining > 0 {
+			secs := int((remaining + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			return false, secs
+		}
+		// Cooldown over: this caller becomes the half-open probe.
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, 0
+	default: // half-open
+		if b.probing {
+			return false, 1
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// observe records a solve outcome for the key. failed marks hard solver
+// failures (not client cancellations); escalated marks solves the
+// escalation ladder rescued. Either counts as a bad outcome toward the
+// consecutive-trip threshold.
+func (bs *breakerSet) observe(key leaseKey, failed, escalated bool) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[key]
+	bad := failed || escalated
+	if b == nil {
+		if !bad {
+			return
+		}
+		b = &breaker{}
+		bs.m[key] = b
+	}
+	switch {
+	case b.state == breakerHalfOpen:
+		b.probing = false
+		if bad {
+			// Probe failed: back to open for another cooldown.
+			b.state = breakerOpen
+			b.openedAt = bs.now()
+			b.bad++
+			bs.trips.Add(1)
+		} else {
+			b.state = breakerClosed
+			b.bad = 0
+			delete(bs.m, key)
+		}
+	case bad:
+		b.bad++
+		if b.state == breakerClosed && b.bad >= bs.threshold {
+			b.state = breakerOpen
+			b.openedAt = bs.now()
+			bs.trips.Add(1)
+		}
+	default:
+		if b.state == breakerClosed {
+			delete(bs.m, key)
+		}
+	}
+}
+
+// snapshot renders the /v1/stats view, tripped keys sorted for
+// deterministic output.
+func (bs *breakerSet) snapshot() BreakerStats {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	out := BreakerStats{}
+	for k, b := range bs.m {
+		switch b.state {
+		case breakerOpen:
+			out.Open++
+		case breakerHalfOpen:
+			out.HalfOpen++
+		default:
+			out.Closed++
+			continue
+		}
+		out.Tripped = append(out.Tripped, BreakerInfo{
+			Key:            k.mapping + "|" + k.solver + "|" + k.resolution + "|" + k.fault,
+			State:          b.state.String(),
+			ConsecutiveBad: b.bad,
+		})
+	}
+	sort.Slice(out.Tripped, func(i, j int) bool { return out.Tripped[i].Key < out.Tripped[j].Key })
+	return out
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine drives one breaker through the full closed →
+// open → half-open → closed cycle on a fake clock.
+func TestBreakerStateMachine(t *testing.T) {
+	bs := newBreakerSet(3, 5*time.Second)
+	clock := time.Unix(1000, 0)
+	bs.now = func() time.Time { return clock }
+	key := leaseKey{floorplan: "fp", mapping: "m", solver: "cg", resolution: "coarse"}
+
+	// Below the threshold the breaker stays closed.
+	for i := 0; i < 2; i++ {
+		if ok, _ := bs.admit(key); !ok {
+			t.Fatalf("closed breaker refused at bad=%d", i)
+		}
+		bs.observe(key, true, false)
+	}
+	if st := bs.snapshot(); st.Open != 0 {
+		t.Fatalf("opened below threshold: %+v", st)
+	}
+	// A success resets the consecutive count (and prunes the clean entry).
+	bs.observe(key, false, false)
+	if len(bs.m) != 0 {
+		t.Fatalf("clean closed breaker not pruned: %d entries", len(bs.m))
+	}
+
+	// Three consecutive bad outcomes trip it; escalations count like
+	// failures.
+	bs.observe(key, true, false)
+	bs.observe(key, false, true)
+	bs.observe(key, true, false)
+	if st := bs.snapshot(); st.Open != 1 || len(st.Tripped) != 1 || st.Tripped[0].State != "open" {
+		t.Fatalf("not open after threshold: %+v", st)
+	}
+	if got := bs.trips.Load(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+
+	// While open, admits are refused with the remaining cooldown.
+	ok, ra := bs.admit(key)
+	if ok || ra != 5 {
+		t.Fatalf("open admit = (%v, %d), want (false, 5)", ok, ra)
+	}
+	clock = clock.Add(3 * time.Second)
+	if ok, ra = bs.admit(key); ok || ra != 2 {
+		t.Fatalf("open admit mid-cooldown = (%v, %d), want (false, 2)", ok, ra)
+	}
+
+	// Cooldown over: exactly one probe passes, concurrent callers wait.
+	clock = clock.Add(3 * time.Second)
+	if ok, _ = bs.admit(key); !ok {
+		t.Fatal("half-open probe refused")
+	}
+	if ok, ra = bs.admit(key); ok || ra != 1 {
+		t.Fatalf("second half-open caller = (%v, %d), want (false, 1)", ok, ra)
+	}
+
+	// A failed probe re-opens for another cooldown.
+	bs.observe(key, true, false)
+	if ok, _ = bs.admit(key); ok {
+		t.Fatal("re-opened breaker admitted")
+	}
+	if got := bs.trips.Load(); got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+
+	// A successful probe closes and prunes.
+	clock = clock.Add(6 * time.Second)
+	if ok, _ = bs.admit(key); !ok {
+		t.Fatal("second probe refused")
+	}
+	bs.observe(key, false, false)
+	if ok, _ = bs.admit(key); !ok {
+		t.Fatal("closed breaker refused after recovery")
+	}
+	if len(bs.m) != 0 {
+		t.Fatalf("recovered breaker not pruned: %d entries", len(bs.m))
+	}
+}
+
+// TestBreakerTripsOnInjectedFailures drives the integrated path: chaos
+// FailRate 1 makes every solve fail, the proposal class's breaker trips
+// after the threshold, refusals carry Retry-After, and once the sabotage
+// stops a half-open probe closes the breaker again.
+func TestBreakerTripsOnInjectedFailures(t *testing.T) {
+	old := debugLogWriter
+	debugLogWriter = io.Discard
+	defer func() { debugLogWriter = old }()
+
+	s := newTestServer(t, Config{BreakerThreshold: 3, BreakerCooldown: time.Minute})
+	clock := time.Unix(2000, 0)
+	s.breakers.now = func() time.Time { return clock }
+	h := s.Handler()
+	s.SetChaos(&ChaosConfig{Seed: 7, FailRate: 1})
+
+	body := `{"benchmark":"x264"}`
+	for i := 0; i < 3; i++ {
+		if w := post(t, h, "/v1/steady", body); w.Code != http.StatusInternalServerError {
+			t.Fatalf("sabotaged solve %d: %d %s", i, w.Code, w.Body)
+		}
+	}
+	w := post(t, h, "/v1/steady", body)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("tripped breaker: %d, want 503 (%s)", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("breaker 503 missing Retry-After")
+	}
+	if !strings.Contains(w.Body.String(), "circuit breaker open") {
+		t.Fatalf("breaker 503 body: %s", w.Body)
+	}
+	st := s.Snapshot()
+	if st.BreakerTrips != 1 || st.Breakers.Open != 1 {
+		t.Fatalf("stats after trip: trips=%d breakers=%+v", st.BreakerTrips, st.Breakers)
+	}
+
+	// Stop injecting, pass the cooldown: the next request is the half-open
+	// probe, succeeds, and the breaker closes.
+	s.SetChaos(nil)
+	clock = clock.Add(2 * time.Minute)
+	if w := post(t, h, "/v1/steady", body); w.Code != http.StatusOK {
+		t.Fatalf("half-open probe: %d %s", w.Code, w.Body)
+	}
+	if st := s.Snapshot(); st.Breakers.Open != 0 || st.Breakers.HalfOpen != 0 {
+		t.Fatalf("breaker not closed after probe: %+v", st.Breakers)
+	}
+	if w := post(t, h, "/v1/steady", body); w.Code != http.StatusOK {
+		t.Fatalf("recovered class: %d %s", w.Code, w.Body)
+	}
+}
+
+// TestRecoverMiddleware: an injected handler panic becomes a structured
+// 500, is counted, and the server keeps serving.
+func TestRecoverMiddleware(t *testing.T) {
+	old := debugLogWriter
+	debugLogWriter = io.Discard
+	defer func() { debugLogWriter = old }()
+
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	s.SetChaos(&ChaosConfig{Seed: 1, PanicRate: 1})
+	w := post(t, h, "/v1/steady", `{"benchmark":"x264"}`)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("panicked request: %d %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "internal panic (recovered)") {
+		t.Fatalf("panic 500 body: %s", w.Body)
+	}
+	if got := s.Snapshot().PanicsRecovered; got != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", got)
+	}
+	s.SetChaos(nil)
+	if w := post(t, h, "/v1/steady", `{"benchmark":"x264"}`); w.Code != http.StatusOK {
+		t.Fatalf("server did not survive the panic: %d %s", w.Code, w.Body)
+	}
+}
+
+// TestRetryAfterUnified: every refusal class derives its Retry-After from
+// the same queue-depth hint — present on the drain 503 and on a
+// registry-full 429.
+func TestRetryAfterUnified(t *testing.T) {
+	s := newTestServer(t, Config{Transients: 1})
+	h := s.Handler()
+	if w := post(t, h, "/v1/transient", `{"blade":"b0","benchmark":"x264"}`); w.Code != http.StatusCreated {
+		t.Fatalf("register: %d %s", w.Code, w.Body)
+	}
+	w := post(t, h, "/v1/transient", `{"blade":"b1","benchmark":"x264"}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("registry-full: %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") != "1" {
+		t.Fatalf("registry-full Retry-After = %q, want the idle-queue hint \"1\"", w.Header().Get("Retry-After"))
+	}
+	s.BeginDrain()
+	w = post(t, h, "/v1/steady", `{"benchmark":"x264"}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining: %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") != "5" {
+		t.Fatalf("drain Retry-After = %q, want the drain hint \"5\"", w.Header().Get("Retry-After"))
+	}
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientRetriesRefusals: 429s inside the retry budget are retried
+// until the server relents; the Retry-After hint raises the drawn delay.
+func TestClientRetriesRefusals(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	c := NewClient(1)
+	c.BaseDelay = time.Millisecond
+	c.MaxDelay = 5 * time.Millisecond // caps the 1 s Retry-After for test speed
+	var delays []time.Duration
+	c.OnRetry = func(attempt, status int, delay time.Duration) {
+		if status != http.StatusTooManyRequests {
+			t.Errorf("retry observed status %d", status)
+		}
+		delays = append(delays, delay)
+	}
+	resp, err := c.PostJSON(context.Background(), ts.URL, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final status %d", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if c.Retries() != 2 || len(delays) != 2 {
+		t.Fatalf("retries = %d, observed %d", c.Retries(), len(delays))
+	}
+	for _, d := range delays {
+		// Retry-After (1 s) exceeds the envelope, so every delay is pinned
+		// to the MaxDelay cap.
+		if d != c.MaxDelay {
+			t.Fatalf("delay %v, want Retry-After raised then capped at %v", d, c.MaxDelay)
+		}
+	}
+}
+
+// TestClientDoesNotRetryDeterministicFailures: a 500 is returned
+// immediately — a deterministic solver fails the retry identically.
+func TestClientDoesNotRetryDeterministicFailures(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := NewClient(1)
+	resp, err := c.PostJSON(context.Background(), ts.URL, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError || calls.Load() != 1 || c.Retries() != 0 {
+		t.Fatalf("status %d after %d calls, %d retries", resp.StatusCode, calls.Load(), c.Retries())
+	}
+}
+
+// TestClientHonorsDeadline: when the backoff cannot complete before the
+// context deadline, the client surfaces the live refusal instead of
+// sleeping past it.
+func TestClientHonorsDeadline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := NewClient(1)
+	c.MaxDelay = time.Minute // lets the 30 s hint through
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	resp, err := c.PostJSON(ctx, ts.URL, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want the live 503", resp.StatusCode)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("client slept %v past its deadline", elapsed)
+	}
+	if c.Retries() != 0 {
+		t.Fatalf("retries = %d, want 0 (no sleep fit the deadline)", c.Retries())
+	}
+}
+
+// TestClientBackoffDeterministic: two clients with the same seed draw the
+// same jittered schedule.
+func TestClientBackoffDeterministic(t *testing.T) {
+	a, b := NewClient(42), NewClient(42)
+	a.BaseDelay, b.BaseDelay = time.Millisecond, time.Millisecond
+	a.MaxDelay, b.MaxDelay = 100*time.Millisecond, 100*time.Millisecond
+	for attempt := 0; attempt < 8; attempt++ {
+		if da, db := a.backoff(attempt, 0), b.backoff(attempt, 0); da != db {
+			t.Fatalf("attempt %d: %v vs %v", attempt, da, db)
+		}
+	}
+}

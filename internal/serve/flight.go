@@ -9,10 +9,11 @@ import "sync"
 // admission slot instead of N: duplicates add no solver work, so they
 // never compete for the backpressure budget.
 type flight struct {
-	done   chan struct{}
-	body   []byte // nil when the solve failed
-	status int
-	errMsg string
+	done       chan struct{}
+	body       []byte // nil when the solve failed
+	status     int
+	errMsg     string
+	retryAfter int // Retry-After hint (seconds) relayed with a refusal
 }
 
 type flights struct {

@@ -1,13 +1,13 @@
 package serve
 
 import (
-	"bytes"
 	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -37,6 +37,10 @@ type LoadConfig struct {
 	Skew float64
 	// Seed fixes the PRNG.
 	Seed int64
+	// MaxRetries caps per-request retries of 429/503 refusals through the
+	// shared retrying Client (0 = no retries — a refusal counts
+	// immediately, pure open-loop behavior).
+	MaxRetries int
 	// Resolution/Solver are passed through on each proposal ("" = server
 	// default).
 	Resolution string
@@ -59,6 +63,11 @@ type LoadReport struct {
 	MaxMs     float64 `json:"max_ms"`
 	WallS     float64 `json:"wall_s"`
 	QPS       float64 `json:"qps"`
+	// StatusCounts is the final HTTP status breakdown ("200", "429",
+	// "500", "503", …) after retries; Retries is the total retry attempts
+	// the client spent across the run.
+	StatusCounts map[string]int `json:"status_counts"`
+	Retries      int64          `json:"retries"`
 }
 
 // loadKey builds the i-th proposal of the pool: the benchmark cycles
@@ -114,7 +123,10 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		}
 	}
 
-	client := &http.Client{}
+	// The retrying client shares the PRNG seed, so the backoff schedule —
+	// like the key sequence — replays exactly across runs.
+	client := NewClient(cfg.Seed)
+	client.MaxRetries = cfg.MaxRetries
 	url := cfg.BaseURL + "/v1/steady"
 	var (
 		mu        sync.Mutex
@@ -123,6 +135,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		wg        sync.WaitGroup
 	)
 	rep.Requests = cfg.Requests
+	rep.StatusCounts = make(map[string]int)
 	slots := make(chan struct{}, cfg.Concurrency)
 	var interval time.Duration
 	if cfg.QPS > 0 {
@@ -168,35 +181,31 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			defer wg.Done()
 			defer func() { <-slots }()
 			t0 := time.Now()
-			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+			resp, err := client.PostJSON(ctx, url, body)
 			if err == nil {
-				req.Header.Set("Content-Type", "application/json")
-				var resp *http.Response
-				resp, err = client.Do(req)
-				if err == nil {
-					_, _ = io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-					ms := float64(time.Since(t0)) / float64(time.Millisecond)
-					mu.Lock()
-					switch {
-					case resp.StatusCode == http.StatusOK:
-						rep.Completed++
-						latencies = append(latencies, ms)
-						switch resp.Header.Get("X-Cache") {
-						case "hit":
-							rep.Hits++
-						case "miss":
-							rep.Misses++
-						}
-					case resp.StatusCode == http.StatusTooManyRequests ||
-						resp.StatusCode == http.StatusServiceUnavailable:
-						rep.Rejected++
-					default:
-						rep.Errors++
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				mu.Lock()
+				rep.StatusCounts[strconv.Itoa(resp.StatusCode)]++
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					rep.Completed++
+					latencies = append(latencies, ms)
+					switch resp.Header.Get("X-Cache") {
+					case "hit":
+						rep.Hits++
+					case "miss":
+						rep.Misses++
 					}
-					mu.Unlock()
-					return
+				case resp.StatusCode == http.StatusTooManyRequests ||
+					resp.StatusCode == http.StatusServiceUnavailable:
+					rep.Rejected++
+				default:
+					rep.Errors++
 				}
+				mu.Unlock()
+				return
 			}
 			mu.Lock()
 			rep.Errors++
@@ -204,6 +213,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		}(bodies[keys[i]])
 	}
 	wg.Wait()
+	rep.Retries = client.Retries()
 	rep.WallS = time.Since(start).Seconds()
 	if rep.WallS > 0 {
 		rep.QPS = float64(rep.Completed) / rep.WallS

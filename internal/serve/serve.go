@@ -44,7 +44,9 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -92,6 +94,22 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps request bodies (0 = 1 MiB).
 	MaxBodyBytes int64
+	// CheckpointPath, when set, enables transient-state checkpointing:
+	// POST /v1/checkpoint snapshots on demand, Close snapshots on drain,
+	// and CheckpointEvery (when positive) snapshots periodically. The
+	// file is versioned, checksummed, and written atomically.
+	CheckpointPath  string
+	CheckpointEvery time.Duration
+	// RestoreOnStart restores the transient registry from CheckpointPath
+	// during New: every checkpointed blade resumes at its exact simulated
+	// time. A missing file is a fresh boot; a corrupt file fails New.
+	RestoreOnStart bool
+	// BreakerThreshold is the consecutive bad solve outcomes (hard
+	// failures or escalation-ladder rescues) that trip a proposal class's
+	// circuit breaker (0 = 3); BreakerCooldown is how long a tripped
+	// breaker refuses with 503 before half-open probing (0 = 5 s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +134,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	return c
 }
 
@@ -132,9 +156,19 @@ type Stats struct {
 	TransientSteps int64 `json:"transient_steps"`
 	ExperimentRuns int64 `json:"experiment_runs"`
 	InFlight       int64 `json:"in_flight"`
-	Sessions       int   `json:"sessions"`
-	Transients     int   `json:"transients"`
-	Draining       bool  `json:"draining"`
+	// Resilience counters: handler panics turned into structured 500s,
+	// retried transient step chunks answered from the dedup cache (the
+	// observable trace of exactly-once stepping), circuit-breaker trips
+	// and per-breaker state, and checkpoint activity.
+	PanicsRecovered          int64        `json:"panics_recovered"`
+	StepsDeduped             int64        `json:"steps_deduped"`
+	BreakerTrips             int64        `json:"breaker_trips"`
+	Breakers                 BreakerStats `json:"breakers"`
+	CheckpointSaves          int64        `json:"checkpoint_saves"`
+	CheckpointBladesRestored int64        `json:"checkpoint_blades_restored"`
+	Sessions                 int          `json:"sessions"`
+	Transients               int          `json:"transients"`
+	Draining                 bool         `json:"draining"`
 }
 
 type counters struct {
@@ -148,6 +182,11 @@ type counters struct {
 	transientSteps atomic.Int64
 	experimentRuns atomic.Int64
 	inFlight       atomic.Int64
+
+	panicsRecovered    atomic.Int64
+	stepsDeduped       atomic.Int64
+	checkpointSaves    atomic.Int64
+	checkpointRestored atomic.Int64
 }
 
 // Server owns the lease cache, the response memo, the transient-blade
@@ -161,12 +200,21 @@ type Server struct {
 	flights  *flights
 	trans    *transients
 	adm      *admission
+	breakers *breakerSet
 	stats    counters
 	draining atomic.Bool
 	closed   atomic.Bool
 	// dieBlocks is the valid block-name set of the served floorplan, for
 	// request validation before any system is built.
 	dieBlocks map[string]bool
+
+	// chaos, when armed via SetChaos, injects infrastructure faults.
+	chaosMu sync.Mutex
+	chaos   *chaos
+
+	// ckptStop/ckptDone bracket the periodic checkpoint goroutine.
+	ckptStop chan struct{}
+	ckptDone chan struct{}
 }
 
 // New builds a Server; the configuration is validated and defaulted once
@@ -177,10 +225,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: invalid budget %d workers × %d threads", cfg.Workers, cfg.Threads)
 	}
 	s := &Server{
-		cfg:     cfg,
-		memo:    newMemo(cfg.MemoEntries),
-		flights: newFlights(),
-		adm:     newAdmission(cfg.Workers, cfg.QueueDepth),
+		cfg:      cfg,
+		memo:     newMemo(cfg.MemoEntries),
+		flights:  newFlights(),
+		adm:      newAdmission(cfg.Workers, cfg.QueueDepth),
+		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
 	}
 	s.leases = newLeaseCache(cfg.Sessions, s.buildLease, &s.stats)
 	s.trans = newTransients(cfg.Transients)
@@ -189,14 +238,30 @@ func New(cfg Config) (*Server, error) {
 	for _, b := range fp.Blocks {
 		s.dieBlocks[b.Name] = true
 	}
+	if cfg.RestoreOnStart && cfg.CheckpointPath != "" {
+		if _, err := s.RestoreCheckpoint(); err != nil {
+			s.trans.closeAll()
+			return nil, err
+		}
+	}
+	if cfg.CheckpointPath != "" && cfg.CheckpointEvery > 0 {
+		s.ckptStop = make(chan struct{})
+		s.ckptDone = make(chan struct{})
+		go s.checkpointLoop(cfg.CheckpointEvery)
+	}
 	return s, nil
 }
 
 // Config returns the resolved configuration (budget split applied).
 func (s *Server) Config() Config { return s.cfg }
 
-// Handler returns the route table. Every endpoint refuses with 503 once
-// the server is draining; in-flight requests are unaffected.
+// Handler returns the route table, wrapped outside-in by the
+// panic-recovery middleware (a handler panic becomes a structured 500,
+// never a dead process), the chaos injector (inside recovery, so
+// injected panics exercise it), and the drain gate. Every work endpoint
+// refuses with 503 once the server is draining; in-flight requests are
+// unaffected, and /healthz, /v1/stats, and /v1/checkpoint stay routable
+// so operators can watch (and snapshot) the drain itself.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -206,14 +271,34 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/transient/", s.handleTransientOp)
 	mux.HandleFunc("/v1/experiments", s.handleExperimentsList)
 	mux.HandleFunc("/v1/experiments/", s.handleExperimentRun)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() && r.URL.Path != "/healthz" && r.URL.Path != "/v1/stats" {
-			w.Header().Set("Retry-After", "5")
-			writeError(w, http.StatusServiceUnavailable, "draining: not accepting new work")
+	mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
+	drainExempt := map[string]bool{"/healthz": true, "/v1/stats": true, "/v1/checkpoint": true}
+	gated := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() && !drainExempt[r.URL.Path] {
+			writeError(w, http.StatusServiceUnavailable, "draining: not accepting new work",
+				s.retryAfterSecs())
 			return
 		}
 		mux.ServeHTTP(w, r)
 	})
+	return s.recoverMiddleware(s.chaosMiddleware(gated))
+}
+
+// retryAfterSecs is the single source of the Retry-After hint every
+// refusal (admission 429, registry-full 429, drain 503) carries: one
+// second when the queue is empty, growing with the number of requests
+// already waiting per solve slot, clamped to five seconds while
+// draining — a draining server will not come back, so clients should
+// fail over rather than hammer it.
+func (s *Server) retryAfterSecs() int {
+	if s.draining.Load() {
+		return 5
+	}
+	secs := 1 + int(s.adm.waiting.Load())/s.cfg.Workers
+	if secs > 5 {
+		secs = 5
+	}
+	return secs
 }
 
 // BeginDrain flips the server into drain mode: every subsequent request
@@ -231,14 +316,24 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // returned, so no handler still holds a lease; a lease that *is* still
 // referenced is marked dead and closed by its releaser — the race the
 // idempotent Session.Close contract exists for.
+// A configured checkpoint path gets a final on-drain snapshot first, so
+// a graceful shutdown preserves every streaming blade for the next boot.
 func (s *Server) Close() error {
 	s.BeginDrain()
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	if s.ckptStop != nil {
+		close(s.ckptStop)
+		<-s.ckptDone
+	}
+	var saveErr error
+	if s.cfg.CheckpointPath != "" {
+		_, saveErr = s.SaveCheckpoint()
+	}
 	s.trans.closeAll()
 	s.leases.closeAll()
-	return nil
+	return saveErr
 }
 
 // ResetCaches empties the response memo and the session cache (closing
@@ -263,9 +358,17 @@ func (s *Server) Snapshot() Stats {
 		TransientSteps: s.stats.transientSteps.Load(),
 		ExperimentRuns: s.stats.experimentRuns.Load(),
 		InFlight:       s.stats.inFlight.Load(),
-		Sessions:       s.leases.len(),
-		Transients:     s.trans.len(),
-		Draining:       s.draining.Load(),
+
+		PanicsRecovered:          s.stats.panicsRecovered.Load(),
+		StepsDeduped:             s.stats.stepsDeduped.Load(),
+		BreakerTrips:             s.breakers.trips.Load(),
+		Breakers:                 s.breakers.snapshot(),
+		CheckpointSaves:          s.stats.checkpointSaves.Load(),
+		CheckpointBladesRestored: s.stats.checkpointRestored.Load(),
+
+		Sessions:   s.leases.len(),
+		Transients: s.trans.len(),
+		Draining:   s.draining.Load(),
 	}
 }
 
@@ -314,7 +417,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write([]byte("\n"))
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
+// writeError renders a JSON error. An optional positive retryAfterSecs
+// sets the Retry-After header — every backpressure refusal derives it
+// from the same Server.retryAfterSecs hint (or the breaker's cooldown).
+func writeError(w http.ResponseWriter, status int, msg string, retryAfterSecs ...int) {
+	if len(retryAfterSecs) > 0 && retryAfterSecs[0] > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs[0]))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	b, _ := json.Marshal(map[string]string{"error": msg})

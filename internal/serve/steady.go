@@ -397,7 +397,7 @@ func (s *Server) handleSteady(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-f.done:
 		case <-ctx.Done():
-			s.writeFailure(w, solveStatus(ctx.Err()), solveMsg(ctx.Err()))
+			s.writeFailure(w, solveStatus(ctx.Err()), solveMsg(ctx.Err()), 0)
 			return
 		}
 		if f.body != nil {
@@ -405,30 +405,37 @@ func (s *Server) handleSteady(w http.ResponseWriter, r *http.Request) {
 			writeCached(w, f.body, "hit")
 			return
 		}
-		s.writeFailure(w, f.status, f.errMsg)
+		s.writeFailure(w, f.status, f.errMsg, f.retryAfter)
 		return
 	}
-	body, status, msg := s.solveProposal(ctx, p)
-	f.body, f.status, f.errMsg = body, status, msg
+	body, status, msg, retryAfter := s.solveProposal(ctx, p)
+	f.body, f.status, f.errMsg, f.retryAfter = body, status, msg, retryAfter
 	s.flights.finish(p.key, f)
 	if body != nil {
 		s.stats.memoMisses.Add(1)
 		writeCached(w, body, "miss")
 		return
 	}
-	s.writeFailure(w, status, msg)
+	s.writeFailure(w, status, msg, retryAfter)
 }
 
-// solveProposal runs the miss path end to end — admission, lease, solve,
-// memoize — and returns the response body, or a non-zero HTTP status with
-// a message.
-func (s *Server) solveProposal(ctx context.Context, p *steadyProposal) ([]byte, int, string) {
+// solveProposal runs the miss path end to end — breaker, admission,
+// lease, solve (with any armed chaos applied), memoize — and returns the
+// response body, or a non-zero HTTP status with a message and an
+// optional Retry-After hint in seconds.
+func (s *Server) solveProposal(ctx context.Context, p *steadyProposal) ([]byte, int, string, int) {
+	// The circuit breaker sits before admission: a tripped proposal class
+	// must not consume solve slots other classes could use.
+	if ok, ra := s.breakers.admit(p.lease); !ok {
+		return nil, http.StatusServiceUnavailable,
+			"circuit breaker open for this proposal class; retry after the cooldown", ra
+	}
 	release, err := s.adm.acquire(ctx)
 	if err != nil {
 		if errors.Is(err, errBusy) {
-			return nil, http.StatusTooManyRequests, err.Error()
+			return nil, http.StatusTooManyRequests, err.Error(), s.retryAfterSecs()
 		}
-		return nil, solveStatus(err), solveMsg(err)
+		return nil, solveStatus(err), solveMsg(err), 0
 	}
 	defer release()
 	s.stats.inFlight.Add(1)
@@ -436,46 +443,69 @@ func (s *Server) solveProposal(ctx context.Context, p *steadyProposal) ([]byte, 
 
 	l, err := s.leases.acquire(p.lease)
 	if err != nil {
-		return nil, http.StatusInternalServerError, err.Error()
+		return nil, http.StatusInternalServerError, err.Error(), 0
 	}
+	c := s.loadChaos()
+	sabotage := c != nil && c.roll(c.cfg.SabotageRate)
+	failInject := c != nil && c.roll(c.cfg.FailRate)
 	l.mu.Lock()
-	resp, err := s.solveSteady(ctx, l, p)
+	var resp *SteadyResponse
+	if sabotage {
+		l.ses.InjectMGFault(true)
+	}
+	if failInject {
+		err = errChaosFail
+	} else {
+		resp, err = s.solveSteady(ctx, l, p)
+	}
+	if sabotage {
+		l.ses.InjectMGFault(false)
+	}
+	// The breaker observes hard solver failures and escalation-ladder
+	// rescues; client cancellations and deadlines are not the solver's
+	// fault and leave the trip counter alone.
+	failed := err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+	if err == nil || failed {
+		s.breakers.observe(p.lease, failed, err == nil && resp.Escalations > 0)
+	}
 	if err != nil {
 		l.mu.Unlock()
 		// A failed solve poisons the lease: evict it so no later request
 		// inherits the session (its warm carry is already invalidated by
 		// the session itself, the cache eviction is belt and braces).
 		s.leases.release(l, true)
-		return nil, solveStatus(err), solveMsg(err)
+		return nil, solveStatus(err), solveMsg(err), 0
 	}
 	body, err := canonicalJSON(resp)
 	l.mu.Unlock()
-	s.leases.release(l, false)
+	s.leases.release(l, c != nil && c.roll(c.cfg.PoisonRate))
 	if err != nil {
-		return nil, http.StatusInternalServerError, err.Error()
+		return nil, http.StatusInternalServerError, err.Error(), 0
 	}
 	body = append(body, '\n')
 	// Memoize before the flight finishes: later arrivals re-check the
 	// memo first, so the window between finish and put must not exist.
 	s.memo.put(p.key, body)
-	return body, 0, ""
+	return body, 0, "", 0
 }
 
 // writeFailure renders a non-200 solve-path outcome, keeping the 429
-// bookkeeping (Retry-After, rejected counter) in one place.
-func (s *Server) writeFailure(w http.ResponseWriter, status int, msg string) {
+// bookkeeping (rejected counter) and the Retry-After hint in one place.
+func (s *Server) writeFailure(w http.ResponseWriter, status int, msg string, retryAfterSecs int) {
 	if status == http.StatusTooManyRequests {
 		s.stats.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		if retryAfterSecs <= 0 {
+			retryAfterSecs = s.retryAfterSecs()
+		}
 	}
-	writeError(w, status, msg)
+	writeError(w, status, msg, retryAfterSecs)
 }
 
 // rejectSolve maps admission failures for the non-memoized handlers
 // (transient, experiments): queue full → 429 backpressure, deadline → 504.
 func (s *Server) rejectSolve(w http.ResponseWriter, err error) {
 	if errors.Is(err, errBusy) {
-		s.writeFailure(w, http.StatusTooManyRequests, err.Error())
+		s.writeFailure(w, http.StatusTooManyRequests, err.Error(), s.retryAfterSecs())
 		return
 	}
 	s.solveError(w, err)

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
@@ -24,7 +25,17 @@ type transientBlade struct {
 	// base is the registered per-block power map (W); step entries may
 	// scale it with a load factor instead of respelling the full map.
 	base map[string]float64
-	dead bool
+	// req/initialC reproduce the registration for checkpointing: a
+	// restore replays exactly the normalized proposal this blade was
+	// built from.
+	req      SteadyRequest
+	initialC float64
+	// lastSeq/lastBody are the exactly-once replay cache: a step chunk
+	// carrying seq == lastSeq is a retry of the last applied chunk and is
+	// answered with the cached body instead of advancing the sim again.
+	lastSeq  int64
+	lastBody []byte
+	dead     bool
 }
 
 // transients is the bounded registry of live blades.
@@ -132,7 +143,13 @@ type TransientStep struct {
 }
 
 // TransientStepRequest advances a blade by len(Steps) × DtS seconds.
+// Seq, when positive, makes the chunk exactly-once: the client numbers
+// chunks 1, 2, 3, … per blade, and a retried chunk (same seq as the last
+// applied one) replays the cached response instead of advancing the sim
+// again — a network-level retry can never double-step a blade. Seq 0
+// opts out (legacy at-least-once behavior).
 type TransientStepRequest struct {
+	Seq   int64           `json:"seq,omitempty"`
 	DtS   float64         `json:"dt_s"`
 	Steps []TransientStep `json:"steps"`
 }
@@ -249,15 +266,19 @@ func (s *Server) handleTransientRegister(w http.ResponseWriter, r *http.Request)
 	} else {
 		base = sys.Power.BlockPowers(p.st)
 	}
-	b := &transientBlade{name: req.Blade, sys: sys, ses: ses, sim: sim, base: base}
+	b := &transientBlade{
+		name: req.Blade, sys: sys, ses: ses, sim: sim, base: base,
+		req: p.req, initialC: initial,
+	}
 	if err := s.trans.add(b); err != nil {
 		ses.Close()
 		status := http.StatusConflict
+		retryAfter := 0
 		if err == errTransientsFull {
 			status = http.StatusTooManyRequests
-			w.Header().Set("Retry-After", "5")
+			retryAfter = s.retryAfterSecs()
 		}
-		writeError(w, status, err.Error())
+		writeError(w, status, err.Error(), retryAfter)
 		return
 	}
 	b.mu.Lock()
@@ -331,6 +352,16 @@ func (s *Server) handleTransientStep(w http.ResponseWriter, r *http.Request, nam
 		writeError(w, http.StatusNotFound, fmt.Sprintf("blade %q not registered", name))
 		return
 	}
+	// Exactly-once fast path: a retried chunk is answered from the replay
+	// cache before it competes for a solve slot.
+	if req.Seq > 0 {
+		b.mu.Lock()
+		replayed := s.replayStep(w, b, req.Seq)
+		b.mu.Unlock()
+		if replayed {
+			return
+		}
+	}
 	// Validate step power maps before taking a solve slot.
 	for i, st := range req.Steps {
 		if st.BlockPowerW != nil && st.Load != nil {
@@ -367,6 +398,12 @@ func (s *Server) handleTransientStep(w http.ResponseWriter, r *http.Request, nam
 		writeError(w, http.StatusGone, fmt.Sprintf("blade %q released", name))
 		return
 	}
+	// Re-check the replay cache under the step lock: a concurrent retry of
+	// the same chunk may have applied it while this request waited for
+	// admission or the lock.
+	if req.Seq > 0 && s.replayStep(w, b, req.Seq) {
+		return
+	}
 	samples := make([]TransientSample, 0, len(req.Steps))
 	scaled := make(map[string]float64, len(b.base))
 	ctx := r.Context()
@@ -400,5 +437,43 @@ func (s *Server) handleTransientStep(w http.ResponseWriter, r *http.Request, nam
 			TCaseC:  b.sim.TCase(),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"blade": name, "samples": samples})
+	body, err := json.Marshal(map[string]any{"blade": name, "samples": samples})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	body = append(body, '\n')
+	if req.Seq > 0 {
+		// Record the applied chunk before responding, so a retry that races
+		// the response replays rather than double-steps.
+		b.lastSeq = req.Seq
+		b.lastBody = append([]byte(nil), body...)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// replayStep answers a retried or stale step chunk from the blade's
+// exactly-once cache. The caller holds b.mu. It returns true when the
+// request was fully handled (replayed or refused): seq == lastSeq is the
+// retry of the last applied chunk and gets its cached body back verbatim
+// (flagged with X-Replayed so clients and tests can tell); seq < lastSeq
+// is an out-of-order duplicate whose body is long gone — 409, the client
+// must resynchronize from GET status.
+func (s *Server) replayStep(w http.ResponseWriter, b *transientBlade, seq int64) bool {
+	switch {
+	case seq == b.lastSeq && b.lastBody != nil:
+		s.stats.stepsDeduped.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Replayed", "true")
+		w.WriteHeader(http.StatusOK)
+		w.Write(b.lastBody)
+		return true
+	case seq < b.lastSeq:
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("stale seq %d: blade %q already advanced past seq %d", seq, b.name, b.lastSeq))
+		return true
+	}
+	return false
 }
