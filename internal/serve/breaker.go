@@ -31,6 +31,21 @@ func (st breakerState) String() string {
 	}
 }
 
+// breakerOutcome is how an admitted solve ended, from the breaker's
+// point of view.
+type breakerOutcome int
+
+const (
+	// outcomeNeutral: the solve never ran or was cut short through no
+	// fault of the solver (admission refusal, lease failure, client
+	// cancellation or deadline). It releases a probe slot without counting
+	// for or against the breaker.
+	outcomeNeutral breakerOutcome = iota
+	outcomeGood
+	// outcomeBad: a hard solver failure or an escalation-ladder rescue.
+	outcomeBad
+)
+
 // breaker is the per-lease-key trip state. A "bad" outcome is a solver
 // failure or a solve the escalation ladder had to rescue — an escalation
 // storm on a key is a leading indicator that its sessions are expensive
@@ -41,6 +56,25 @@ type breaker struct {
 	bad      int // consecutive bad outcomes
 	openedAt time.Time
 	probing  bool // a half-open probe is in flight
+	// gen counts open transitions. Tickets record the generation they were
+	// admitted under; a ticket settled after the breaker has since tripped
+	// (or re-tripped) is stale and ignored, so an outcome from a solve
+	// admitted before the trip can neither close the breaker on a stale
+	// success nor double-count a stale failure.
+	gen uint64
+}
+
+// breakerTicket is the obligation admit hands to an admitted caller: it
+// MUST be settled exactly once, on every exit path (settle is idempotent
+// and nil-safe, so `defer settle(tok, ...)` is the intended shape). This
+// is what guarantees a half-open probe slot can never leak — before
+// tickets, an early return between admit and observe wedged the key's
+// breaker in probing state forever.
+type breakerTicket struct {
+	key     leaseKey
+	gen     uint64
+	probe   bool
+	settled bool
 }
 
 // BreakerInfo describes one tripped (non-closed) breaker in /v1/stats.
@@ -81,19 +115,21 @@ func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
 	}
 }
 
-// admit asks whether a solve for the key may proceed. A refusal returns
-// the Retry-After hint in whole seconds: the remaining cooldown for an
-// open breaker, one second while a half-open probe is already in flight.
-func (bs *breakerSet) admit(key leaseKey) (ok bool, retryAfterSecs int) {
+// admit asks whether a solve for the key may proceed. An admitted caller
+// gets a non-nil ticket it must settle exactly once (defer it). A
+// refusal returns a nil ticket and the Retry-After hint in whole
+// seconds: the remaining cooldown for an open breaker, one second while
+// a half-open probe is already in flight.
+func (bs *breakerSet) admit(key leaseKey) (tok *breakerTicket, retryAfterSecs int) {
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
 	b := bs.m[key]
 	if b == nil {
-		return true, 0
+		return &breakerTicket{key: key}, 0
 	}
 	switch b.state {
 	case breakerClosed:
-		return true, 0
+		return &breakerTicket{key: key, gen: b.gen}, 0
 	case breakerOpen:
 		remaining := b.openedAt.Add(bs.cooldown).Sub(bs.now())
 		if remaining > 0 {
@@ -101,62 +137,81 @@ func (bs *breakerSet) admit(key leaseKey) (ok bool, retryAfterSecs int) {
 			if secs < 1 {
 				secs = 1
 			}
-			return false, secs
+			return nil, secs
 		}
 		// Cooldown over: this caller becomes the half-open probe.
 		b.state = breakerHalfOpen
 		b.probing = true
-		return true, 0
+		return &breakerTicket{key: key, gen: b.gen, probe: true}, 0
 	default: // half-open
 		if b.probing {
-			return false, 1
+			return nil, 1
 		}
 		b.probing = true
-		return true, 0
+		return &breakerTicket{key: key, gen: b.gen, probe: true}, 0
 	}
 }
 
-// observe records a solve outcome for the key. failed marks hard solver
-// failures (not client cancellations); escalated marks solves the
-// escalation ladder rescued. Either counts as a bad outcome toward the
-// consecutive-trip threshold.
-func (bs *breakerSet) observe(key leaseKey, failed, escalated bool) {
+// settle records the outcome of an admitted solve. It is nil-safe and
+// idempotent per ticket, so callers defer it unconditionally. A neutral
+// outcome releases a probe slot (the next admit becomes the probe)
+// without moving the state machine; a ticket from a generation older
+// than the breaker's current open cycle is ignored entirely.
+func (bs *breakerSet) settle(tok *breakerTicket, out breakerOutcome) {
+	if tok == nil {
+		return
+	}
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
-	b := bs.m[key]
-	bad := failed || escalated
+	if tok.settled {
+		return
+	}
+	tok.settled = true
+	b := bs.m[tok.key]
 	if b == nil {
-		if !bad {
+		// Clean key: only a bad outcome starts tracking it.
+		if out != outcomeBad {
 			return
 		}
 		b = &breaker{}
-		bs.m[key] = b
+		bs.m[tok.key] = b
 	}
-	switch {
-	case b.state == breakerHalfOpen:
+	if tok.gen != b.gen {
+		return // stale: admitted before the last trip
+	}
+	if tok.probe {
 		b.probing = false
-		if bad {
+		switch out {
+		case outcomeGood:
+			delete(bs.m, tok.key) // probe succeeded: closed and clean
+		case outcomeBad:
 			// Probe failed: back to open for another cooldown.
 			b.state = breakerOpen
 			b.openedAt = bs.now()
 			b.bad++
+			b.gen++
 			bs.trips.Add(1)
-		} else {
-			b.state = breakerClosed
-			b.bad = 0
-			delete(bs.m, key)
+		default:
+			// Neutral probe (e.g. client cancelled): stay half-open with the
+			// slot free, so the next request becomes the probe.
 		}
-	case bad:
+		return
+	}
+	switch out {
+	case outcomeBad:
 		b.bad++
 		if b.state == breakerClosed && b.bad >= bs.threshold {
 			b.state = breakerOpen
 			b.openedAt = bs.now()
+			b.gen++
 			bs.trips.Add(1)
 		}
-	default:
+	case outcomeGood:
 		if b.state == breakerClosed {
-			delete(bs.m, key)
+			delete(bs.m, tok.key)
 		}
+	default:
+		// Neutral: no signal either way.
 	}
 }
 

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"context"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -18,25 +20,28 @@ func TestBreakerStateMachine(t *testing.T) {
 
 	// Below the threshold the breaker stays closed.
 	for i := 0; i < 2; i++ {
-		if ok, _ := bs.admit(key); !ok {
+		tok, _ := bs.admit(key)
+		if tok == nil {
 			t.Fatalf("closed breaker refused at bad=%d", i)
 		}
-		bs.observe(key, true, false)
+		bs.settle(tok, outcomeBad)
 	}
 	if st := bs.snapshot(); st.Open != 0 {
 		t.Fatalf("opened below threshold: %+v", st)
 	}
 	// A success resets the consecutive count (and prunes the clean entry).
-	bs.observe(key, false, false)
+	tok, _ := bs.admit(key)
+	bs.settle(tok, outcomeGood)
 	if len(bs.m) != 0 {
 		t.Fatalf("clean closed breaker not pruned: %d entries", len(bs.m))
 	}
 
-	// Three consecutive bad outcomes trip it; escalations count like
-	// failures.
-	bs.observe(key, true, false)
-	bs.observe(key, false, true)
-	bs.observe(key, true, false)
+	// Three consecutive bad outcomes trip it (escalation rescues count as
+	// bad just like hard failures — both map to outcomeBad).
+	for i := 0; i < 3; i++ {
+		tok, _ := bs.admit(key)
+		bs.settle(tok, outcomeBad)
+	}
 	if st := bs.snapshot(); st.Open != 1 || len(st.Tripped) != 1 || st.Tripped[0].State != "open" {
 		t.Fatalf("not open after threshold: %+v", st)
 	}
@@ -45,27 +50,28 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 
 	// While open, admits are refused with the remaining cooldown.
-	ok, ra := bs.admit(key)
-	if ok || ra != 5 {
-		t.Fatalf("open admit = (%v, %d), want (false, 5)", ok, ra)
+	tok, ra := bs.admit(key)
+	if tok != nil || ra != 5 {
+		t.Fatalf("open admit = (%v, %d), want (nil, 5)", tok, ra)
 	}
 	clock = clock.Add(3 * time.Second)
-	if ok, ra = bs.admit(key); ok || ra != 2 {
-		t.Fatalf("open admit mid-cooldown = (%v, %d), want (false, 2)", ok, ra)
+	if tok, ra = bs.admit(key); tok != nil || ra != 2 {
+		t.Fatalf("open admit mid-cooldown = (%v, %d), want (nil, 2)", tok, ra)
 	}
 
 	// Cooldown over: exactly one probe passes, concurrent callers wait.
 	clock = clock.Add(3 * time.Second)
-	if ok, _ = bs.admit(key); !ok {
-		t.Fatal("half-open probe refused")
+	probe, _ := bs.admit(key)
+	if probe == nil || !probe.probe {
+		t.Fatalf("half-open probe refused or not marked: %+v", probe)
 	}
-	if ok, ra = bs.admit(key); ok || ra != 1 {
-		t.Fatalf("second half-open caller = (%v, %d), want (false, 1)", ok, ra)
+	if tok, ra = bs.admit(key); tok != nil || ra != 1 {
+		t.Fatalf("second half-open caller = (%v, %d), want (nil, 1)", tok, ra)
 	}
 
 	// A failed probe re-opens for another cooldown.
-	bs.observe(key, true, false)
-	if ok, _ = bs.admit(key); ok {
+	bs.settle(probe, outcomeBad)
+	if tok, _ = bs.admit(key); tok != nil {
 		t.Fatal("re-opened breaker admitted")
 	}
 	if got := bs.trips.Load(); got != 2 {
@@ -74,15 +80,105 @@ func TestBreakerStateMachine(t *testing.T) {
 
 	// A successful probe closes and prunes.
 	clock = clock.Add(6 * time.Second)
-	if ok, _ = bs.admit(key); !ok {
+	if probe, _ = bs.admit(key); probe == nil {
 		t.Fatal("second probe refused")
 	}
-	bs.observe(key, false, false)
-	if ok, _ = bs.admit(key); !ok {
+	bs.settle(probe, outcomeGood)
+	if tok, _ = bs.admit(key); tok == nil {
 		t.Fatal("closed breaker refused after recovery")
 	}
 	if len(bs.m) != 0 {
 		t.Fatalf("recovered breaker not pruned: %d entries", len(bs.m))
+	}
+}
+
+// TestBreakerProbeNeverLeaks: a probe settled neutrally (the solve never
+// ran — admission refusal, lease failure, client cancellation) releases
+// the half-open slot so the next caller becomes the probe. Before the
+// ticket API an unsettled probe wedged the key in probing state forever,
+// refusing every request with 503 until restart.
+func TestBreakerProbeNeverLeaks(t *testing.T) {
+	bs := newBreakerSet(1, 5*time.Second)
+	clock := time.Unix(1000, 0)
+	bs.now = func() time.Time { return clock }
+	key := leaseKey{floorplan: "fp", mapping: "m", solver: "cg", resolution: "coarse"}
+
+	tok, _ := bs.admit(key)
+	bs.settle(tok, outcomeBad) // threshold 1: trips immediately
+	clock = clock.Add(6 * time.Second)
+
+	// Probe admitted, then cancelled before the solver ran.
+	probe, _ := bs.admit(key)
+	if probe == nil {
+		t.Fatal("probe refused after cooldown")
+	}
+	if tok, _ := bs.admit(key); tok != nil {
+		t.Fatal("second caller admitted while probe in flight")
+	}
+	bs.settle(probe, outcomeNeutral)
+	// Settle is idempotent: a double settle (defer plus explicit) is a no-op.
+	bs.settle(probe, outcomeBad)
+
+	// The slot is free again and the state machine did not move: still
+	// half-open, and the next admit becomes the new probe.
+	if st := bs.snapshot(); st.HalfOpen != 1 {
+		t.Fatalf("neutral probe moved the state machine: %+v", st)
+	}
+	probe2, _ := bs.admit(key)
+	if probe2 == nil || !probe2.probe {
+		t.Fatalf("slot not released after neutral settle: %+v", probe2)
+	}
+	bs.settle(probe2, outcomeGood)
+	if tok, _ := bs.admit(key); tok == nil {
+		t.Fatal("breaker did not close after the replacement probe succeeded")
+	}
+	if got := bs.trips.Load(); got != 1 {
+		t.Fatalf("trips = %d, want 1 (neutral settles must not count)", got)
+	}
+}
+
+// TestBreakerIgnoresStaleOutcomes: an outcome from a solve admitted
+// before the breaker tripped must not be mistaken for the half-open
+// probe's result — a stale success must not close the breaker, a stale
+// failure must not re-trip it.
+func TestBreakerIgnoresStaleOutcomes(t *testing.T) {
+	bs := newBreakerSet(2, 5*time.Second)
+	clock := time.Unix(1000, 0)
+	bs.now = func() time.Time { return clock }
+	key := leaseKey{floorplan: "fp", mapping: "m", solver: "cg", resolution: "coarse"}
+
+	// A slow solve admitted while the breaker is still closed…
+	stale, _ := bs.admit(key)
+	// …then two fast failures trip the breaker while it is in flight.
+	for i := 0; i < 2; i++ {
+		tok, _ := bs.admit(key)
+		bs.settle(tok, outcomeBad)
+	}
+	clock = clock.Add(6 * time.Second)
+	probe, _ := bs.admit(key)
+	if probe == nil {
+		t.Fatal("probe refused after cooldown")
+	}
+	// The stale solve finishes (successfully) while the probe is in
+	// flight: it must not clear the probe or close the breaker.
+	bs.settle(stale, outcomeGood)
+	if st := bs.snapshot(); st.HalfOpen != 1 {
+		t.Fatalf("stale success moved the state machine: %+v", st)
+	}
+	if tok, _ := bs.admit(key); tok != nil {
+		t.Fatal("stale success released the in-flight probe's slot")
+	}
+	// The real probe's failure re-opens; a second stale outcome arriving
+	// now (old generation) is ignored too.
+	bs.settle(probe, outcomeBad)
+	if st := bs.snapshot(); st.Open != 1 {
+		t.Fatalf("probe failure did not re-open: %+v", st)
+	}
+	trips := bs.trips.Load()
+	stale2 := &breakerTicket{key: key, gen: 0}
+	bs.settle(stale2, outcomeBad)
+	if got := bs.trips.Load(); got != trips {
+		t.Fatalf("stale failure double-counted: trips %d → %d", trips, got)
 	}
 }
 
@@ -134,6 +230,56 @@ func TestBreakerTripsOnInjectedFailures(t *testing.T) {
 	}
 	if w := post(t, h, "/v1/steady", body); w.Code != http.StatusOK {
 		t.Fatalf("recovered class: %d %s", w.Code, w.Body)
+	}
+}
+
+// TestBreakerSurvivesCancelledProbe drives the leak end to end: trip a
+// class, wait out the cooldown, then send the half-open probe with an
+// already-cancelled request context. The cancelled probe must release
+// its slot (neutral settle via the deferred ticket), so the next request
+// becomes the probe and closes the breaker — before the fix the class
+// answered 503 forever.
+func TestBreakerSurvivesCancelledProbe(t *testing.T) {
+	old := debugLogWriter
+	debugLogWriter = io.Discard
+	defer func() { debugLogWriter = old }()
+
+	s := newTestServer(t, Config{BreakerThreshold: 2, BreakerCooldown: time.Minute})
+	clock := time.Unix(3000, 0)
+	s.breakers.now = func() time.Time { return clock }
+	h := s.Handler()
+	s.SetChaos(&ChaosConfig{Seed: 11, FailRate: 1})
+
+	body := `{"benchmark":"x264"}`
+	for i := 0; i < 2; i++ {
+		if w := post(t, h, "/v1/steady", body); w.Code != http.StatusInternalServerError {
+			t.Fatalf("sabotaged solve %d: %d %s", i, w.Code, w.Body)
+		}
+	}
+	s.SetChaos(nil)
+	clock = clock.Add(2 * time.Minute)
+
+	// The probe arrives already cancelled: the solver never gets a say.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/steady", strings.NewReader(body)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code == http.StatusOK {
+		t.Fatalf("cancelled probe succeeded: %s", w.Body)
+	}
+
+	// The class must not be wedged: the next request is the new probe,
+	// succeeds, and closes the breaker.
+	if w := post(t, h, "/v1/steady", body); w.Code != http.StatusOK {
+		t.Fatalf("class wedged after cancelled probe: %d %s", w.Code, w.Body)
+	}
+	if st := s.Snapshot(); st.Breakers.Open != 0 || st.Breakers.HalfOpen != 0 {
+		t.Fatalf("breaker not closed: %+v", st.Breakers)
+	}
+	if got := s.Snapshot().BreakerTrips; got != 1 {
+		t.Fatalf("trips = %d, want 1 (cancellations must not count)", got)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -17,6 +18,11 @@ import (
 // schema; a restore refuses a version it does not understand instead of
 // guessing.
 const checkpointVersion = 1
+
+// errCheckpointDisabled distinguishes "the operator never configured a
+// checkpoint path" (the caller's mistake) from server-side save failures
+// like a full disk.
+var errCheckpointDisabled = fmt.Errorf("serve: checkpointing disabled (no checkpoint path configured)")
 
 // checkpointBlade is one registered transient blade in a checkpoint: the
 // normalized registration proposal (enough to rebuild the system,
@@ -56,7 +62,7 @@ type checkpointFile struct {
 // between-chunks state.
 func (s *Server) SaveCheckpoint() (int, error) {
 	if s.cfg.CheckpointPath == "" {
-		return 0, fmt.Errorf("serve: checkpointing disabled (no checkpoint path configured)")
+		return 0, errCheckpointDisabled
 	}
 	payload := checkpointPayload{SavedUnix: time.Now().Unix()}
 	for _, name := range s.trans.names() {
@@ -105,7 +111,11 @@ func (s *Server) SaveCheckpoint() (int, error) {
 }
 
 // atomicWrite writes data to path through a temp file in the same
-// directory, fsyncs, and renames — the crash-safe publish idiom.
+// directory, fsyncs, renames, and fsyncs the directory — the crash-safe
+// publish idiom. The final directory sync is what makes a *successful*
+// save durable: without it a power loss can undo the rename itself, so
+// the previous checkpoint would survive but the save the caller was told
+// succeeded would silently not.
 func atomicWrite(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".ckpt-*")
@@ -124,7 +134,18 @@ func atomicWrite(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 // RestoreCheckpoint rebuilds the transient blade registry from the
@@ -137,7 +158,7 @@ func atomicWrite(path string, data []byte) error {
 // version-mismatched file is an error and restores nothing.
 func (s *Server) RestoreCheckpoint() (int, error) {
 	if s.cfg.CheckpointPath == "" {
-		return 0, fmt.Errorf("serve: checkpointing disabled (no checkpoint path configured)")
+		return 0, errCheckpointDisabled
 	}
 	raw, err := os.ReadFile(s.cfg.CheckpointPath)
 	if os.IsNotExist(err) {
@@ -246,7 +267,13 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	n, err := s.SaveCheckpoint()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		// Only the unconfigured-path case is the client's fault; marshal
+		// and write failures (full disk, bad permissions) are the server's.
+		status := http.StatusInternalServerError
+		if errors.Is(err, errCheckpointDisabled) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"saved_blades": n, "path": s.cfg.CheckpointPath})

@@ -2,10 +2,14 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -190,5 +194,100 @@ func TestStepExactlyOnce(t *testing.T) {
 	// Seq 0 opts out: the legacy at-least-once path still works.
 	if w := post(t, h, "/v1/transient/b0/step", `{"dt_s":0.5,"steps":[{}]}`); w.Code != http.StatusOK {
 		t.Fatalf("unsequenced step: %d %s", w.Code, w.Body)
+	}
+}
+
+// errAfterCtx reports no error for the first n Err() calls, then
+// context.Canceled — it simulates a client disconnecting partway through
+// a step chunk (the step loop polls Err() once per step).
+type errAfterCtx struct {
+	context.Context
+	mu sync.Mutex
+	n  int
+}
+
+func (c *errAfterCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n > 0 {
+		c.n--
+		return nil
+	}
+	return context.Canceled
+}
+
+// TestStepChunkAtomic: a chunk that dies partway through (client cancel
+// after the first of three steps) must roll the sim back to the chunk
+// boundary, so the retry of the same seq applies the whole chunk exactly
+// once — byte-identical to a run that never failed. Without the rollback
+// the retry would double-step the successful prefix.
+func TestStepChunkAtomic(t *testing.T) {
+	reg := `{"blade":"b0","benchmark":"x264"}`
+	chunk := `{"seq":1,"dt_s":0.5,"steps":[{},{"load":1.1},{}]}`
+
+	// Reference: the chunk applied uninterrupted.
+	ref := newTestServer(t, Config{})
+	hr := ref.Handler()
+	if w := post(t, hr, "/v1/transient", reg); w.Code != http.StatusCreated {
+		t.Fatalf("register: %d %s", w.Code, w.Body)
+	}
+	want := stepChunk(t, hr, "b0", 1, chunk)
+
+	// Same chunk, but the request context cancels after step 0 applies.
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	if w := post(t, h, "/v1/transient", reg); w.Code != http.StatusCreated {
+		t.Fatalf("register: %d %s", w.Code, w.Body)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/transient/b0/step", strings.NewReader(chunk))
+	req.Header.Set("Content-Type", "application/json")
+	req = req.WithContext(&errAfterCtx{Context: context.Background(), n: 1})
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code == http.StatusOK {
+		t.Fatalf("cancelled mid-chunk yet succeeded: %s", w.Body)
+	}
+
+	// The partial chunk rolled back: the blade is at t=0 and no steps are
+	// counted as applied.
+	var st struct {
+		TimeS float64 `json:"time_s"`
+	}
+	g := get(t, h, "/v1/transient/b0")
+	if err := json.Unmarshal(g.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TimeS != 0 {
+		t.Fatalf("partial chunk left time_s = %v, want 0 (rolled back)", st.TimeS)
+	}
+	if got := s.Snapshot().TransientSteps; got != 0 {
+		t.Fatalf("transient_steps = %d after rollback, want 0", got)
+	}
+
+	// The retry of the same seq applies the full chunk, byte-identical to
+	// the uninterrupted run.
+	got := stepChunk(t, h, "b0", 1, chunk)
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("retry after rollback diverged from uninterrupted run:\nref %s\ngot %s", want, got)
+	}
+	if n := s.Snapshot().TransientSteps; n != 3 {
+		t.Fatalf("transient_steps = %d, want 3", n)
+	}
+}
+
+// TestCheckpointHandlerStatusCodes: POST /v1/checkpoint blames the client
+// (400) only when checkpointing was never configured; a server-side write
+// failure is a 500.
+func TestCheckpointHandlerStatusCodes(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if w := post(t, s.Handler(), "/v1/checkpoint", ""); w.Code != http.StatusBadRequest {
+		t.Fatalf("unconfigured checkpoint: %d, want 400 (%s)", w.Code, w.Body)
+	}
+
+	// A checkpoint path in a directory that does not exist fails the
+	// write — the server's problem, not the client's.
+	s2 := newTestServer(t, Config{CheckpointPath: filepath.Join(t.TempDir(), "missing-dir", "ckpt.json")})
+	if w := post(t, s2.Handler(), "/v1/checkpoint", ""); w.Code != http.StatusInternalServerError {
+		t.Fatalf("failed checkpoint write: %d, want 500 (%s)", w.Code, w.Body)
 	}
 }

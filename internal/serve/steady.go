@@ -426,10 +426,17 @@ func (s *Server) handleSteady(w http.ResponseWriter, r *http.Request) {
 func (s *Server) solveProposal(ctx context.Context, p *steadyProposal) ([]byte, int, string, int) {
 	// The circuit breaker sits before admission: a tripped proposal class
 	// must not consume solve slots other classes could use.
-	if ok, ra := s.breakers.admit(p.lease); !ok {
+	tok, ra := s.breakers.admit(p.lease)
+	if tok == nil {
 		return nil, http.StatusServiceUnavailable,
 			"circuit breaker open for this proposal class; retry after the cooldown", ra
 	}
+	// Every exit path below must settle the ticket, or a half-open probe
+	// slot would leak and wedge the class; the default neutral outcome
+	// covers the paths where the solver never got a say (admission or
+	// lease failure, client cancellation).
+	outcome := outcomeNeutral
+	defer func() { s.breakers.settle(tok, outcome) }()
 	release, err := s.adm.acquire(ctx)
 	if err != nil {
 		if errors.Is(err, errBusy) {
@@ -461,12 +468,18 @@ func (s *Server) solveProposal(ctx context.Context, p *steadyProposal) ([]byte, 
 	if sabotage {
 		l.ses.InjectMGFault(false)
 	}
-	// The breaker observes hard solver failures and escalation-ladder
-	// rescues; client cancellations and deadlines are not the solver's
-	// fault and leave the trip counter alone.
-	failed := err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
-	if err == nil || failed {
-		s.breakers.observe(p.lease, failed, err == nil && resp.Escalations > 0)
+	// The breaker counts hard solver failures and escalation-ladder
+	// rescues as bad; client cancellations and deadlines are not the
+	// solver's fault and stay neutral.
+	switch {
+	case err == nil && resp.Escalations > 0:
+		outcome = outcomeBad
+	case err == nil:
+		outcome = outcomeGood
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// outcome stays neutral
+	default:
+		outcome = outcomeBad
 	}
 	if err != nil {
 		l.mu.Unlock()

@@ -404,11 +404,27 @@ func (s *Server) handleTransientStep(w http.ResponseWriter, r *http.Request, nam
 	if req.Seq > 0 && s.replayStep(w, b, req.Seq) {
 		return
 	}
+	// A chunk applies atomically: snapshot the sim before the first step
+	// and roll back to it if anything fails or the client cancels partway
+	// through. Without the rollback a retried chunk would re-apply steps
+	// the failed attempt already took, double-stepping the successful
+	// prefix — the exactly-once contract must hold even for chunks that
+	// die mid-flight.
+	pre := b.sim.ExportState()
+	rollback := func() {
+		if err := b.sim.ImportState(pre); err != nil {
+			// A same-sim snapshot can only fail to import if the state was
+			// corrupted in flight; the blade is unrecoverable — kill it so
+			// clients re-register instead of streaming onto unknown state.
+			b.dead = true
+		}
+	}
 	samples := make([]TransientSample, 0, len(req.Steps))
 	scaled := make(map[string]float64, len(b.base))
 	ctx := r.Context()
 	for i, st := range req.Steps {
 		if err := ctx.Err(); err != nil {
+			rollback()
 			s.solveError(w, err)
 			return
 		}
@@ -422,12 +438,13 @@ func (s *Server) handleTransientStep(w http.ResponseWriter, r *http.Request, nam
 			pw = scaled
 		}
 		if err := b.sim.Step(req.DtS, pw); err != nil {
+			rollback()
 			writeError(w, http.StatusInternalServerError, fmt.Sprintf("step %d: %v", i, err))
 			return
 		}
-		s.stats.transientSteps.Add(1)
 		dieMax, err := b.sim.DieMax()
 		if err != nil {
+			rollback()
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
@@ -439,9 +456,13 @@ func (s *Server) handleTransientStep(w http.ResponseWriter, r *http.Request, nam
 	}
 	body, err := json.Marshal(map[string]any{"blade": name, "samples": samples})
 	if err != nil {
+		rollback()
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	// The chunk is committed only now: steps are counted and the dedup
+	// cursor advances together, after every step succeeded.
+	s.stats.transientSteps.Add(int64(len(req.Steps)))
 	body = append(body, '\n')
 	if req.Seq > 0 {
 		// Record the applied chunk before responding, so a retry that races
